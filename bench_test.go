@@ -1,0 +1,296 @@
+package gist_test
+
+// Benchmarks, one per paper table/figure (the harnesses that regenerate
+// them) plus micro-benchmarks of the encoding kernels, the allocator and
+// the training step, and ablation benches for the design choices DESIGN.md
+// calls out (narrow vs wide CSR indices, CSR vs ELL vs COO, static vs
+// dynamic allocation).
+
+import (
+	"testing"
+
+	"gist"
+	"gist/internal/bitpack"
+	"gist/internal/encoding"
+	"gist/internal/experiments"
+	"gist/internal/floatenc"
+	gGraph "gist/internal/graph"
+	"gist/internal/liveness"
+	"gist/internal/memplan"
+	"gist/internal/networks"
+	"gist/internal/sparse"
+	"gist/internal/tensor"
+	"gist/internal/train"
+)
+
+// --- one benchmark per paper table/figure ---
+
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig1(experiments.DefaultMinibatch)
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig3(experiments.DefaultMinibatch)
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Table1()
+	}
+}
+
+func BenchmarkFig8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig8(experiments.DefaultMinibatch)
+	}
+}
+
+func BenchmarkFig9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig9(experiments.DefaultMinibatch)
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig10(experiments.DefaultMinibatch)
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig11(experiments.DefaultMinibatch)
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	// Reduced scale: the full accuracy study is a multi-seed training
+	// run; the bench exercises one seed at a quarter of the steps.
+	s := experiments.DefaultTrainScale()
+	s.Steps = 50
+	s.Seeds = []uint64{42}
+	s.ErrorDepth = 6
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig12(s)
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig13(experiments.DefaultMinibatch)
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	s := experiments.DefaultSparsityScale()
+	s.Steps = 20
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig14(s)
+	}
+}
+
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig15(experiments.DefaultMinibatch)
+	}
+}
+
+func BenchmarkFig16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig16()
+	}
+}
+
+func BenchmarkFig17(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = experiments.Fig17(experiments.DefaultMinibatch)
+	}
+}
+
+// --- encoding kernel micro-benchmarks ---
+
+const kernelElems = 1 << 20
+
+func sparseInput(sparsity float64) []float32 {
+	r := tensor.NewRNG(1)
+	xs := make([]float32, kernelElems)
+	for i := range xs {
+		if r.Float64() >= sparsity {
+			xs[i] = r.Float32() - 0.5
+		}
+	}
+	return xs
+}
+
+func BenchmarkBinarizeEncode(b *testing.B) {
+	xs := sparseInput(0.5)
+	b.SetBytes(kernelElems * 4)
+	for i := 0; i < b.N; i++ {
+		_ = bitpack.FromPositive(xs)
+	}
+}
+
+func BenchmarkBinarizeGate(b *testing.B) {
+	xs := sparseInput(0.5)
+	m := bitpack.FromPositive(xs)
+	dy := sparseInput(0)
+	dx := make([]float32, kernelElems)
+	b.SetBytes(kernelElems * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ApplyGate(dx, dy)
+	}
+}
+
+func BenchmarkSSDCEncodeCSR(b *testing.B) {
+	xs := sparseInput(0.7)
+	b.SetBytes(kernelElems * 4)
+	for i := 0; i < b.N; i++ {
+		_ = sparse.EncodeCSR(xs)
+	}
+}
+
+func BenchmarkSSDCDecodeCSR(b *testing.B) {
+	c := sparse.EncodeCSR(sparseInput(0.7))
+	dst := make([]float32, kernelElems)
+	b.SetBytes(kernelElems * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Decode(dst)
+	}
+}
+
+func BenchmarkDPRQuantize(b *testing.B) {
+	for _, f := range []floatenc.Format{floatenc.FP16, floatenc.FP10, floatenc.FP8} {
+		f := f
+		b.Run(f.String(), func(b *testing.B) {
+			xs := sparseInput(0)
+			b.SetBytes(kernelElems * 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				floatenc.QuantizeSlice(f, xs)
+			}
+		})
+	}
+}
+
+func BenchmarkDPRPackUnpack(b *testing.B) {
+	xs := sparseInput(0)
+	b.SetBytes(kernelElems * 4)
+	for i := 0; i < b.N; i++ {
+		p := floatenc.EncodeSlice(floatenc.FP8, xs)
+		p.DecodeSlice(xs)
+	}
+}
+
+// --- ablation benches ---
+
+// BenchmarkAblationCSRFormats compares the conversion cost of the three
+// sparse formats the paper evaluated before choosing CSR.
+func BenchmarkAblationCSRFormats(b *testing.B) {
+	xs := sparseInput(0.7)
+	b.Run("CSR", func(b *testing.B) {
+		b.SetBytes(kernelElems * 4)
+		for i := 0; i < b.N; i++ {
+			sparse.EncodeCSR(xs).Decode(nil)
+		}
+	})
+	b.Run("ELL", func(b *testing.B) {
+		b.SetBytes(kernelElems * 4)
+		for i := 0; i < b.N; i++ {
+			sparse.EncodeELL(xs).Decode(nil)
+		}
+	})
+	b.Run("COO", func(b *testing.B) {
+		b.SetBytes(kernelElems * 4)
+		for i := 0; i < b.N; i++ {
+			sparse.EncodeCOO(xs).Decode(nil)
+		}
+	})
+}
+
+// BenchmarkAblationNarrowVsWideCSR reports the compression each index
+// width achieves across the sparsity range (bytes reported via the size
+// models; the bench exercises the narrow encoder).
+func BenchmarkAblationNarrowVsWideCSR(b *testing.B) {
+	for _, sp := range []float64{0.2, 0.5, 0.8} {
+		sp := sp
+		b.Run(spName(sp), func(b *testing.B) {
+			xs := sparseInput(sp)
+			var last int64
+			for i := 0; i < b.N; i++ {
+				last = sparse.EncodeCSR(xs).Bytes()
+			}
+			dense := int64(kernelElems * 4)
+			b.ReportMetric(float64(dense)/float64(last), "narrow-ratio")
+			b.ReportMetric(float64(dense)/float64(sparse.CSRWideBytesModel(kernelElems, 4096, sp)), "wide-ratio")
+		})
+	}
+}
+
+func spName(sp float64) string {
+	switch sp {
+	case 0.2:
+		return "sparsity20"
+	case 0.5:
+		return "sparsity50"
+	default:
+		return "sparsity80"
+	}
+}
+
+// BenchmarkAblationAllocators compares the static sharing allocator to the
+// dynamic peak computation on VGG16's buffer set.
+func BenchmarkAblationAllocators(b *testing.B) {
+	g := networks.VGG16(64)
+	tl := gGraph.BuildTimeline(g)
+	bufs := liveness.Analyze(g, tl, liveness.Options{})
+	b.Run("static", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = memplan.PlanStatic(bufs)
+		}
+	})
+	b.Run("dynamic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = memplan.PlanDynamic(bufs)
+		}
+	})
+}
+
+// BenchmarkScheduleBuilder measures a full Gist planning pass at paper
+// scale.
+func BenchmarkScheduleBuilder(b *testing.B) {
+	g := networks.VGG16(64)
+	cfg := gist.LossyLossless(gist.FP16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = gist.MustBuild(gist.Request{Graph: g, Encodings: cfg})
+	}
+}
+
+// BenchmarkTrainStep measures one real minibatch step with and without
+// encodings round-tripping every stash.
+func BenchmarkTrainStep(b *testing.B) {
+	run := func(b *testing.B, withEnc bool) {
+		g := networks.TinyCNN(8, 4)
+		opts := train.Options{Seed: 1}
+		if withEnc {
+			opts.Encodings = encoding.Analyze(g, encoding.LossyLossless(floatenc.FP16))
+		}
+		e := train.NewExecutor(g, opts)
+		d := train.NewDataset(4, 3, 16, 0.4, 2)
+		x, labels := d.Batch(8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Step(x, labels, 0.01)
+		}
+	}
+	b.Run("baseline", func(b *testing.B) { run(b, false) })
+	b.Run("gist", func(b *testing.B) { run(b, true) })
+}

@@ -1,0 +1,55 @@
+// Command gistbench regenerates the paper's tables and figures from the
+// reproduction's substrates: memory figures from the Schedule Builder's
+// static analysis, performance figures from the Titan X cost model and the
+// PCIe swap simulations, and (via -experiment fig12/fig14) scaled training
+// runs on the CPU executor.
+//
+// Usage:
+//
+//	gistbench                     # run every experiment
+//	gistbench -experiment fig8    # run one experiment
+//	gistbench -list               # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gist/internal/experiments"
+)
+
+func main() {
+	experiment := flag.String("experiment", "", "experiment ID (fig1, fig3, table1, fig8..fig17, recompute, workspace, cdma); empty runs all")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+	emit := func(r *experiments.Result) {
+		if *csvOut {
+			if err := r.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "gistbench:", err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Println(r)
+	}
+	if *experiment != "" {
+		run := experiments.Lookup(*experiment)
+		if run == nil {
+			fmt.Fprintf(os.Stderr, "gistbench: unknown experiment %q (try -list)\n", *experiment)
+			os.Exit(1)
+		}
+		emit(run())
+		return
+	}
+	for _, id := range experiments.IDs() {
+		emit(experiments.Lookup(id)())
+	}
+}

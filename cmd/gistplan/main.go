@@ -1,0 +1,135 @@
+// Command gistplan inspects a network through Gist's Schedule Builder: a
+// per-layer table of shapes, stash classification, chosen encoding and
+// compression, plus footprint totals under each configuration. It can also
+// export the execution graph as Graphviz DOT or JSON for external tooling.
+//
+// Usage:
+//
+//	gistplan -network vgg16 -mb 64
+//	gistplan -network alexnet -format fp8
+//	gistplan -network inception -dot > inception.dot
+//	gistplan -network resnet -json > resnet.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gist/internal/core"
+	"gist/internal/costmodel"
+	"gist/internal/encoding"
+	"gist/internal/floatenc"
+	"gist/internal/graph"
+	"gist/internal/networks"
+)
+
+func buildNetwork(name string, mb int) (*graph.Graph, error) {
+	switch strings.ToLower(name) {
+	case "alexnet":
+		return networks.AlexNet(mb), nil
+	case "nin":
+		return networks.NiN(mb), nil
+	case "overfeat":
+		return networks.Overfeat(mb), nil
+	case "vgg16":
+		return networks.VGG16(mb), nil
+	case "inception":
+		return networks.Inception(mb), nil
+	case "resnet", "resnet50":
+		return networks.ResNet50(mb), nil
+	case "tinycnn":
+		return networks.TinyCNN(mb, 10), nil
+	case "tinyvgg":
+		return networks.TinyVGG(mb, 10), nil
+	}
+	return nil, fmt.Errorf("unknown network %q (alexnet, nin, overfeat, vgg16, inception, resnet, tinycnn, tinyvgg)", name)
+}
+
+func parseFormat(s string) (floatenc.Format, error) {
+	switch strings.ToLower(s) {
+	case "fp32", "":
+		return floatenc.FP32, nil
+	case "fp16":
+		return floatenc.FP16, nil
+	case "fp10":
+		return floatenc.FP10, nil
+	case "fp8":
+		return floatenc.FP8, nil
+	}
+	return 0, fmt.Errorf("unknown format %q (fp32, fp16, fp10, fp8)", s)
+}
+
+func main() {
+	network := flag.String("network", "vgg16", "network to plan")
+	mb := flag.Int("mb", 64, "minibatch size")
+	format := flag.String("format", "fp16", "DPR format (fp32 disables DPR)")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of the plan table")
+	jsonOut := flag.Bool("json", false, "emit the graph as JSON instead of the plan table")
+	trace := flag.String("trace", "", "render the lifetime timeline (Figure 2) of the named layer")
+	flag.Parse()
+
+	g, err := buildNetwork(*network, *mb)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gistplan:", err)
+		os.Exit(1)
+	}
+	if *dot {
+		if err := g.WriteDOT(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "gistplan:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *jsonOut {
+		if err := g.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "gistplan:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	f, err := parseFormat(*format)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gistplan:", err)
+		os.Exit(1)
+	}
+	cfg := encoding.Lossless()
+	if f != floatenc.FP32 {
+		cfg = encoding.LossyLossless(f)
+	}
+	if *trace != "" {
+		if err := traceLifetimes(os.Stdout, g, *trace, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "gistplan:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	base := core.MustBuild(core.Request{Graph: g})
+	plan := core.MustBuild(core.Request{Graph: g, Encodings: cfg})
+
+	fmt.Printf("%s, minibatch %d: %d nodes, %.1fM parameters\n\n",
+		*network, *mb, len(g.Nodes), float64(g.WeightBytes())/4e6)
+	fmt.Printf("%-12s %-10s %-18s %-9s %10s %10s\n",
+		"layer", "kind", "output", "encoding", "fp32", "encoded")
+	for _, n := range g.Nodes {
+		as := plan.Analysis.ByNode[n.ID]
+		if as == nil && !graph.OutputStashed(n) {
+			continue // immediates are uninteresting here
+		}
+		tech, enc := "stash", fmt.Sprintf("%10d", n.OutShape.Bytes())
+		if as != nil {
+			tech = as.Tech.String()
+			enc = fmt.Sprintf("%10d", as.EncodedBytes)
+		}
+		fmt.Printf("%-12s %-10s %-18v %-9s %10d %s\n",
+			n.Name, n.Kind(), n.OutShape, tech, n.OutShape.Bytes(), enc)
+	}
+
+	d := costmodel.TitanX()
+	ov := costmodel.Overhead(base.StepTime(d), plan.StepTime(d))
+	fmt.Printf("\nbaseline footprint: %8.1f MB\n", float64(base.TotalBytes)/1e6)
+	fmt.Printf("gist footprint:     %8.1f MB  (MFR %.2fx, modeled overhead %.1f%%)\n",
+		float64(plan.TotalBytes)/1e6, plan.MFR(base), 100*ov)
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"gist/internal/encoding"
+	"gist/internal/floatenc"
+)
+
+func TestBuildNetworkNames(t *testing.T) {
+	for _, name := range []string{"alexnet", "NiN", "overfeat", "VGG16",
+		"inception", "resnet", "resnet50", "tinycnn", "tinyvgg"} {
+		g, err := buildNetwork(name, 2)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := buildNetwork("nope", 2); err == nil {
+		t.Error("unknown network must error")
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	cases := map[string]floatenc.Format{
+		"fp32": floatenc.FP32, "": floatenc.FP32,
+		"FP16": floatenc.FP16, "fp10": floatenc.FP10, "fp8": floatenc.FP8,
+	}
+	for in, want := range cases {
+		got, err := parseFormat(in)
+		if err != nil || got != want {
+			t.Errorf("parseFormat(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseFormat("fp64"); err == nil {
+		t.Error("unknown format must error")
+	}
+}
+
+func TestTraceLifetimes(t *testing.T) {
+	g, _ := buildNetwork("tinycnn", 4)
+	var buf strings.Builder
+	if err := traceLifetimes(&buf, g, "relu2", encoding.LossyLossless(floatenc.FP8)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"baseline lifetimes", "gist lifetimes",
+		"encoded stash", "immediately consumed"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q", want)
+		}
+	}
+	if err := traceLifetimes(&buf, g, "nope", encoding.Lossless()); err == nil {
+		t.Error("unknown layer must error")
+	}
+}

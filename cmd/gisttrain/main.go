@@ -1,0 +1,61 @@
+// Command gisttrain runs the paper's training experiments at configurable
+// scale: the Figure 12 accuracy comparison (FP32 vs immediate reduction vs
+// Gist's delayed precision reduction) and the Figure 14 SSDC sparsity
+// study, both on real CPU training of reduced networks over the synthetic
+// dataset.
+//
+// Usage:
+//
+//	gisttrain -experiment fig12 -steps 400
+//	gisttrain -experiment fig14 -steps 120 -probe 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gist/internal/experiments"
+)
+
+func main() {
+	experiment := flag.String("experiment", "fig12", "fig12 or fig14")
+	steps := flag.Int("steps", 0, "training steps (0 = default scale)")
+	probe := flag.Int("probe", 0, "probe interval in steps (fig14; 0 = default)")
+	minibatch := flag.Int("mb", 0, "minibatch size (0 = default)")
+	seed := flag.Uint64("seed", 0, "RNG seed (0 = default)")
+	flag.Parse()
+
+	switch *experiment {
+	case "fig12":
+		s := experiments.DefaultTrainScale()
+		if *steps > 0 {
+			s.Steps = *steps
+		}
+		if *minibatch > 0 {
+			s.Minibatch = *minibatch
+		}
+		if *seed != 0 {
+			s.Seed = *seed
+		}
+		fmt.Println(experiments.Fig12(s))
+	case "fig14":
+		s := experiments.DefaultSparsityScale()
+		if *steps > 0 {
+			s.Steps = *steps
+		}
+		if *probe > 0 {
+			s.ProbeEvery = *probe
+		}
+		if *minibatch > 0 {
+			s.Minibatch = *minibatch
+		}
+		if *seed != 0 {
+			s.Seed = *seed
+		}
+		fmt.Println(experiments.Fig14(s))
+	default:
+		fmt.Fprintf(os.Stderr, "gisttrain: unknown experiment %q (fig12 or fig14)\n", *experiment)
+		os.Exit(1)
+	}
+}

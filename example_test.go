@@ -1,0 +1,56 @@
+package gist_test
+
+import (
+	"fmt"
+
+	"gist"
+	"gist/internal/layers"
+)
+
+// ExampleBuild plans a tiny network under the baseline and the full Gist
+// configuration and prints the footprint ratio.
+func ExampleBuild() {
+	g := gist.NewGraph()
+	in := g.MustAdd("input", layers.NewInput(8, 3, 32, 32))
+	c1 := g.MustAdd("conv1", layers.NewConv2D(16, 3, 1, 1), in)
+	r1 := g.MustAdd("relu1", layers.NewReLU(), c1)
+	p1 := g.MustAdd("pool1", layers.NewMaxPool(2, 2, 0), r1)
+	fc := g.MustAdd("fc", layers.NewFC(10), p1)
+	g.MustAdd("loss", layers.NewSoftmaxXent(), fc)
+
+	base := gist.MustBuild(gist.Request{Graph: g})
+	plan := gist.MustBuild(gist.Request{
+		Graph:     g,
+		Encodings: gist.LossyLossless(gist.FP8),
+	})
+	fmt.Printf("MFR %.1fx\n", plan.MFR(base))
+	// Output: MFR 2.4x
+}
+
+// ExampleLossless shows the technique assignment of the lossless
+// configuration on a ReLU-Pool pair.
+func ExampleLossless() {
+	g := gist.NewGraph()
+	in := g.MustAdd("input", layers.NewInput(4, 3, 16, 16))
+	c1 := g.MustAdd("conv1", layers.NewConv2D(8, 3, 1, 1), in)
+	r1 := g.MustAdd("relu1", layers.NewReLU(), c1)
+	p1 := g.MustAdd("pool1", layers.NewMaxPool(2, 2, 0), r1)
+	fc := g.MustAdd("fc", layers.NewFC(4), p1)
+	g.MustAdd("loss", layers.NewSoftmaxXent(), fc)
+
+	plan := gist.MustBuild(gist.Request{Graph: g, Encodings: gist.Lossless()})
+	as := plan.Analysis.ByNode[r1.ID]
+	fmt.Printf("%s: %v, %.0fx\n", r1.Name, as.Tech, as.CompressionRatio())
+	// Output: relu1: Binarize, 32x
+}
+
+// ExampleLargestFittingMinibatch reproduces the Figure 16 mechanism on a
+// small ResNet: Gist's smaller footprint admits a larger minibatch.
+func ExampleLargestFittingMinibatch() {
+	d := gist.TitanX()
+	build := func(mb int) *gist.Graph { return gist.ResNetCIFAR(mb, 20) }
+	base := gist.LargestFittingMinibatch(d, build, gist.Config{}, 1<<20)
+	withGist := gist.LargestFittingMinibatch(d, build, gist.LossyLossless(gist.FP10), 1<<20)
+	fmt.Println(withGist > base)
+	// Output: true
+}

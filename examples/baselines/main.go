@@ -1,0 +1,68 @@
+// baselines puts every memory-reduction approach the paper discusses side
+// by side on one network: the in-memory baseline, checkpoint-and-recompute
+// (Section II-B), naive CPU-GPU swapping, vDNN prefetching, CDMA compressed
+// transfers, and Gist — footprint vs performance overhead.
+package main
+
+import (
+	"fmt"
+
+	"gist/internal/core"
+	"gist/internal/costmodel"
+	"gist/internal/encoding"
+	"gist/internal/floatenc"
+	"gist/internal/graph"
+	"gist/internal/networks"
+	"gist/internal/recompute"
+	"gist/internal/swap"
+)
+
+func main() {
+	g := networks.VGG16(64)
+	d := costmodel.TitanX()
+	tl := graph.BuildTimeline(g)
+	base := core.MustBuild(core.Request{Graph: g})
+	baseTime := d.StepTime(g)
+
+	fmt.Println("VGG16, minibatch 64 — memory footprint vs performance overhead")
+	fmt.Printf("%-28s %12s %8s %10s\n", "approach", "footprint", "MFR", "overhead")
+	row := func(name string, bytes int64, t float64) {
+		fmt.Printf("%-28s %9.2f GB %7.2fx %9.1f%%\n", name,
+			float64(bytes)/1e9, float64(base.TotalBytes)/float64(bytes),
+			100*costmodel.Overhead(baseTime, t))
+	}
+
+	row("baseline (in-memory)", base.TotalBytes, baseTime)
+
+	rc := recompute.Optimize(g)
+	row("checkpoint + recompute", rc.FootprintBytes(), baseTime*(1+rc.TimeOverhead(d)))
+
+	// Swapping approaches keep only the transient working set on device;
+	// model their resident footprint as the baseline minus the stashes
+	// they evict (the paper's framing: the data lives in host memory).
+	var stashedBytes int64
+	for _, n := range g.Nodes {
+		if graph.OutputStashed(n) {
+			stashedBytes += n.OutShape.Bytes()
+		}
+	}
+	swapFootprint := base.TotalBytes - stashedBytes
+	if swapFootprint < 0 {
+		swapFootprint = base.TotalBytes / 10
+	}
+	row("naive swap", swapFootprint, swap.NaiveStepTime(d, g, tl))
+	row("vDNN (prefetch)", swapFootprint, swap.VDNNStepTime(d, g, tl))
+	row("CDMA (compressed vDNN)", swapFootprint, swap.CDMAStepTime(d, g, tl, nil))
+
+	lossless := core.MustBuild(core.Request{Graph: g, Encodings: encoding.Lossless()})
+	row("Gist lossless", lossless.TotalBytes, lossless.StepTime(d))
+
+	gist := core.MustBuild(core.Request{Graph: g, Encodings: encoding.LossyLossless(floatenc.FP16)})
+	row("Gist lossless+DPR(FP16)", gist.TotalBytes, gist.StepTime(d))
+
+	fmt.Println("\n(vDNN hides VGG16's transfers behind its heavy convolutions, but")
+	fmt.Println(" stalls hard on transfer-bound networks — try Inception or ResNet in")
+	fmt.Println(" `gistbench -experiment fig15` — and it monopolizes PCIe, which")
+	fmt.Println(" distributed training needs; Gist reduces memory on-device with")
+	fmt.Println(" single-digit overhead everywhere)")
+}

@@ -1,0 +1,39 @@
+// resnetminibatch reproduces the paper's machine-learning-trend study
+// (Figure 16) interactively: for progressively deeper residual networks,
+// find the largest minibatch that fits a 12 GB device with and without
+// Gist, and show the training speedup that better GPU utilization at the
+// larger minibatch buys.
+package main
+
+import (
+	"fmt"
+
+	"gist/internal/core"
+	"gist/internal/costmodel"
+	"gist/internal/encoding"
+	"gist/internal/floatenc"
+	"gist/internal/graph"
+	"gist/internal/networks"
+)
+
+func main() {
+	d := costmodel.TitanX()
+	cfg := encoding.LossyLossless(floatenc.FP10)
+
+	fmt.Printf("device: %s (%.0f GB)\n\n", d.Name, float64(d.MemoryBytes)/1e9)
+	fmt.Printf("%-12s %10s %10s %10s %10s\n",
+		"network", "mb (base)", "mb (gist)", "util gain", "speedup")
+	for _, depth := range []int{110, 509, 851, 1202} {
+		depth := depth
+		build := func(mb int) *graph.Graph { return networks.ResNetCIFAR(mb, depth) }
+		baseMB := core.LargestFittingMinibatch(d, build, encoding.Config{}, 4096)
+		gistMB := core.LargestFittingMinibatch(d, build, cfg, 4096)
+		effBase := costmodel.UtilizationEff(baseMB)
+		effGist := costmodel.UtilizationEff(gistMB)
+		speedup := costmodel.ThroughputSpeedup(baseMB, gistMB)
+		fmt.Printf("ResNet-%-5d %10d %10d %4.0f%%->%3.0f%% %9.0f%%\n",
+			depth, baseMB, gistMB, 100*effBase, 100*effGist, 100*(speedup-1))
+	}
+	fmt.Println("\n(deeper networks leave less room for the minibatch, so Gist's")
+	fmt.Println(" footprint reduction converts directly into throughput)")
+}

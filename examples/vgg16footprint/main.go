@@ -1,0 +1,57 @@
+// vgg16footprint plans VGG16 at the paper's full ImageNet shapes and
+// minibatch 64 — the workload the paper's introduction motivates (VGG16
+// barely fits a 12 GB Titan X) — and walks through how each Gist
+// configuration changes the footprint.
+package main
+
+import (
+	"fmt"
+
+	"gist/internal/core"
+	"gist/internal/costmodel"
+	"gist/internal/encoding"
+	"gist/internal/floatenc"
+	"gist/internal/graph"
+	"gist/internal/networks"
+)
+
+func main() {
+	g := networks.VGG16(64)
+	d := costmodel.TitanX()
+
+	fmt.Printf("VGG16, minibatch 64, %d nodes, %.1fM parameters\n\n",
+		len(g.Nodes), float64(g.WeightBytes())/4e6)
+
+	full := core.MustBuild(core.Request{
+		Graph: g, IncludeWeights: true, IncludeWorkspace: true,
+	})
+	fmt.Println("full breakdown (post-sharing, the paper's Figure 1 view):")
+	for _, class := range []graph.BufferClass{
+		graph.ClassWeights, graph.ClassWeightGrads, graph.ClassStashedFmap,
+		graph.ClassImmediateFmap, graph.ClassGradientMap, graph.ClassWorkspace,
+	} {
+		fmt.Printf("  %-24s %7.2f GB\n", class, float64(full.Static.ByClass[class])/1e9)
+	}
+	fmt.Printf("  %-24s %7.2f GB (device: %.0f GB)\n\n", "total",
+		float64(full.Static.TotalBytes)/1e9, float64(d.MemoryBytes)/1e9)
+
+	base := core.MustBuild(core.Request{Graph: g})
+	configs := []struct {
+		name string
+		cfg  encoding.Config
+	}{
+		{"Binarize only", encoding.Config{Binarize: true}},
+		{"SSDC only", encoding.Config{SSDC: true, FCIsConvLike: true}},
+		{"lossless (both + inplace)", encoding.Lossless()},
+		{"+ DPR FP16 (accuracy-safe)", encoding.LossyLossless(floatenc.FP16)},
+	}
+	fmt.Println("Gist configurations (vs CNTK baseline, stashed+immediate only):")
+	fmt.Printf("  %-28s %10s %8s %10s\n", "configuration", "footprint", "MFR", "overhead")
+	baseTime := base.StepTime(d)
+	for _, c := range configs {
+		p := core.MustBuild(core.Request{Graph: g, Encodings: c.cfg})
+		ov := costmodel.Overhead(baseTime, p.StepTime(d))
+		fmt.Printf("  %-28s %7.2f GB %7.2fx %9.1f%%\n",
+			c.name, float64(p.TotalBytes)/1e9, p.MFR(base), 100*ov)
+	}
+}

@@ -1,0 +1,72 @@
+package gist_test
+
+// Tests of the public facade: the API a downstream user sees.
+
+import (
+	"testing"
+
+	"gist"
+	"gist/internal/layers"
+)
+
+func TestFacadeVGG16Planning(t *testing.T) {
+	g := gist.VGG16(16)
+	base, err := gist.Build(gist.Request{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := gist.MustBuild(gist.Request{
+		Graph:     g,
+		Encodings: gist.LossyLossless(gist.FP16),
+	})
+	if mfr := plan.MFR(base); mfr <= 1.2 {
+		t.Fatalf("facade MFR = %v", mfr)
+	}
+}
+
+func TestFacadeGraphBuilding(t *testing.T) {
+	g := gist.NewGraph()
+	in := g.MustAdd("in", layers.NewInput(2, 3, 16, 16))
+	c := g.MustAdd("conv", layers.NewConv2D(4, 3, 1, 1), in)
+	r := g.MustAdd("relu", layers.NewReLU(), c)
+	fc := g.MustAdd("fc", layers.NewFC(4), r)
+	g.MustAdd("loss", layers.NewSoftmaxXent(), fc)
+	plan := gist.MustBuild(gist.Request{Graph: g, Encodings: gist.Lossless()})
+	if plan.TotalBytes <= 0 {
+		t.Fatal("empty plan")
+	}
+}
+
+func TestFacadeDeviceAndMinibatchSearch(t *testing.T) {
+	d := gist.TitanX()
+	if d.MemoryBytes != 12<<30 {
+		t.Fatal("TitanX should be 12 GB")
+	}
+	build := func(mb int) *gist.Graph { return gist.ResNetCIFAR(mb, 20) }
+	base := gist.LargestFittingMinibatch(d, build, gist.Config{}, 8192)
+	withGist := gist.LargestFittingMinibatch(d, build, gist.LossyLossless(gist.FP10), 8192)
+	if withGist < base {
+		t.Fatalf("gist minibatch %d below baseline %d", withGist, base)
+	}
+}
+
+func TestFacadeAllocationModes(t *testing.T) {
+	g := gist.AlexNet(8)
+	static := gist.MustBuild(gist.Request{Graph: g, Allocation: gist.StaticAllocation})
+	dynamic := gist.MustBuild(gist.Request{Graph: g, Allocation: gist.DynamicAllocation})
+	if dynamic.TotalBytes > static.TotalBytes {
+		t.Fatal("dynamic must not exceed static")
+	}
+}
+
+func TestFacadeNetworkBuilders(t *testing.T) {
+	for name, build := range map[string]func(int) *gist.Graph{
+		"AlexNet": gist.AlexNet, "NiN": gist.NiN, "Overfeat": gist.Overfeat,
+		"VGG16": gist.VGG16, "Inception": gist.Inception, "ResNet50": gist.ResNet50,
+	} {
+		g := build(2)
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

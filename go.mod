@@ -1,0 +1,3 @@
+module gist
+
+go 1.22

@@ -1,0 +1,129 @@
+// Package bitpack provides the dense sub-byte containers behind Gist's
+// Binarize encoding: a 1-bit-per-element mask (the "was this ReLU output
+// positive?" bit that replaces a 32-bit feature-map value, a 32x
+// compression) and a 4-bit-per-element nibble array (the MaxPool
+// output-to-input argmax map; 4 bits cover windows up to 4x4, and the
+// largest window in the paper's application suite is 3x3, an 8x
+// compression over a stashed FP32 pool output).
+package bitpack
+
+import "fmt"
+
+// BitMask stores n boolean values packed 64 per word.
+type BitMask struct {
+	n     int
+	words []uint64
+}
+
+// NewBitMask allocates an all-false mask of n bits.
+func NewBitMask(n int) *BitMask {
+	return &BitMask{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// FromPositive builds the Binarize mask of a feature map: bit i is set iff
+// xs[i] > 0, which is exactly the predicate the ReLU backward pass needs.
+func FromPositive(xs []float32) *BitMask {
+	m := NewBitMask(len(xs))
+	for i, v := range xs {
+		if v > 0 {
+			m.words[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	return m
+}
+
+// Len returns the number of bits in the mask.
+func (m *BitMask) Len() int { return m.n }
+
+// Bytes returns the storage footprint of the packed mask.
+func (m *BitMask) Bytes() int64 { return int64(len(m.words)) * 8 }
+
+// Get returns bit i.
+func (m *BitMask) Get(i int) bool {
+	m.check(i)
+	return m.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set assigns bit i.
+func (m *BitMask) Set(i int, v bool) {
+	m.check(i)
+	if v {
+		m.words[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		m.words[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+func (m *BitMask) check(i int) {
+	if i < 0 || i >= m.n {
+		panic(fmt.Sprintf("bitpack: index %d out of range [0,%d)", i, m.n))
+	}
+}
+
+// PopCount returns the number of set bits.
+func (m *BitMask) PopCount() int {
+	c := 0
+	for _, w := range m.words {
+		for ; w != 0; w &= w - 1 {
+			c++
+		}
+	}
+	return c
+}
+
+// ApplyGate writes dx[i] = dy[i] where bit i is set and 0 elsewhere: the
+// ReLU backward pass computed directly on the Binarize-encoded mask. dx and
+// dy must have length Len().
+func (m *BitMask) ApplyGate(dx, dy []float32) {
+	if len(dx) != m.n || len(dy) != m.n {
+		panic("bitpack: ApplyGate length mismatch")
+	}
+	for i := range dy {
+		if m.words[i>>6]&(1<<(uint(i)&63)) != 0 {
+			dx[i] = dy[i]
+		} else {
+			dx[i] = 0
+		}
+	}
+}
+
+// NibbleArray stores n values of 4 bits each (range 0-15), packed 8 per
+// 32-bit word. MaxPool's Y-to-X argmax map stores the within-window index of
+// each window's maximum here.
+type NibbleArray struct {
+	n     int
+	words []uint32
+}
+
+// NewNibbleArray allocates an all-zero array of n nibbles.
+func NewNibbleArray(n int) *NibbleArray {
+	return &NibbleArray{n: n, words: make([]uint32, (n+7)/8)}
+}
+
+// Len returns the number of nibbles.
+func (a *NibbleArray) Len() int { return a.n }
+
+// Bytes returns the storage footprint of the packed array.
+func (a *NibbleArray) Bytes() int64 { return int64(len(a.words)) * 4 }
+
+// Get returns nibble i.
+func (a *NibbleArray) Get(i int) uint8 {
+	a.check(i)
+	return uint8(a.words[i>>3] >> ((uint(i) & 7) * 4) & 0xf)
+}
+
+// Set assigns nibble i. It panics if v does not fit in 4 bits.
+func (a *NibbleArray) Set(i int, v uint8) {
+	a.check(i)
+	if v > 15 {
+		panic(fmt.Sprintf("bitpack: nibble value %d out of range", v))
+	}
+	shift := (uint(i) & 7) * 4
+	a.words[i>>3] = a.words[i>>3]&^(0xf<<shift) | uint32(v)<<shift
+}
+
+func (a *NibbleArray) check(i int) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("bitpack: index %d out of range [0,%d)", i, a.n))
+	}
+}

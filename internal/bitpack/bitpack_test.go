@@ -1,0 +1,241 @@
+package bitpack
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitMaskSetGet(t *testing.T) {
+	m := NewBitMask(130) // spans three words
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if m.Get(i) {
+			t.Fatalf("bit %d should start clear", i)
+		}
+		m.Set(i, true)
+		if !m.Get(i) {
+			t.Fatalf("bit %d should be set", i)
+		}
+	}
+	m.Set(64, false)
+	if m.Get(64) {
+		t.Fatal("bit 64 should be clear again")
+	}
+	if m.Get(65) != true || m.Get(63) != true {
+		t.Fatal("clearing bit 64 must not disturb neighbors")
+	}
+}
+
+func TestBitMaskLenAndBytes(t *testing.T) {
+	cases := []struct {
+		n     int
+		bytes int64
+	}{{0, 0}, {1, 8}, {64, 8}, {65, 16}, {1000, 128}}
+	for _, c := range cases {
+		m := NewBitMask(c.n)
+		if m.Len() != c.n {
+			t.Errorf("Len(%d) = %d", c.n, m.Len())
+		}
+		if m.Bytes() != c.bytes {
+			t.Errorf("Bytes(%d) = %d, want %d", c.n, m.Bytes(), c.bytes)
+		}
+	}
+}
+
+func TestBitMaskOutOfRangePanics(t *testing.T) {
+	m := NewBitMask(10)
+	for _, i := range []int{-1, 10} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Get(%d) should panic", i)
+				}
+			}()
+			m.Get(i)
+		}()
+	}
+}
+
+func TestFromPositive(t *testing.T) {
+	xs := []float32{1, 0, -1, 0.001, -0.001, 0, 2}
+	m := FromPositive(xs)
+	want := []bool{true, false, false, true, false, false, true}
+	for i, w := range want {
+		if m.Get(i) != w {
+			t.Errorf("bit %d = %v, want %v", i, m.Get(i), w)
+		}
+	}
+	if m.PopCount() != 3 {
+		t.Errorf("PopCount = %d, want 3", m.PopCount())
+	}
+}
+
+func TestApplyGateMatchesReLUBackward(t *testing.T) {
+	// The gate over the binarized mask must be exactly the reference ReLU
+	// backward pass: dX = dY where Y > 0 else 0.
+	y := []float32{3, 0, -2, 5, 0, 1}
+	dy := []float32{10, 20, 30, 40, 50, 60}
+	m := FromPositive(y)
+	dx := make([]float32, len(y))
+	m.ApplyGate(dx, dy)
+	want := []float32{10, 0, 0, 40, 0, 60}
+	for i := range want {
+		if dx[i] != want[i] {
+			t.Errorf("dx[%d] = %v, want %v", i, dx[i], want[i])
+		}
+	}
+}
+
+func TestApplyGateOverwritesStaleValues(t *testing.T) {
+	m := FromPositive([]float32{0, 1})
+	dx := []float32{99, 99}
+	m.ApplyGate(dx, []float32{5, 6})
+	if dx[0] != 0 || dx[1] != 6 {
+		t.Fatalf("dx = %v, want [0 6]", dx)
+	}
+}
+
+func TestApplyGateLengthMismatchPanics(t *testing.T) {
+	m := NewBitMask(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.ApplyGate(make([]float32, 3), make([]float32, 4))
+}
+
+func TestBitMaskCompressionRatio(t *testing.T) {
+	// 32x: a mask over n FP32 values is n/8 bytes (+ padding) vs 4n bytes.
+	const n = 1 << 20
+	m := NewBitMask(n)
+	fp32 := int64(n) * 4
+	ratio := float64(fp32) / float64(m.Bytes())
+	if ratio != 32 {
+		t.Errorf("compression ratio = %v, want 32", ratio)
+	}
+}
+
+func TestNibbleArraySetGet(t *testing.T) {
+	a := NewNibbleArray(20)
+	for i := 0; i < 20; i++ {
+		a.Set(i, uint8(i%16))
+	}
+	for i := 0; i < 20; i++ {
+		if got := a.Get(i); got != uint8(i%16) {
+			t.Errorf("nibble %d = %d, want %d", i, got, i%16)
+		}
+	}
+	// Overwrite must not disturb neighbors.
+	a.Set(5, 9)
+	if a.Get(4) != 4 || a.Get(6) != 6 || a.Get(5) != 9 {
+		t.Error("Set disturbed neighboring nibbles")
+	}
+}
+
+func TestNibbleArrayBytes(t *testing.T) {
+	cases := []struct {
+		n     int
+		bytes int64
+	}{{0, 0}, {1, 4}, {8, 4}, {9, 8}, {1024, 512}}
+	for _, c := range cases {
+		a := NewNibbleArray(c.n)
+		if a.Bytes() != c.bytes {
+			t.Errorf("Bytes(%d) = %d, want %d", c.n, a.Bytes(), c.bytes)
+		}
+	}
+}
+
+func TestNibbleArrayCompressionRatio(t *testing.T) {
+	// 8x vs FP32: 4 bits vs 32 bits per element.
+	const n = 1 << 16
+	a := NewNibbleArray(n)
+	if got := float64(int64(n)*4) / float64(a.Bytes()); got != 8 {
+		t.Errorf("compression ratio = %v, want 8", got)
+	}
+}
+
+func TestNibbleValueRangePanics(t *testing.T) {
+	a := NewNibbleArray(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for value > 15")
+		}
+	}()
+	a.Set(0, 16)
+}
+
+func TestNibbleIndexPanics(t *testing.T) {
+	a := NewNibbleArray(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	a.Get(4)
+}
+
+func TestPropertyMaskRoundTrip(t *testing.T) {
+	f := func(bools []bool) bool {
+		m := NewBitMask(len(bools))
+		for i, b := range bools {
+			m.Set(i, b)
+		}
+		for i, b := range bools {
+			if m.Get(i) != b {
+				return false
+			}
+		}
+		pop := 0
+		for _, b := range bools {
+			if b {
+				pop++
+			}
+		}
+		return m.PopCount() == pop
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyNibbleRoundTrip(t *testing.T) {
+	f := func(vals []uint8) bool {
+		a := NewNibbleArray(len(vals))
+		for i, v := range vals {
+			a.Set(i, v%16)
+		}
+		for i, v := range vals {
+			if a.Get(i) != v%16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyGateEquivalence(t *testing.T) {
+	// FromPositive + ApplyGate must equal the dense reference for any input.
+	f := func(ys, dys []float32) bool {
+		n := min(len(ys), len(dys))
+		y, dy := ys[:n], dys[:n]
+		m := FromPositive(y)
+		dx := make([]float32, n)
+		m.ApplyGate(dx, dy)
+		for i := 0; i < n; i++ {
+			want := float32(0)
+			if y[i] > 0 {
+				want = dy[i]
+			}
+			if dx[i] != want && !(dx[i] != dx[i] && want != want) { // NaN==NaN escape
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package core
+
+// Convolution algorithm selection under a workspace budget. The paper's
+// Section II observes that cuDNN trades workspace for speed per layer and
+// that its baseline runs memory-optimal; the memory Gist frees is exactly
+// what lets a framework flip convolutions to their performance-optimal
+// algorithms. SelectConvAlgos makes that decision the way a framework
+// would: greedily, by speedup gained per workspace byte spent.
+
+import (
+	"sort"
+
+	"gist/internal/costmodel"
+	"gist/internal/graph"
+	"gist/internal/layers"
+	"gist/internal/liveness"
+)
+
+// AlgoChoice records the selection for one convolution.
+type AlgoChoice struct {
+	Node *graph.Node
+	// Workspace is the im2col column-matrix size the choice costs.
+	Workspace int64
+	// Saving is the modeled step-time saving of the fast algorithm.
+	Saving float64
+	// Selected reports whether the layer was flipped to im2col.
+	Selected bool
+}
+
+// SelectConvAlgos chooses, within the given total workspace budget, which
+// convolutions run the performance-optimal im2col algorithm. It mutates
+// the graph's Conv2D ops (setting Algo) and returns the per-layer
+// decisions; callers can restore with ResetConvAlgos. Selection is greedy
+// by saving per workspace byte, which is optimal for this fractional-knapsack-
+// shaped problem up to the last item.
+func SelectConvAlgos(d costmodel.Device, g *graph.Graph, budget int64) []AlgoChoice {
+	var choices []AlgoChoice
+	for _, n := range g.Nodes {
+		conv, ok := n.Op.(*layers.Conv2D)
+		if !ok {
+			continue
+		}
+		ws := liveness.PerformanceOptimalWorkspace(n)
+		prev := conv.Algo
+		conv.Algo = layers.AlgoDirect
+		slow := d.ForwardTime(n) + d.BackwardTime(n)
+		conv.Algo = layers.AlgoIm2col
+		fast := d.ForwardTime(n) + d.BackwardTime(n)
+		conv.Algo = prev
+		choices = append(choices, AlgoChoice{
+			Node: n, Workspace: ws, Saving: slow - fast,
+		})
+	}
+	// Zero-workspace wins (1x1 convolutions) are free: take them all.
+	// Then spend the budget best-first.
+	sort.SliceStable(choices, func(i, j int) bool {
+		ci, cj := choices[i], choices[j]
+		if (ci.Workspace == 0) != (cj.Workspace == 0) {
+			return ci.Workspace == 0
+		}
+		if ci.Workspace == 0 {
+			return ci.Saving > cj.Saving
+		}
+		return ci.Saving/float64(ci.Workspace) > cj.Saving/float64(cj.Workspace)
+	})
+	spent := int64(0)
+	for i := range choices {
+		c := &choices[i]
+		if c.Saving <= 0 {
+			continue
+		}
+		if c.Workspace == 0 || spent+c.Workspace <= budget {
+			c.Node.Op.(*layers.Conv2D).Algo = layers.AlgoIm2col
+			c.Selected = true
+			spent += c.Workspace
+		}
+	}
+	return choices
+}
+
+// ResetConvAlgos returns every convolution in the graph to the
+// memory-optimal direct algorithm.
+func ResetConvAlgos(g *graph.Graph) {
+	for _, n := range g.Nodes {
+		if conv, ok := n.Op.(*layers.Conv2D); ok {
+			conv.Algo = layers.AlgoDirect
+		}
+	}
+}
+
+// SpeedupUnderBudget runs the selection and reports the modeled step-time
+// speedup it buys, restoring the graph afterwards.
+func SpeedupUnderBudget(d costmodel.Device, g *graph.Graph, budget int64) float64 {
+	ResetConvAlgos(g)
+	before := d.StepTime(g)
+	SelectConvAlgos(d, g, budget)
+	after := d.StepTime(g)
+	ResetConvAlgos(g)
+	if after == 0 {
+		return 1
+	}
+	return before / after
+}

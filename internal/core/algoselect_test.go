@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"gist/internal/costmodel"
+	"gist/internal/encoding"
+	"gist/internal/floatenc"
+	"gist/internal/layers"
+	"gist/internal/liveness"
+	"gist/internal/networks"
+)
+
+func TestSelectConvAlgosRespectsBudget(t *testing.T) {
+	d := costmodel.TitanX()
+	g := networks.VGG16(8)
+	defer ResetConvAlgos(g)
+	const budget = 32 << 20
+	choices := SelectConvAlgos(d, g, budget)
+	var spent int64
+	for _, c := range choices {
+		if c.Selected {
+			spent += c.Workspace
+		}
+	}
+	if spent > budget {
+		t.Fatalf("spent %d exceeds budget %d", spent, budget)
+	}
+	if spent == 0 {
+		t.Fatal("budget unspent: selection did nothing")
+	}
+}
+
+func TestSelectConvAlgosZeroBudgetTakesOnlyFreeWins(t *testing.T) {
+	d := costmodel.TitanX()
+	g := networks.NiN(8) // plenty of 1x1 convolutions (zero workspace)
+	defer ResetConvAlgos(g)
+	choices := SelectConvAlgos(d, g, 0)
+	for _, c := range choices {
+		if c.Selected && c.Workspace > 0 {
+			t.Fatalf("zero budget selected %s with workspace %d", c.Node.Name, c.Workspace)
+		}
+	}
+	free := 0
+	for _, c := range choices {
+		if c.Selected && c.Workspace == 0 {
+			free++
+		}
+	}
+	if free == 0 {
+		t.Fatal("1x1 convolutions should be free wins")
+	}
+}
+
+func TestSpeedupGrowsWithBudget(t *testing.T) {
+	d := costmodel.TitanX()
+	g := networks.VGG16(8)
+	s0 := SpeedupUnderBudget(d, g, 0)
+	sSmall := SpeedupUnderBudget(d, g, 8<<20)
+	sBig := SpeedupUnderBudget(d, g, 1<<30)
+	if s0 < 1 || sSmall < s0-1e-9 || sBig < sSmall-1e-9 {
+		t.Fatalf("speedups must be monotone in budget: %v, %v, %v", s0, sSmall, sBig)
+	}
+	if sBig < 1.2 {
+		t.Fatalf("unbounded budget should buy a real speedup, got %v", sBig)
+	}
+}
+
+func TestResetConvAlgos(t *testing.T) {
+	d := costmodel.TitanX()
+	g := networks.AlexNet(4)
+	SelectConvAlgos(d, g, 1<<30)
+	ResetConvAlgos(g)
+	for _, n := range g.Nodes {
+		if conv, ok := n.Op.(*layers.Conv2D); ok && conv.Algo != layers.AlgoDirect {
+			t.Fatal("reset must restore the direct algorithm")
+		}
+	}
+}
+
+func TestGistFreedMemoryFundsFasterConvolutions(t *testing.T) {
+	// The end-to-end story: the bytes Gist saves become workspace budget
+	// for the fast algorithms, buying a net speedup over the baseline
+	// even after Gist's own encode/decode overhead.
+	d := costmodel.TitanX()
+	g := networks.VGG16(16)
+	defer ResetConvAlgos(g)
+	base := MustBuild(Request{Graph: g})
+	gist := MustBuild(Request{Graph: g, Encodings: encoding.LossyLossless(floatenc.FP16)})
+	freed := base.TotalBytes - gist.TotalBytes
+	if freed <= 0 {
+		t.Fatal("Gist must free memory")
+	}
+	baseTime := d.StepTime(g)
+	gistTime := gist.StepTime(d)
+	SelectConvAlgos(d, g, freed)
+	fastTime := d.StepTime(g) + (gistTime - baseTime) // keep Gist's overhead
+	if fastTime >= baseTime {
+		t.Fatalf("freed-memory algo selection should beat baseline: %v vs %v",
+			fastTime, baseTime)
+	}
+	// Workspace helper sanity: selected layers actually use im2col now.
+	found := false
+	for _, n := range g.Nodes {
+		if conv, ok := n.Op.(*layers.Conv2D); ok && conv.Algo == layers.AlgoIm2col {
+			if liveness.PerformanceOptimalWorkspace(n) > 0 || conv.KH == 1 {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no convolution was flipped")
+	}
+}

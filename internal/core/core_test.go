@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+
+	"gist/internal/costmodel"
+	"gist/internal/encoding"
+	"gist/internal/floatenc"
+	"gist/internal/graph"
+	"gist/internal/networks"
+)
+
+func TestBaselineVsGistMFR(t *testing.T) {
+	// The headline result across the real suite at minibatch 64: lossless
+	// MFR > 1.2, lossless+lossy MFR > lossless, both > 1.
+	for _, spec := range []struct {
+		name  string
+		build func(int) *graph.Graph
+	}{
+		{"AlexNet", networks.AlexNet},
+		{"VGG16", networks.VGG16},
+	} {
+		g := spec.build(64)
+		base := MustBuild(Request{Graph: g})
+		lossless := MustBuild(Request{Graph: g, Encodings: encoding.Lossless()})
+		lossy := MustBuild(Request{Graph: g, Encodings: encoding.LossyLossless(floatenc.FP8)})
+		ll := lossless.MFR(base)
+		ly := lossy.MFR(base)
+		if ll <= 1.1 {
+			t.Errorf("%s lossless MFR = %v, want > 1.1", spec.name, ll)
+		}
+		if ly <= ll {
+			t.Errorf("%s lossy MFR %v should exceed lossless %v", spec.name, ly, ll)
+		}
+	}
+}
+
+func TestInvestigationBaselineLarger(t *testing.T) {
+	// Excluding stashed feature maps from sharing can only grow the
+	// footprint; on most of the suite it strictly does (on AlexNet the
+	// stashes happen to never share even in the CNTK baseline).
+	strict := false
+	for _, build := range []func(int) *graph.Graph{networks.AlexNet, networks.NiN, networks.VGG16} {
+		g := build(64)
+		cntk := MustBuild(Request{Graph: g})
+		inv := MustBuild(Request{Graph: g, InvestigationBaseline: true})
+		if inv.TotalBytes < cntk.TotalBytes {
+			t.Fatalf("investigation baseline (%d) below CNTK baseline (%d)",
+				inv.TotalBytes, cntk.TotalBytes)
+		}
+		if inv.TotalBytes > cntk.TotalBytes {
+			strict = true
+		}
+	}
+	if !strict {
+		t.Fatal("investigation baseline never exceeded the CNTK baseline")
+	}
+}
+
+func TestDynamicAllocationSmaller(t *testing.T) {
+	g := networks.VGG16(64)
+	static := MustBuild(Request{Graph: g})
+	dynamic := MustBuild(Request{Graph: g, Allocation: DynamicAllocation})
+	if dynamic.TotalBytes > static.TotalBytes {
+		t.Fatalf("dynamic (%d) must not exceed static (%d)",
+			dynamic.TotalBytes, static.TotalBytes)
+	}
+	if dynamic.TotalBytes != dynamic.DynamicPeak {
+		t.Fatal("dynamic plan must report the dynamic peak")
+	}
+}
+
+func TestElideDecodedShrinksFootprint(t *testing.T) {
+	// The optimized-software scenario (Figure 17): removing the decoded
+	// FP32 staging buffers shrinks the dynamic footprint where the
+	// backward pass binds (VGG16, NiN) and never grows it.
+	cfg := encoding.LossyLossless(floatenc.FP8)
+	strict := false
+	for _, build := range []func(int) *graph.Graph{networks.NiN, networks.VGG16, networks.AlexNet} {
+		g := build(64)
+		normal := MustBuild(Request{Graph: g, Encodings: cfg, Allocation: DynamicAllocation})
+		elided := MustBuild(Request{Graph: g, Encodings: cfg, Allocation: DynamicAllocation, ElideDecoded: true})
+		if elided.TotalBytes > normal.TotalBytes {
+			t.Fatalf("eliding decoded buffers grew the footprint: %d vs %d",
+				elided.TotalBytes, normal.TotalBytes)
+		}
+		if elided.TotalBytes < normal.TotalBytes {
+			strict = true
+		}
+	}
+	if !strict {
+		t.Fatal("eliding decoded buffers never helped")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(Request{}); err == nil {
+		t.Fatal("nil graph must error")
+	}
+}
+
+func TestStepTimeWithAndWithoutEncodings(t *testing.T) {
+	d := costmodel.TitanX()
+	g := networks.AlexNet(64)
+	base := MustBuild(Request{Graph: g})
+	gist := MustBuild(Request{Graph: g, Encodings: encoding.LossyLossless(floatenc.FP16)})
+	bt, gt := base.StepTime(d), gist.StepTime(d)
+	ov := costmodel.Overhead(bt, gt)
+	if ov < -0.02 || ov > 0.12 {
+		t.Fatalf("Gist step-time overhead = %v, want within [-2%%, 12%%]", ov)
+	}
+}
+
+func TestFitsDeviceAndLargestMinibatch(t *testing.T) {
+	d := costmodel.TitanX()
+	build := func(mb int) *graph.Graph { return networks.ResNetCIFAR(mb, 56) }
+	baseMB := LargestFittingMinibatch(d, build, encoding.Config{}, 4096)
+	gistMB := LargestFittingMinibatch(d, build, encoding.LossyLossless(floatenc.FP10), 4096)
+	if baseMB <= 0 {
+		t.Fatal("ResNet-56 must fit at some minibatch")
+	}
+	if gistMB <= baseMB {
+		t.Fatalf("Gist must enable a larger minibatch: %d vs %d", gistMB, baseMB)
+	}
+}
+
+func TestLargestMinibatchZeroWhenNothingFits(t *testing.T) {
+	d := costmodel.TitanX()
+	d.MemoryBytes = 1 << 20 // 1 MB: nothing fits
+	got := LargestFittingMinibatch(d, networks.AlexNet, encoding.Config{}, 1024)
+	if got != 0 {
+		t.Fatalf("got %d, want 0", got)
+	}
+}
+
+func TestTableI(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 4 {
+		t.Fatalf("Table I rows = %d", len(rows))
+	}
+	if rows[0].Technique != "Binarize" || rows[2].Kind != "Lossy" {
+		t.Fatal("Table I content wrong")
+	}
+}
+
+func TestAllocationModeString(t *testing.T) {
+	if StaticAllocation.String() != "static" || DynamicAllocation.String() != "dynamic" {
+		t.Fatal("mode names")
+	}
+}
+
+func TestRawByClassNonEmpty(t *testing.T) {
+	p := MustBuild(Request{Graph: networks.AlexNet(8), IncludeWeights: true, IncludeWorkspace: true})
+	for _, class := range []graph.BufferClass{
+		graph.ClassStashedFmap, graph.ClassImmediateFmap,
+		graph.ClassGradientMap, graph.ClassWeights, graph.ClassWorkspace,
+	} {
+		if p.RawByClass[class] == 0 {
+			t.Errorf("class %v missing from breakdown", class)
+		}
+	}
+}
+
+func TestSuiteAverageMFRInPaperBand(t *testing.T) {
+	// Figure 8's aggregate claim: lossless averages ~1.4x, lossless+DPR
+	// ~1.8x (up to 2x). Allow generous bands around those targets: the
+	// substrate differs (CNTK's exact stash set vs ours), the shape must
+	// hold.
+	if testing.Short() {
+		t.Skip("full-suite planning")
+	}
+	var sumLL, sumLY float64
+	n := 0
+	for _, spec := range networks.Suite() {
+		g := spec.Build(64)
+		base := MustBuild(Request{Graph: g})
+		ll := MustBuild(Request{Graph: g, Encodings: encoding.Lossless()}).MFR(base)
+		ly := MustBuild(Request{Graph: g, Encodings: encoding.LossyLossless(floatenc.FP8)}).MFR(base)
+		sumLL += ll
+		sumLY += ly
+		n++
+	}
+	avgLL, avgLY := sumLL/float64(n), sumLY/float64(n)
+	if avgLL < 1.15 || avgLL > 1.9 {
+		t.Errorf("avg lossless MFR = %v, want ~1.4", avgLL)
+	}
+	if avgLY < 1.4 || avgLY > 2.6 {
+		t.Errorf("avg lossless+lossy MFR = %v, want ~1.8", avgLY)
+	}
+	if avgLY <= avgLL {
+		t.Error("lossy must add on top of lossless")
+	}
+}

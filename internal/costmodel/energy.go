@@ -1,0 +1,43 @@
+package costmodel
+
+// Energy model for the data-movement argument the paper makes against
+// swap-based approaches: vDNN keeps the PCIe links and GPU DRAM bus busy
+// moving feature maps, and "pays a power/energy cost" even when the
+// latency hides. The constants are standard architecture rules of thumb
+// for off-chip transfer energy.
+
+import "gist/internal/graph"
+
+// Energy per byte moved, in joules. DRAM access costs ~20 pJ/bit; chip-to-
+// chip PCIe costs several times that once SerDes and host DRAM on the far
+// side are included.
+const (
+	// DRAMEnergyPerByte is the GDDR5 access energy (~160 pJ/B).
+	DRAMEnergyPerByte = 160e-12
+	// PCIeEnergyPerByte covers the link plus the host-memory write/read on
+	// the other end (~600 pJ/B).
+	PCIeEnergyPerByte = 600e-12
+)
+
+// SwapEnergy returns the extra data-movement energy one minibatch spends
+// under a swap scheme: every stashed feature map crosses PCIe twice and
+// touches DRAM on both ends of each crossing.
+func SwapEnergy(g *graph.Graph) float64 {
+	var bytes int64
+	for _, n := range g.Nodes {
+		if graph.OutputStashed(n) {
+			bytes += n.OutShape.Bytes()
+		}
+	}
+	perCrossing := PCIeEnergyPerByte + 2*DRAMEnergyPerByte
+	return float64(2*bytes) * perCrossing
+}
+
+// GistEnergy returns the extra data-movement energy one minibatch spends
+// on Gist's encode/decode passes: each encoded stash is written and later
+// read in DRAM, plus the dense reads/writes of the conversion kernels.
+func GistEnergy(totalEncodeBytes, totalDenseBytes int64) float64 {
+	// Encode: read dense + write encoded. Decode: read encoded + write
+	// dense. All in-device DRAM traffic.
+	return float64(2*totalDenseBytes+2*totalEncodeBytes) * DRAMEnergyPerByte
+}

@@ -1,0 +1,339 @@
+// Package encoding implements Gist's three layer-specific encodings as
+// graph-level analyses plus runtime kernels:
+//
+//   - Binarize (lossless): for ReLU layers all of whose backward-pass
+//     readers are MaxPool layers, the stashed ReLU output is replaced by a
+//     1-bit positive mask (32x) and each MaxPool consumer's stashed
+//     input/output pair is replaced by a 4-bit Y-to-X argmax map (8x).
+//   - SSDC (lossless): for ReLU (or ReLU-fed Pool) outputs read by
+//     convolution-like backward passes, the stash is stored in narrow-CSR
+//     between its uses and decoded to dense FP32 just before the backward
+//     use.
+//   - DPR (lossy): every remaining stashed feature map is reduced to
+//     FP16/FP10/FP8 after its last forward use; SSDC value arrays are
+//     DPR-compressed too, while all control metadata (CSR indices, Binarize
+//     masks, argmax maps) stays exact.
+//
+// Analyze inspects a graph and assigns at most one technique to every
+// stashed feature map; the liveness and memory-planning packages consume
+// the assignments, and the training executor runs the matching kernels.
+package encoding
+
+import (
+	"fmt"
+	"math"
+
+	"gist/internal/floatenc"
+	"gist/internal/graph"
+	"gist/internal/layers"
+	"gist/internal/sparse"
+)
+
+// Technique identifies which Gist encoding a stashed feature map uses.
+type Technique int
+
+// Techniques, in priority order.
+const (
+	None Technique = iota
+	Binarize
+	SSDC
+	DPR
+)
+
+// String returns the paper's name for the technique.
+func (t Technique) String() string {
+	switch t {
+	case None:
+		return "None"
+	case Binarize:
+		return "Binarize"
+	case SSDC:
+		return "SSDC"
+	case DPR:
+		return "DPR"
+	}
+	return fmt.Sprintf("Technique(%d)", int(t))
+}
+
+// Config selects which encodings the Schedule Builder may apply.
+type Config struct {
+	// Binarize enables the 1-bit ReLU-Pool encoding.
+	Binarize bool
+	// SSDC enables sparse storage for ReLU-Conv / Pool-Conv stashes.
+	SSDC bool
+	// DPR, when not FP32, applies delayed precision reduction at the given
+	// format to all remaining stashes and to SSDC value arrays.
+	DPR floatenc.Format
+	// Inplace enables ReLU inplace computation (an optimization for
+	// immediately consumed data, not an encoding, but applied by the same
+	// Schedule Builder pass).
+	Inplace bool
+	// FCIsConvLike treats fully connected layers like convolutions for
+	// SSDC purposes (their backward passes read X identically). The
+	// paper's taxonomy names only convolution; default matches it.
+	FCIsConvLike bool
+	// Sparsity predicts the zero fraction of a node's output at planning
+	// time. Nil uses DefaultSparsity.
+	Sparsity func(n *graph.Node) float64
+}
+
+// Lossless is the paper's "lossless" configuration: Binarize + SSDC +
+// inplace.
+func Lossless() Config {
+	return Config{Binarize: true, SSDC: true, DPR: floatenc.FP32, Inplace: true}
+}
+
+// LossyLossless is lossless plus DPR at the given format — the paper's
+// full "Gist" configuration.
+func LossyLossless(f floatenc.Format) Config {
+	c := Lossless()
+	c.DPR = f
+	return c
+}
+
+// DefaultReLUSparsity is the planning-time zero-fraction assumed for ReLU
+// outputs when no measured value is available. The paper reports ReLU
+// sparsity typically in the 50-90% band (over 80% for VGG16); 0.7 is the
+// middle of that band and is calibrated against the paper's end-to-end MFR.
+const DefaultReLUSparsity = 0.7
+
+// DefaultSparsity models output sparsity by kind: ReLU outputs use
+// DefaultReLUSparsity; a MaxPool output keeps a zero only when its whole
+// window is zero, so its sparsity is the input sparsity raised to the
+// window size; everything else is dense.
+func DefaultSparsity(n *graph.Node) float64 {
+	switch n.Kind() {
+	case layers.ReLU:
+		return DefaultReLUSparsity
+	case layers.MaxPool:
+		if len(n.Inputs) == 1 && n.Inputs[0].Kind() == layers.ReLU {
+			p := n.Op.(*layers.MaxPoolOp)
+			return math.Pow(DefaultReLUSparsity, float64(p.K*p.K))
+		}
+	}
+	return 0
+}
+
+// Assignment records the encoding chosen for one stashed feature map.
+type Assignment struct {
+	Node *graph.Node
+	Tech Technique
+	// Format is the DPR format applied to the stash (FP32 when DPR is off;
+	// for SSDC it compresses only the CSR value array).
+	Format floatenc.Format
+	// Sparsity is the planning-time zero fraction used for SSDC sizing.
+	Sparsity float64
+	// EncodedBytes is the size of the encoded representation stashed
+	// between the two uses.
+	EncodedBytes int64
+	// NeedsDecode reports whether a transient FP32 staging buffer is
+	// materialized before the backward use (true for SSDC and DPR; false
+	// for Binarize, whose backward kernels consume the mask directly).
+	NeedsDecode bool
+}
+
+// Analysis is the output of the Gist static analysis over one graph.
+type Analysis struct {
+	Graph  *graph.Graph
+	Config Config
+	// ByNode maps node ID to the assignment for that node's stashed
+	// output feature map. Only stashed outputs appear.
+	ByNode map[int]*Assignment
+	// PoolMaps lists MaxPool nodes whose stashed X/Y pair was replaced by
+	// a 4-bit argmax map (the Binarize pool-side rewrite).
+	PoolMaps map[int]int64 // pool node ID -> argmax map bytes
+	// effectiveNeeds overrides op Needs for rewritten backward passes.
+	effectiveNeeds map[int]layers.BackwardNeeds
+}
+
+// EffectiveNeeds returns the backward-pass stash requirements of node n
+// after Gist's rewrites (a Binarize-optimized MaxPool no longer needs X or
+// Y).
+func (a *Analysis) EffectiveNeeds(n *graph.Node) layers.BackwardNeeds {
+	if needs, ok := a.effectiveNeeds[n.ID]; ok {
+		return needs
+	}
+	return n.Op.Needs()
+}
+
+// OutputStashed reports whether node n's output feature map still has a
+// backward-pass reader under the effective needs.
+func (a *Analysis) OutputStashed(n *graph.Node) bool {
+	if a.EffectiveNeeds(n).Y {
+		return true
+	}
+	for _, c := range n.Consumers() {
+		if a.EffectiveNeeds(c).X {
+			return true
+		}
+	}
+	return false
+}
+
+// convLike reports whether a node's backward pass reads its input as dense
+// values (the condition that rules out Binarize and invites SSDC).
+func convLike(cfg Config, k layers.Kind) bool {
+	if k == layers.Conv {
+		return true
+	}
+	return cfg.FCIsConvLike && k == layers.FC
+}
+
+// Analyze runs the Gist pattern analysis over the graph and assigns an
+// encoding to every stashed feature map permitted by the configuration.
+func Analyze(g *graph.Graph, cfg Config) *Analysis {
+	if cfg.Sparsity == nil {
+		cfg.Sparsity = DefaultSparsity
+	}
+	a := &Analysis{
+		Graph:          g,
+		Config:         cfg,
+		ByNode:         map[int]*Assignment{},
+		PoolMaps:       map[int]int64{},
+		effectiveNeeds: map[int]layers.BackwardNeeds{},
+	}
+
+	// Pass 1 — the MaxPool rewrite: the paper's optimized pool backward
+	// uses a 4-bit Y-to-X argmax map recorded in the forward pass instead
+	// of rescanning its stashed input and output (Section IV-A), removing
+	// the pool's X and Y dependence for every MaxPool in the graph.
+	if cfg.Binarize {
+		for _, n := range g.Nodes {
+			if n.Kind() != layers.MaxPool {
+				continue
+			}
+			a.PoolMaps[n.ID] = argmaxMapBytes(n.OutShape.NumElements())
+			a.effectiveNeeds[n.ID] = layers.BackwardNeeds{}
+		}
+	}
+
+	// Pass 2 — Binarize: with pools rewritten, a ReLU none of whose
+	// remaining backward readers needs dense X values keeps only its own
+	// sign dependence, which the 1-bit mask serves (32x).
+	if cfg.Binarize {
+		for _, n := range g.Nodes {
+			if n.Kind() != layers.ReLU || len(n.Consumers()) == 0 {
+				continue
+			}
+			ok := true
+			for _, c := range n.Consumers() {
+				if a.EffectiveNeeds(c).X {
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+			elems := n.OutShape.NumElements()
+			if binarizeMaskBytes(elems) >= n.OutShape.Bytes() {
+				continue // sub-word stash: the mask would not shrink it
+			}
+			a.ByNode[n.ID] = &Assignment{
+				Node:         n,
+				Tech:         Binarize,
+				Format:       floatenc.FP32,
+				EncodedBytes: binarizeMaskBytes(elems),
+			}
+			a.effectiveNeeds[n.ID] = layers.BackwardNeeds{} // Y served by the mask
+		}
+	}
+
+	// Pass 3 — SSDC: ReLU or (ReLU-fed) MaxPool outputs whose backward
+	// readers include a convolution and whose predicted sparsity clears
+	// the narrow-CSR break-even point.
+	if cfg.SSDC {
+		for _, n := range g.Nodes {
+			if _, done := a.ByNode[n.ID]; done {
+				continue
+			}
+			isReLU := n.Kind() == layers.ReLU
+			isPoolAfterReLU := n.Kind() == layers.MaxPool &&
+				len(n.Inputs) == 1 && n.Inputs[0].Kind() == layers.ReLU
+			if !isReLU && !isPoolAfterReLU {
+				continue
+			}
+			if !a.OutputStashed(n) {
+				continue
+			}
+			feedsConv := false
+			for _, c := range n.Consumers() {
+				if convLike(cfg, c.Kind()) && c.Op.Needs().X {
+					feedsConv = true
+				}
+			}
+			if !feedsConv {
+				continue
+			}
+			s := cfg.Sparsity(n)
+			if s < sparse.BreakEvenSparsity(1) {
+				continue // narrow CSR would not compress
+			}
+			elems := n.OutShape.NumElements()
+			enc := ssdcBytes(elems, s, cfg.DPR)
+			if enc >= n.OutShape.Bytes() {
+				// Tiny stashes lose to CSR's fixed row-pointer overhead;
+				// leave them for DPR.
+				continue
+			}
+			a.ByNode[n.ID] = &Assignment{
+				Node:         n,
+				Tech:         SSDC,
+				Format:       cfg.DPR,
+				Sparsity:     s,
+				EncodedBytes: enc,
+				NeedsDecode:  true,
+			}
+		}
+	}
+
+	// Pass 4 — DPR: every remaining stashed feature map.
+	if cfg.DPR != floatenc.FP32 {
+		for _, n := range g.Nodes {
+			if _, done := a.ByNode[n.ID]; done {
+				continue
+			}
+			if !a.OutputStashed(n) {
+				continue
+			}
+			elems := n.OutShape.NumElements()
+			a.ByNode[n.ID] = &Assignment{
+				Node:         n,
+				Tech:         DPR,
+				Format:       cfg.DPR,
+				EncodedBytes: cfg.DPR.PackedBytes(elems),
+				NeedsDecode:  true,
+			}
+		}
+	}
+	return a
+}
+
+// binarizeMaskBytes is the packed size of a 1-bit mask over n elements.
+func binarizeMaskBytes(n int) int64 {
+	return int64((n+63)/64) * 8
+}
+
+// argmaxMapBytes is the packed size of a 4-bit argmax map over n pool
+// outputs.
+func argmaxMapBytes(n int) int64 {
+	return int64((n+7)/8) * 4
+}
+
+// ssdcBytes models the narrow-CSR footprint of an n-element stash at the
+// given sparsity, with the value array optionally DPR-compressed.
+func ssdcBytes(n int, sparsity float64, f floatenc.Format) int64 {
+	base := sparse.CSRBytesModel(n, sparsity)
+	if f == floatenc.FP32 {
+		return base
+	}
+	nnz := int64(float64(n)*(1-sparsity) + 0.5)
+	valueSavings := nnz*4 - f.PackedBytes(int(nnz))
+	return base - valueSavings
+}
+
+// CompressionRatio returns FP32 bytes over encoded bytes for the
+// assignment's stash.
+func (as *Assignment) CompressionRatio() float64 {
+	fp32 := as.Node.OutShape.Bytes()
+	return float64(fp32) / float64(as.EncodedBytes)
+}

@@ -1,0 +1,81 @@
+package encoding
+
+import (
+	"gist/internal/bitpack"
+	"gist/internal/floatenc"
+	"gist/internal/sparse"
+	"gist/internal/tensor"
+)
+
+// EncodedStash is a materialized encoded representation of a stashed
+// feature map, produced after the map's last forward use and decoded (or
+// consumed directly, for Binarize) in the backward pass. The training
+// executor round-trips every stash through this type so the numerical
+// effect of each encoding is exercised end to end.
+type EncodedStash struct {
+	Tech   Technique
+	Shape  tensor.Shape
+	Mask   *bitpack.BitMask // Binarize
+	CSR    *sparse.CSR      // SSDC (values possibly DPR-quantized)
+	Packed *floatenc.Packed // DPR
+}
+
+// EncodeStash encodes a feature map per the assignment. The input tensor is
+// not modified; callers relinquish it after encoding, which is exactly the
+// memory-sharing opportunity Gist creates.
+func EncodeStash(as *Assignment, t *tensor.Tensor) *EncodedStash {
+	e := &EncodedStash{Tech: as.Tech, Shape: t.Shape.Clone()}
+	switch as.Tech {
+	case Binarize:
+		e.Mask = bitpack.FromPositive(t.Data)
+	case SSDC:
+		// Sparse storage; DPR layered on the value array when configured.
+		// Quantizing before CSR encoding preserves the zero pattern
+		// exactly (quantization maps 0 to 0).
+		data := t.Data
+		if as.Format != floatenc.FP32 {
+			data = append([]float32(nil), t.Data...)
+			floatenc.QuantizeSlice(as.Format, data)
+		}
+		e.CSR = sparse.EncodeCSR(data)
+	case DPR:
+		e.Packed = floatenc.EncodeSlice(as.Format, t.Data)
+	default:
+		panic("encoding: EncodeStash with no technique")
+	}
+	return e
+}
+
+// Decode materializes the FP32 staging tensor for the backward use. For
+// Binarize the mask itself is the backward representation, but Decode still
+// reconstructs a 0/1 tensor so that generic backward code can run unchanged
+// (ReLU backward only tests Y > 0, and the pool argmax map carries the rest).
+func (e *EncodedStash) Decode() *tensor.Tensor {
+	out := tensor.New(e.Shape...)
+	switch e.Tech {
+	case Binarize:
+		for i := range out.Data {
+			if e.Mask.Get(i) {
+				out.Data[i] = 1
+			}
+		}
+	case SSDC:
+		e.CSR.Decode(out.Data)
+	case DPR:
+		e.Packed.DecodeSlice(out.Data)
+	}
+	return out
+}
+
+// Bytes returns the encoded representation's storage footprint.
+func (e *EncodedStash) Bytes() int64 {
+	switch e.Tech {
+	case Binarize:
+		return e.Mask.Bytes()
+	case SSDC:
+		return e.CSR.Bytes()
+	case DPR:
+		return e.Packed.Bytes()
+	}
+	return 0
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV emits the result's named values as machine-readable CSV with
+// columns experiment, series, metric, value. Series and metric come from
+// splitting each value key at its first slash ("VGG16/lossless" -> series
+// VGG16, metric lossless).
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"experiment", "series", "metric", "value"}); err != nil {
+		return err
+	}
+	for _, key := range r.SortedValueKeys() {
+		series, metric := key, ""
+		if i := strings.Index(key, "/"); i >= 0 {
+			series, metric = key[:i], key[i+1:]
+		}
+		if err := cw.Write([]string{
+			r.ID, series, metric, fmt.Sprintf("%g", r.Values[key]),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,78 @@
+package experiments
+
+// Summary compares the paper's headline claims with what this reproduction
+// measures, metric by metric — the programmatic version of the README's
+// results table and the final artifact a reviewer would check.
+
+import "fmt"
+
+// paperClaim is one headline number from the paper's evaluation.
+type paperClaim struct {
+	metric  string
+	paper   float64
+	measure func() float64
+	// band is the acceptable relative deviation before the row is flagged.
+	band float64
+}
+
+// Summary regenerates the headline metrics and reports paper vs measured,
+// flagging rows that deviate beyond each claim's band.
+func Summary() *Result {
+	r := &Result{ID: "summary", Title: "Headline claims: paper vs this reproduction"}
+
+	fig8 := Fig8(DefaultMinibatch)
+	fig9 := Fig9(DefaultMinibatch)
+	fig13 := Fig13(DefaultMinibatch)
+	fig15 := Fig15(DefaultMinibatch)
+	fig16 := Fig16()
+	fig17 := Fig17(DefaultMinibatch)
+
+	claims := []paperClaim{
+		{"lossless MFR (avg)", 1.4,
+			func() float64 { return fig8.Values["average/lossless"] }, 0.35},
+		{"lossless+lossy MFR (avg)", 1.8,
+			func() float64 { return fig8.Values["average/lossy"] }, 0.35},
+		{"performance overhead (avg)", 0.04,
+			func() float64 { return fig9.Values["average/lossy"] }, 1.0},
+		{"AlexNet DPR FP16 MFR", 1.18,
+			func() float64 { return fig13.Values["AlexNet/fp16"] }, 0.10},
+		{"AlexNet DPR FP8 MFR", 1.48,
+			func() float64 { return fig13.Values["AlexNet/smallest"] }, 0.15},
+		{"vDNN overhead (avg)", 0.15,
+			func() float64 { return fig15.Values["average/vdnn"] }, 0.6},
+		{"ResNet-1202 speedup", 1.22,
+			func() float64 { return fig16.Values["ResNet-1202/speedup"] }, 0.10},
+		{"dynamic allocation MFR (avg)", 1.2,
+			func() float64 {
+				var s float64
+				nets := []string{"AlexNet", "NiN", "Overfeat", "VGG16", "Inception", "ResNet"}
+				for _, n := range nets {
+					s += fig17.Values[n+"/dynamic"]
+				}
+				return s / float64(len(nets))
+			}, 0.25},
+		{"optimized software MFR (max)", 4.1,
+			func() float64 {
+				var m float64
+				for _, n := range []string{"AlexNet", "NiN", "Overfeat", "VGG16", "Inception", "ResNet"} {
+					if v := fig17.Values[n+"/optimized"]; v > m {
+						m = v
+					}
+				}
+				return m
+			}, 0.35},
+	}
+
+	r.add("%-32s %10s %10s %10s", "metric", "paper", "measured", "status")
+	for _, c := range claims {
+		got := c.measure()
+		dev := (got - c.paper) / c.paper
+		status := "ok"
+		if dev > c.band || dev < -c.band {
+			status = fmt.Sprintf("off %+.0f%%", 100*dev)
+		}
+		r.set(c.metric, got)
+		r.add("%-32s %10.2f %10.2f %10s", c.metric, c.paper, got, status)
+	}
+	return r
+}

@@ -1,0 +1,317 @@
+package floatenc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatMetadata(t *testing.T) {
+	cases := []struct {
+		f          Format
+		name       string
+		bits, vpw  int
+		maxVal     float64
+		minNormal  float64
+		relErrBits int
+	}{
+		{FP32, "FP32", 32, 1, math.MaxFloat32, math.SmallestNonzeroFloat32, 0},
+		{FP16, "FP16", 16, 2, 65504, math.Ldexp(1, -14), 11},
+		{FP10, "FP10", 10, 3, math.Ldexp(2-math.Ldexp(1, -4), 15), math.Ldexp(1, -14), 5},
+		{FP8, "FP8", 8, 4, math.Ldexp(2-math.Ldexp(1, -3), 7), math.Ldexp(1, -6), 4},
+	}
+	for _, c := range cases {
+		if c.f.String() != c.name {
+			t.Errorf("String() = %q, want %q", c.f.String(), c.name)
+		}
+		if c.f.Bits() != c.bits {
+			t.Errorf("%v Bits() = %d, want %d", c.f, c.f.Bits(), c.bits)
+		}
+		if c.f.ValuesPerWord() != c.vpw {
+			t.Errorf("%v ValuesPerWord() = %d, want %d", c.f, c.f.ValuesPerWord(), c.vpw)
+		}
+		if got := c.f.MaxValue(); math.Abs(got-c.maxVal)/c.maxVal > 1e-12 {
+			t.Errorf("%v MaxValue() = %v, want %v", c.f, got, c.maxVal)
+		}
+		if got := c.f.MinNormal(); got != c.minNormal {
+			t.Errorf("%v MinNormal() = %v, want %v", c.f, got, c.minNormal)
+		}
+	}
+}
+
+func TestFP16MatchesIEEEHalfExamples(t *testing.T) {
+	// Known IEEE 754 half-precision bit patterns.
+	cases := []struct {
+		v    float32
+		bits uint32
+	}{
+		{0, 0x0000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},
+		{-65504, 0xfbff},
+		{1.5, 0x3e00},
+		{0.099975586, 0x2e66}, // nearest half to 0.1
+	}
+	for _, c := range cases {
+		if got := FP16.Encode(c.v); got != c.bits {
+			t.Errorf("FP16.Encode(%v) = %#04x, want %#04x", c.v, got, c.bits)
+		}
+	}
+}
+
+func TestEncodeClampsAtMax(t *testing.T) {
+	for _, f := range []Format{FP16, FP10, FP8} {
+		over := float32(f.MaxValue() * 4)
+		got := f.Decode(f.Encode(over))
+		if float64(got) != f.MaxValue() {
+			t.Errorf("%v: Encode(overflow) should clamp to %v, got %v", f, f.MaxValue(), got)
+		}
+		gotNeg := f.Decode(f.Encode(-over))
+		if float64(gotNeg) != -f.MaxValue() {
+			t.Errorf("%v: negative overflow should clamp to %v, got %v", f, -f.MaxValue(), gotNeg)
+		}
+	}
+}
+
+func TestEncodeFlushesDenormals(t *testing.T) {
+	for _, f := range []Format{FP16, FP10, FP8} {
+		tiny := float32(f.MinNormal() / 4)
+		if got := f.Decode(f.Encode(tiny)); got != 0 {
+			t.Errorf("%v: tiny value %v should flush to zero, got %v", f, tiny, got)
+		}
+	}
+}
+
+func TestEncodeZeroAndSign(t *testing.T) {
+	for _, f := range []Format{FP16, FP10, FP8} {
+		if got := f.Decode(f.Encode(0)); got != 0 {
+			t.Errorf("%v: zero round trip got %v", f, got)
+		}
+		neg := f.Decode(f.Encode(float32(math.Copysign(0, -1))))
+		if neg != 0 || !math.Signbit(float64(neg)) {
+			t.Errorf("%v: negative zero should survive as -0, got %v", f, neg)
+		}
+	}
+}
+
+func TestEncodeNaN(t *testing.T) {
+	for _, f := range []Format{FP16, FP10, FP8} {
+		got := f.Decode(f.Encode(float32(math.NaN())))
+		if !math.IsNaN(float64(got)) {
+			t.Errorf("%v: NaN should round trip as NaN, got %v", f, got)
+		}
+	}
+}
+
+func TestQuantizeRelativeErrorBound(t *testing.T) {
+	// Property from the format definition: for values within the normal
+	// range, round-to-nearest keeps relative error below 2^-(manBits+1).
+	for _, f := range []Format{FP16, FP10, FP8} {
+		bound := f.MaxRelativeError()
+		for _, v := range []float64{1.0 / 3, 0.7, 1.234, 5.5, 17.77, 100.1} {
+			if v > f.MaxValue() {
+				continue
+			}
+			q := float64(f.Quantize(float32(v)))
+			rel := math.Abs(q-v) / v
+			if rel > bound {
+				t.Errorf("%v: Quantize(%v) = %v, rel err %v > bound %v", f, v, q, rel, bound)
+			}
+		}
+	}
+}
+
+func TestQuantizeIdempotent(t *testing.T) {
+	// Quantizing an already-quantized value must be exact.
+	f := func(v float32) bool {
+		for _, fm := range []Format{FP16, FP10, FP8} {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				continue
+			}
+			q := fm.Quantize(v)
+			if fm.Quantize(q) != q && !(math.IsNaN(float64(q))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeMonotone(t *testing.T) {
+	// Rounding must preserve ordering: a <= b implies Q(a) <= Q(b).
+	f := func(a, b float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) ||
+			math.IsInf(float64(a), 0) || math.IsInf(float64(b), 0) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		for _, fm := range []Format{FP16, FP10, FP8} {
+			if fm.Quantize(a) > fm.Quantize(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeSignSymmetry(t *testing.T) {
+	f := func(v float32) bool {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			return true
+		}
+		for _, fm := range []Format{FP16, FP10, FP8} {
+			if fm.Quantize(-v) != -fm.Quantize(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundToNearestEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between FP16(1.0) and the next value
+	// 1 + 2^-10; ties-to-even rounds it down to 1.0.
+	v := float32(1 + math.Ldexp(1, -11))
+	if got := FP16.Quantize(v); got != 1 {
+		t.Errorf("halfway tie should round to even: got %v", got)
+	}
+	// 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9; even is 1+2^-9.
+	v = float32(1 + 3*math.Ldexp(1, -11))
+	want := float32(1 + math.Ldexp(1, -9))
+	if got := FP16.Quantize(v); got != want {
+		t.Errorf("tie to even: got %v, want %v", got, want)
+	}
+}
+
+func TestPackedBytes(t *testing.T) {
+	cases := []struct {
+		f    Format
+		n    int
+		want int64
+	}{
+		{FP16, 2, 4}, {FP16, 3, 8}, {FP16, 1000, 2000},
+		{FP10, 3, 4}, {FP10, 4, 8}, {FP10, 999, 1332},
+		{FP8, 4, 4}, {FP8, 5, 8}, {FP8, 1000, 1000},
+		{FP32, 10, 40},
+	}
+	for _, c := range cases {
+		if got := c.f.PackedBytes(c.n); got != c.want {
+			t.Errorf("%v.PackedBytes(%d) = %d, want %d", c.f, c.n, got, c.want)
+		}
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	if FP16.CompressionRatio() != 2 || FP10.CompressionRatio() != 3 || FP8.CompressionRatio() != 4 {
+		t.Error("compression ratios must be 2x/3x/4x for FP16/FP10/FP8")
+	}
+}
+
+func TestEncodeDecodeSliceRoundTrip(t *testing.T) {
+	src := []float32{0, 1, -1, 0.5, 3.25, -7, 100, 0.0625, 2.5, -0.125, 42}
+	for _, f := range []Format{FP16, FP10, FP8} {
+		p := EncodeSlice(f, src)
+		if p.N != len(src) {
+			t.Fatalf("%v: N = %d", f, p.N)
+		}
+		got := p.DecodeSlice(nil)
+		for i, v := range src {
+			want := f.Quantize(v)
+			if got[i] != want {
+				t.Errorf("%v: slice[%d] = %v, want %v (src %v)", f, i, got[i], want, v)
+			}
+		}
+	}
+}
+
+func TestDecodeSliceLengthMismatchPanics(t *testing.T) {
+	p := EncodeSlice(FP8, []float32{1, 2, 3})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	p.DecodeSlice(make([]float32, 5))
+}
+
+func TestPackedStorageSizes(t *testing.T) {
+	// 7 FP8 values need ceil(7/4)=2 words = 8 bytes.
+	p := EncodeSlice(FP8, make([]float32, 7))
+	if p.Bytes() != 8 {
+		t.Errorf("Bytes = %d, want 8", p.Bytes())
+	}
+	// 7 FP10 values need ceil(7/3)=3 words = 12 bytes.
+	p = EncodeSlice(FP10, make([]float32, 7))
+	if p.Bytes() != 12 {
+		t.Errorf("Bytes = %d, want 12", p.Bytes())
+	}
+}
+
+func TestQuantizeSliceMatchesScalar(t *testing.T) {
+	src := []float32{0.1, 0.2, 0.3, -0.4, 1.7}
+	for _, f := range []Format{FP32, FP16, FP10, FP8} {
+		xs := append([]float32(nil), src...)
+		QuantizeSlice(f, xs)
+		for i, v := range src {
+			if xs[i] != f.Quantize(v) {
+				t.Errorf("%v: QuantizeSlice[%d] = %v, want %v", f, i, xs[i], f.Quantize(v))
+			}
+		}
+	}
+}
+
+func TestPropertyPackRoundTripEqualsQuantize(t *testing.T) {
+	f := func(vals []float32) bool {
+		if len(vals) > 100 {
+			vals = vals[:100]
+		}
+		clean := make([]float32, 0, len(vals))
+		for _, v := range vals {
+			if !math.IsNaN(float64(v)) && !math.IsInf(float64(v), 0) {
+				clean = append(clean, v)
+			}
+		}
+		for _, fm := range []Format{FP16, FP10, FP8} {
+			p := EncodeSlice(fm, clean)
+			got := p.DecodeSlice(nil)
+			for i, v := range clean {
+				if got[i] != fm.Quantize(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExactlyRepresentableValuesRoundTrip(t *testing.T) {
+	// Powers of two and small integers are exactly representable in all
+	// three formats (within range) and must survive unchanged.
+	for _, f := range []Format{FP16, FP10, FP8} {
+		for _, v := range []float32{1, 2, 4, 8, 0.5, 0.25, 3, 6, -1, -2, -0.5} {
+			if float64(v) > f.MaxValue() {
+				continue
+			}
+			if got := f.Quantize(v); got != v {
+				t.Errorf("%v: %v must be exact, got %v", f, v, got)
+			}
+		}
+	}
+}

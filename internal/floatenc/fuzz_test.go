@@ -1,0 +1,73 @@
+package floatenc
+
+import (
+	"math"
+	"testing"
+)
+
+func FuzzQuantizeWellBehaved(f *testing.F) {
+	f.Add(float32(0))
+	f.Add(float32(1.5))
+	f.Add(float32(-65504))
+	f.Add(float32(1e-8))
+	f.Add(float32(3e38))
+	f.Fuzz(func(t *testing.T, v float32) {
+		for _, fm := range []Format{FP16, FP10, FP8} {
+			q := fm.Quantize(v)
+			switch {
+			case math.IsNaN(float64(v)):
+				if !math.IsNaN(float64(q)) {
+					t.Fatalf("%v: NaN must stay NaN, got %v", fm, q)
+				}
+			case math.IsInf(float64(v), 0):
+				// Infinities clamp to the largest finite magnitude.
+				if math.Abs(float64(q)) != fm.MaxValue() {
+					t.Fatalf("%v: Inf should clamp, got %v", fm, q)
+				}
+			default:
+				// Finite inputs stay finite, within the format's range,
+				// and idempotent.
+				if math.IsNaN(float64(q)) || math.IsInf(float64(q), 0) {
+					t.Fatalf("%v: finite %v became %v", fm, v, q)
+				}
+				if math.Abs(float64(q)) > fm.MaxValue() {
+					t.Fatalf("%v: %v exceeds max %v", fm, q, fm.MaxValue())
+				}
+				if fm.Quantize(q) != q {
+					t.Fatalf("%v: not idempotent at %v", fm, v)
+				}
+				// Sign preservation (or flush to zero).
+				if q != 0 && math.Signbit(float64(q)) != math.Signbit(float64(v)) {
+					t.Fatalf("%v: sign flipped for %v -> %v", fm, v, q)
+				}
+			}
+		}
+	})
+}
+
+func FuzzPackedRoundTrip(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 4
+		if n > 1024 {
+			n = 1024
+		}
+		xs := make([]float32, n)
+		for i := range xs {
+			bits := uint32(data[i*4]) | uint32(data[i*4+1])<<8 |
+				uint32(data[i*4+2])<<16 | uint32(data[i*4+3])<<24
+			xs[i] = math.Float32frombits(bits)
+		}
+		for _, fm := range []Format{FP16, FP10, FP8} {
+			p := EncodeSlice(fm, xs)
+			got := p.DecodeSlice(nil)
+			for i, v := range xs {
+				want := fm.Quantize(v)
+				same := got[i] == want || (got[i] != got[i] && want != want)
+				if !same {
+					t.Fatalf("%v[%d]: %v != quantize(%v)=%v", fm, i, got[i], v, want)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package floatenc
+
+// Packed is a reduced-precision encoding of a float32 slice, stored as
+// 32-bit words with the format's value packing (2, 3 or 4 values per word).
+// This mirrors the DPR encoded data structure that Gist stashes between a
+// feature map's forward and backward uses.
+type Packed struct {
+	Format Format
+	N      int
+	Words  []uint32
+}
+
+// EncodeSlice packs src into a reduced-precision buffer.
+func EncodeSlice(f Format, src []float32) *Packed {
+	vpw := f.ValuesPerWord()
+	words := make([]uint32, (len(src)+vpw-1)/vpw)
+	bits := uint(f.Bits())
+	if f == FP10 {
+		bits = 10
+	}
+	for i, v := range src {
+		w, slot := i/vpw, uint(i%vpw)
+		words[w] |= f.Encode(v) << (slot * bits)
+	}
+	return &Packed{Format: f, N: len(src), Words: words}
+}
+
+// DecodeSlice unpacks the buffer back to float32 values. dst must have
+// length p.N; if nil, a new slice is allocated.
+func (p *Packed) DecodeSlice(dst []float32) []float32 {
+	if dst == nil {
+		dst = make([]float32, p.N)
+	}
+	if len(dst) != p.N {
+		panic("floatenc: DecodeSlice length mismatch")
+	}
+	vpw := p.Format.ValuesPerWord()
+	bits := uint(p.Format.Bits())
+	if p.Format == FP10 {
+		bits = 10
+	}
+	mask := uint32(1)<<bits - 1
+	for i := range dst {
+		w, slot := i/vpw, uint(i%vpw)
+		dst[i] = p.Format.Decode((p.Words[w] >> (slot * bits)) & mask)
+	}
+	return dst
+}
+
+// Bytes returns the packed storage size in bytes.
+func (p *Packed) Bytes() int64 {
+	return int64(len(p.Words)) * 4
+}
+
+// QuantizeSlice rounds every element of xs through the format in place and
+// returns xs. This is the numerical effect of a DPR encode/decode round trip
+// without materializing the packed representation, used by the training
+// executor.
+func QuantizeSlice(f Format, xs []float32) []float32 {
+	if f == FP32 {
+		return xs
+	}
+	for i, v := range xs {
+		xs[i] = f.Quantize(v)
+	}
+	return xs
+}

@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"gist/internal/tensor"
+)
+
+// WriteDOT renders the graph in Graphviz DOT format, one node per
+// operator, labeled with its kind and output shape. Useful for inspecting
+// the execution graphs the Schedule Builder consumes.
+func (g *Graph) WriteDOT(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString("digraph dnn {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "  n%d [label=\"%s\\n%v %v\"];\n", n.ID, n.Name, n.Kind(), n.OutShape)
+	}
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", in.ID, n.ID)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// nodeJSON is the serialized form of one node.
+type nodeJSON struct {
+	ID       int     `json:"id"`
+	Name     string  `json:"name"`
+	Kind     string  `json:"kind"`
+	Inputs   []int   `json:"inputs,omitempty"`
+	OutShape []int   `json:"out_shape"`
+	Params   [][]int `json:"params,omitempty"`
+	FLOPs    int64   `json:"flops"`
+	Stashed  bool    `json:"stashed"`
+}
+
+// WriteJSON serializes the graph's structure (not weights) as JSON: node
+// list with shapes, parameter shapes, FLOPs and baseline stash
+// classification. The format is stable and intended for external tooling.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	out := make([]nodeJSON, 0, len(g.Nodes))
+	for _, n := range g.Nodes {
+		nj := nodeJSON{
+			ID:       n.ID,
+			Name:     n.Name,
+			Kind:     n.Kind().String(),
+			OutShape: n.OutShape,
+			Stashed:  OutputStashed(n),
+		}
+		for _, in := range n.Inputs {
+			nj.Inputs = append(nj.Inputs, in.ID)
+		}
+		for _, p := range n.ParamShapes {
+			nj.Params = append(nj.Params, p)
+		}
+		inShapes := make([]tensor.Shape, len(n.Inputs))
+		for i, in := range n.Inputs {
+			inShapes[i] = in.OutShape
+		}
+		nj.FLOPs = n.Op.FLOPs(inShapes)
+		out = append(out, nj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,83 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"gist/internal/layers"
+)
+
+func exportGraph(t *testing.T) *Graph {
+	t.Helper()
+	g := New()
+	in := g.MustAdd("input", layers.NewInput(2, 3, 8, 8))
+	c := g.MustAdd("conv", layers.NewConv2D(4, 3, 1, 1), in)
+	r := g.MustAdd("relu", layers.NewReLU(), c)
+	fc := g.MustAdd("fc", layers.NewFC(5), r)
+	g.MustAdd("loss", layers.NewSoftmaxXent(), fc)
+	return g
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := exportGraph(t)
+	var buf bytes.Buffer
+	if err := g.WriteDOT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dot := buf.String()
+	if !strings.HasPrefix(dot, "digraph dnn {") || !strings.HasSuffix(strings.TrimSpace(dot), "}") {
+		t.Fatal("not a DOT digraph")
+	}
+	for _, want := range []string{"conv", "ReLU", "n0 -> n1", "n3 -> n4"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// One node line per node, one edge per input.
+	if strings.Count(dot, "label=") != len(g.Nodes) {
+		t.Errorf("node count mismatch")
+	}
+	if strings.Count(dot, "->") != 4 {
+		t.Errorf("edge count = %d, want 4", strings.Count(dot, "->"))
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	g := exportGraph(t)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var nodes []struct {
+		ID       int     `json:"id"`
+		Name     string  `json:"name"`
+		Kind     string  `json:"kind"`
+		Inputs   []int   `json:"inputs"`
+		OutShape []int   `json:"out_shape"`
+		Params   [][]int `json:"params"`
+		FLOPs    int64   `json:"flops"`
+		Stashed  bool    `json:"stashed"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &nodes); err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != len(g.Nodes) {
+		t.Fatalf("nodes = %d", len(nodes))
+	}
+	conv := nodes[1]
+	if conv.Kind != "Conv" || len(conv.Params) != 2 || conv.FLOPs <= 0 {
+		t.Errorf("conv node = %+v", conv)
+	}
+	if conv.Inputs[0] != 0 {
+		t.Errorf("conv input = %v", conv.Inputs)
+	}
+	relu := nodes[2]
+	if !relu.Stashed {
+		t.Error("relu output must be marked stashed")
+	}
+	if nodes[1].Stashed {
+		t.Error("conv output must not be stashed (ReLU needs only Y)")
+	}
+}

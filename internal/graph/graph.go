@@ -1,0 +1,171 @@
+// Package graph represents a DNN as the directed execution graph that deep
+// learning frameworks schedule — the structure Gist's Schedule Builder
+// analyses. It provides topological ordering, the forward+backward
+// computation timeline, and the classification of every buffer into the
+// paper's data-structure categories (weights, weight gradients, stashed
+// feature maps, immediately consumed feature maps, gradient maps,
+// workspace).
+package graph
+
+import (
+	"fmt"
+
+	"gist/internal/layers"
+	"gist/internal/tensor"
+)
+
+// Node is one operator instance in the execution graph.
+type Node struct {
+	ID     int
+	Name   string
+	Op     layers.Op
+	Inputs []*Node
+
+	// OutShape is inferred at Add time.
+	OutShape tensor.Shape
+	// ParamShapes are the learnable parameter shapes.
+	ParamShapes []tensor.Shape
+
+	consumers []*Node
+}
+
+// Consumers returns the nodes that read this node's output.
+func (n *Node) Consumers() []*Node { return n.consumers }
+
+// Kind returns the node's operator kind.
+func (n *Node) Kind() layers.Kind { return n.Op.Kind() }
+
+// String renders "name(Kind)".
+func (n *Node) String() string {
+	return fmt.Sprintf("%s(%v)", n.Name, n.Kind())
+}
+
+// Graph is a DAG of operator nodes in insertion order; insertion order must
+// be (and is validated to be) a topological order, which mirrors how
+// framework graph builders emit layers.
+type Graph struct {
+	Nodes []*Node
+	names map[string]*Node
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{names: map[string]*Node{}}
+}
+
+// Add appends an operator fed by the given input nodes, infers its output
+// shape, and returns the new node. Inputs must already be in the graph.
+func (g *Graph) Add(name string, op layers.Op, inputs ...*Node) (*Node, error) {
+	if name == "" {
+		name = fmt.Sprintf("%v_%d", op.Kind(), len(g.Nodes))
+	}
+	if _, dup := g.names[name]; dup {
+		return nil, fmt.Errorf("graph: duplicate node name %q", name)
+	}
+	inShapes := make([]tensor.Shape, len(inputs))
+	for i, in := range inputs {
+		if in == nil {
+			return nil, fmt.Errorf("graph: nil input to %q", name)
+		}
+		if len(g.Nodes) <= in.ID || g.Nodes[in.ID] != in {
+			return nil, fmt.Errorf("graph: input %q of %q is not in this graph", in.Name, name)
+		}
+		inShapes[i] = in.OutShape
+	}
+	outShape, err := op.OutShape(inShapes)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %q: %w", name, err)
+	}
+	n := &Node{
+		ID:          len(g.Nodes),
+		Name:        name,
+		Op:          op,
+		Inputs:      inputs,
+		OutShape:    outShape,
+		ParamShapes: op.ParamShapes(inShapes),
+	}
+	for _, in := range inputs {
+		in.consumers = append(in.consumers, n)
+	}
+	g.Nodes = append(g.Nodes, n)
+	g.names[name] = n
+	return n, nil
+}
+
+// MustAdd is Add that panics on error, for use in static network builders
+// whose shapes are fixed by construction.
+func (g *Graph) MustAdd(name string, op layers.Op, inputs ...*Node) *Node {
+	n, err := g.Add(name, op, inputs...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Lookup returns the node with the given name, or nil.
+func (g *Graph) Lookup(name string) *Node { return g.names[name] }
+
+// InputNodes returns the graph's source nodes.
+func (g *Graph) InputNodes() []*Node {
+	var ins []*Node
+	for _, n := range g.Nodes {
+		if n.Kind() == layers.Input {
+			ins = append(ins, n)
+		}
+	}
+	return ins
+}
+
+// OutputNodes returns nodes with no consumers (typically the loss).
+func (g *Graph) OutputNodes() []*Node {
+	var outs []*Node
+	for _, n := range g.Nodes {
+		if len(n.consumers) == 0 {
+			outs = append(outs, n)
+		}
+	}
+	return outs
+}
+
+// Validate checks graph invariants: node IDs are dense, every edge points
+// backward in insertion order (topological), and shapes are consistent.
+func (g *Graph) Validate() error {
+	for i, n := range g.Nodes {
+		if n.ID != i {
+			return fmt.Errorf("graph: node %q has ID %d at position %d", n.Name, n.ID, i)
+		}
+		for _, in := range n.Inputs {
+			if in.ID >= n.ID {
+				return fmt.Errorf("graph: edge %q -> %q violates topological order", in.Name, n.Name)
+			}
+		}
+		if !n.OutShape.Valid() {
+			return fmt.Errorf("graph: node %q has invalid shape %v", n.Name, n.OutShape)
+		}
+	}
+	return nil
+}
+
+// WeightBytes returns the total FP32 bytes of learnable parameters.
+func (g *Graph) WeightBytes() int64 {
+	var b int64
+	for _, n := range g.Nodes {
+		for _, p := range n.ParamShapes {
+			b += p.Bytes()
+		}
+	}
+	return b
+}
+
+// TotalFLOPs returns the summed forward-pass FLOPs over all nodes.
+func (g *Graph) TotalFLOPs() int64 {
+	var f int64
+	for _, n := range g.Nodes {
+		inShapes := make([]tensor.Shape, len(n.Inputs))
+		for i, in := range n.Inputs {
+			inShapes[i] = in.OutShape
+		}
+		f += n.Op.FLOPs(inShapes)
+	}
+	return f
+}

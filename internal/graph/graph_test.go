@@ -1,0 +1,306 @@
+package graph
+
+import (
+	"testing"
+
+	"gist/internal/layers"
+	"gist/internal/tensor"
+)
+
+// chainGraph builds Input -> Conv -> ReLU -> MaxPool -> Conv -> ReLU -> FC -> Loss,
+// the canonical shape containing both a ReLU-Pool and a ReLU-Conv pair.
+func chainGraph(t *testing.T) (*Graph, map[string]*Node) {
+	t.Helper()
+	g := New()
+	nodes := map[string]*Node{}
+	add := func(name string, op layers.Op, ins ...*Node) *Node {
+		n, err := g.Add(name, op, ins...)
+		if err != nil {
+			t.Fatalf("Add(%s): %v", name, err)
+		}
+		nodes[name] = n
+		return n
+	}
+	in := add("input", layers.NewInput(4, 3, 16, 16))
+	c1 := add("conv1", layers.NewConv2D(8, 3, 1, 1), in)
+	r1 := add("relu1", layers.NewReLU(), c1)
+	p1 := add("pool1", layers.NewMaxPool(2, 2, 0), r1)
+	c2 := add("conv2", layers.NewConv2D(8, 3, 1, 1), p1)
+	r2 := add("relu2", layers.NewReLU(), c2)
+	fc := add("fc", layers.NewFC(10), r2)
+	add("loss", layers.NewSoftmaxXent(), fc)
+	return g, nodes
+}
+
+func TestGraphBuildAndShapes(t *testing.T) {
+	g, nodes := chainGraph(t)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !nodes["conv1"].OutShape.Equal(tensor.Shape{4, 8, 16, 16}) {
+		t.Errorf("conv1 shape = %v", nodes["conv1"].OutShape)
+	}
+	if !nodes["pool1"].OutShape.Equal(tensor.Shape{4, 8, 8, 8}) {
+		t.Errorf("pool1 shape = %v", nodes["pool1"].OutShape)
+	}
+	if !nodes["fc"].OutShape.Equal(tensor.Shape{4, 10}) {
+		t.Errorf("fc shape = %v", nodes["fc"].OutShape)
+	}
+}
+
+func TestGraphConsumers(t *testing.T) {
+	_, nodes := chainGraph(t)
+	cons := nodes["relu1"].Consumers()
+	if len(cons) != 1 || cons[0].Name != "pool1" {
+		t.Fatalf("relu1 consumers = %v", cons)
+	}
+}
+
+func TestGraphLookupAndIO(t *testing.T) {
+	g, _ := chainGraph(t)
+	if g.Lookup("conv1") == nil || g.Lookup("nope") != nil {
+		t.Fatal("Lookup broken")
+	}
+	ins := g.InputNodes()
+	if len(ins) != 1 || ins[0].Name != "input" {
+		t.Fatalf("inputs = %v", ins)
+	}
+	outs := g.OutputNodes()
+	if len(outs) != 1 || outs[0].Name != "loss" {
+		t.Fatalf("outputs = %v", outs)
+	}
+}
+
+func TestGraphErrors(t *testing.T) {
+	g := New()
+	in := g.MustAdd("in", layers.NewInput(1, 3, 8, 8))
+	if _, err := g.Add("in", layers.NewReLU(), in); err == nil {
+		t.Error("duplicate name should error")
+	}
+	if _, err := g.Add("x", layers.NewReLU(), nil); err == nil {
+		t.Error("nil input should error")
+	}
+	other := New()
+	foreign := other.MustAdd("f", layers.NewInput(1, 3, 8, 8))
+	if _, err := g.Add("y", layers.NewReLU(), foreign); err == nil {
+		t.Error("foreign input should error")
+	}
+	if _, err := g.Add("z", layers.NewConv2D(1, 9, 1, 0), in); err == nil {
+		t.Error("impossible shape should error")
+	}
+}
+
+func TestMustAddPanics(t *testing.T) {
+	g := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.MustAdd("bad", layers.NewReLU()) // ReLU needs one input
+}
+
+func TestAutoNaming(t *testing.T) {
+	g := New()
+	in := g.MustAdd("", layers.NewInput(1, 3, 8, 8))
+	r := g.MustAdd("", layers.NewReLU(), in)
+	if in.Name == "" || r.Name == "" || in.Name == r.Name {
+		t.Fatalf("auto names: %q, %q", in.Name, r.Name)
+	}
+}
+
+func TestWeightBytes(t *testing.T) {
+	g := New()
+	in := g.MustAdd("in", layers.NewInput(1, 3, 8, 8))
+	g.MustAdd("conv", layers.NewConv2D(4, 3, 1, 1), in)
+	// W: 4*3*3*3 = 108 floats, B: 4 floats => 112*4 bytes.
+	if got := g.WeightBytes(); got != 112*4 {
+		t.Fatalf("WeightBytes = %d", got)
+	}
+}
+
+func TestTimelineLayout(t *testing.T) {
+	g, nodes := chainGraph(t)
+	tl := BuildTimeline(g)
+	l := len(g.Nodes)
+	if tl.Len() != 2*l {
+		t.Fatalf("Len = %d, want %d", tl.Len(), 2*l)
+	}
+	// Forward steps are 0..L-1 in insertion order; backward is mirrored.
+	for _, n := range g.Nodes {
+		if tl.ForwardStep(n) != n.ID {
+			t.Errorf("%s forward step = %d", n.Name, tl.ForwardStep(n))
+		}
+		if tl.BackwardStep(n) != 2*l-1-n.ID {
+			t.Errorf("%s backward step = %d", n.Name, tl.BackwardStep(n))
+		}
+	}
+	// The loss node's forward and backward are adjacent.
+	loss := nodes["loss"]
+	if tl.BackwardStep(loss) != tl.ForwardStep(loss)+1 {
+		t.Error("loss backward must immediately follow its forward")
+	}
+	// Steps array is consistent.
+	for i, s := range tl.Steps {
+		if s.T != i {
+			t.Fatalf("step %d has T=%d", i, s.T)
+		}
+	}
+	if tl.Steps[0].Phase != Forward || tl.Steps[2*l-1].Phase != Backward {
+		t.Error("phase layout wrong")
+	}
+	if Forward.String() != "forward" || Backward.String() != "backward" {
+		t.Error("phase names")
+	}
+}
+
+func TestOutputStashedClassification(t *testing.T) {
+	_, nodes := chainGraph(t)
+	// conv1's output feeds relu1 (Needs.X false) and conv1's own backward
+	// doesn't need Y: NOT stashed.
+	if OutputStashed(nodes["conv1"]) {
+		t.Error("conv output before ReLU must not be stashed")
+	}
+	// relu1 feeds pool1 (baseline pool Needs.X true) and ReLU Needs.Y: stashed.
+	if !OutputStashed(nodes["relu1"]) {
+		t.Error("ReLU output must be stashed")
+	}
+	// pool1 feeds conv2 (Needs.X true): stashed.
+	if !OutputStashed(nodes["pool1"]) {
+		t.Error("pool output feeding conv must be stashed")
+	}
+	// relu2 feeds fc (Needs.X true): stashed.
+	if !OutputStashed(nodes["relu2"]) {
+		t.Error("relu2 output must be stashed")
+	}
+	// input feeds conv1 (Needs.X true): stashed (the minibatch itself).
+	if !OutputStashed(nodes["input"]) {
+		t.Error("input feeding conv must be stashed")
+	}
+}
+
+func TestUseSteps(t *testing.T) {
+	g, nodes := chainGraph(t)
+	tl := BuildTimeline(g)
+	r1 := nodes["relu1"]
+	// relu1 output used forward by pool1; backward by relu1's own backward
+	// (Y) and pool1's backward (X).
+	if got := LastForwardUse(tl, r1); got != tl.ForwardStep(nodes["pool1"]) {
+		t.Errorf("LastForwardUse = %d", got)
+	}
+	if got := LastBackwardUse(tl, r1); got != tl.BackwardStep(r1) {
+		t.Errorf("LastBackwardUse = %d, want relu1's own backward", got)
+	}
+	if got := FirstBackwardUse(tl, r1); got != tl.BackwardStep(nodes["pool1"]) {
+		t.Errorf("FirstBackwardUse = %d, want pool1's backward", got)
+	}
+	// conv1 output: only backward use is relu1's? No — ReLU needs Y not X,
+	// so conv1's only backward use would be via consumers needing X: none.
+	if got := LastBackwardUse(tl, nodes["conv1"]); got != -1 {
+		t.Errorf("conv1 LastBackwardUse = %d, want -1", got)
+	}
+	if got := FirstBackwardUse(tl, nodes["conv1"]); got != -1 {
+		t.Errorf("conv1 FirstBackwardUse = %d, want -1", got)
+	}
+}
+
+func TestGradProducedStep(t *testing.T) {
+	g, nodes := chainGraph(t)
+	tl := BuildTimeline(g)
+	// Gradient w.r.t. fc's output is produced by loss's backward.
+	if got := GradProducedStep(tl, nodes["fc"]); got != tl.BackwardStep(nodes["loss"]) {
+		t.Errorf("fc grad produced at %d", got)
+	}
+	// Sink (loss) seeds its own gradient.
+	if got := GradProducedStep(tl, nodes["loss"]); got != tl.BackwardStep(nodes["loss"]) {
+		t.Errorf("loss grad produced at %d", got)
+	}
+}
+
+func TestInplaceEligibility(t *testing.T) {
+	_, nodes := chainGraph(t)
+	// relu1's input is conv1's output, single consumer, conv1 output not
+	// stashed: eligible.
+	if !InplaceEligible(nodes["relu1"]) {
+		t.Error("relu1 should be inplace eligible")
+	}
+	// pool1 is not a ReLU: ineligible.
+	if InplaceEligible(nodes["pool1"]) {
+		t.Error("pool must not be inplace eligible")
+	}
+}
+
+func TestInplaceIneligibleWhenInputStashed(t *testing.T) {
+	// BatchNorm's backward needs its input X; a ReLU after BN must not
+	// overwrite BN's stashed input.
+	g := New()
+	in := g.MustAdd("in", layers.NewInput(2, 4, 8, 8))
+	conv := g.MustAdd("conv", layers.NewConv2D(4, 3, 1, 1), in)
+	bn := g.MustAdd("bn", layers.NewBatchNorm(), conv)
+	relu := g.MustAdd("relu", layers.NewReLU(), bn)
+	_ = conv
+	if !OutputStashed(bn) == false && InplaceEligible(relu) {
+		t.Error("inconsistent")
+	}
+	// bn's output feeds relu (Needs.X false) and bn backward doesn't need
+	// Y, so bn's output is NOT stashed: relu is eligible here.
+	if !InplaceEligible(relu) {
+		t.Error("relu after bn should be eligible (bn output not stashed)")
+	}
+	// But a ReLU whose input is also consumed elsewhere is ineligible.
+	g2 := New()
+	in2 := g2.MustAdd("in", layers.NewInput(2, 4, 8, 8))
+	c2 := g2.MustAdd("conv", layers.NewConv2D(4, 3, 1, 1), in2)
+	r2 := g2.MustAdd("relu", layers.NewReLU(), c2)
+	g2.MustAdd("add", layers.NewAdd(), r2, c2) // second consumer of conv
+	if InplaceEligible(r2) {
+		t.Error("relu with multi-consumer input must be ineligible")
+	}
+	// A ReLU directly on the network input is ineligible.
+	g3 := New()
+	in3 := g3.MustAdd("in", layers.NewInput(2, 4, 8, 8))
+	r3 := g3.MustAdd("relu", layers.NewReLU(), in3)
+	if InplaceEligible(r3) {
+		t.Error("relu on the input must be ineligible")
+	}
+}
+
+func TestBufferClassNames(t *testing.T) {
+	if ClassStashedFmap.String() != "stashed feature map" {
+		t.Error(ClassStashedFmap.String())
+	}
+	if BufferClass(99).String() != "BufferClass(99)" {
+		t.Error("unknown class formatting")
+	}
+}
+
+func TestTotalFLOPsPositive(t *testing.T) {
+	g, _ := chainGraph(t)
+	if g.TotalFLOPs() <= 0 {
+		t.Fatal("FLOPs must be positive")
+	}
+}
+
+func TestMultiConsumerUseSteps(t *testing.T) {
+	// Residual pattern: conv output consumed by both relu and add.
+	g := New()
+	in := g.MustAdd("in", layers.NewInput(2, 4, 8, 8))
+	conv := g.MustAdd("conv", layers.NewConv2D(4, 3, 1, 1), in)
+	relu := g.MustAdd("relu", layers.NewReLU(), conv)
+	add := g.MustAdd("add", layers.NewAdd(), relu, conv)
+	conv2 := g.MustAdd("conv2", layers.NewConv2D(4, 3, 1, 1), add)
+	_ = conv2
+	tl := BuildTimeline(g)
+	// conv's output last forward use is the add step.
+	if got := LastForwardUse(tl, conv); got != tl.ForwardStep(add) {
+		t.Errorf("LastForwardUse = %d, want add's", got)
+	}
+	// add's output feeds conv2 which needs X: stashed, backward use at
+	// conv2's backward step.
+	if !OutputStashed(add) {
+		t.Error("add output should be stashed (conv2 needs X)")
+	}
+	if got := LastBackwardUse(tl, add); got != tl.BackwardStep(conv2) {
+		t.Errorf("add LastBackwardUse = %d", got)
+	}
+}

@@ -1,0 +1,150 @@
+package layers
+
+import (
+	"fmt"
+
+	"gist/internal/tensor"
+)
+
+// Conv2D is a 2-d convolution over NCHW input with learnable filter and
+// bias. Its backward pass needs the stashed input feature map X to compute
+// the weight gradient (Figure 4(d) of the paper) — which is why Binarize is
+// illegal for ReLU→Conv and SSDC takes its place.
+type Conv2D struct {
+	OutC   int
+	KH, KW int
+	Stride int
+	Pad    int
+	// Algo selects the implementation: AlgoDirect (memory-optimal, no
+	// workspace — the paper's baseline choice) or AlgoIm2col
+	// (performance-optimal GEMM lowering with a column-matrix workspace).
+	Algo ConvAlgo
+}
+
+// NewConv2D returns a square-kernel convolution.
+func NewConv2D(outC, k, stride, pad int) *Conv2D {
+	return &Conv2D{OutC: outC, KH: k, KW: k, Stride: stride, Pad: pad}
+}
+
+// Kind returns Conv.
+func (c *Conv2D) Kind() Kind { return Conv }
+
+// Needs reports that convolution's backward reads X (for dW) but not Y.
+func (c *Conv2D) Needs() BackwardNeeds { return BackwardNeeds{X: true} }
+
+// OutShape infers [n, outC, oh, ow].
+func (c *Conv2D) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("layers: Conv2D wants 1 input, got %d", len(in))
+	}
+	n, _, h, w, err := shape4(in[0])
+	if err != nil {
+		return nil, err
+	}
+	oh := convOut(h, c.KH, c.Stride, c.Pad)
+	ow := convOut(w, c.KW, c.Stride, c.Pad)
+	if oh <= 0 || ow <= 0 {
+		return nil, fmt.Errorf("layers: Conv2D output %dx%d not positive for input %v", oh, ow, in[0])
+	}
+	return tensor.Shape{n, c.OutC, oh, ow}, nil
+}
+
+// ParamShapes returns the filter [outC, inC, kh, kw] and bias [outC].
+func (c *Conv2D) ParamShapes(in []tensor.Shape) []tensor.Shape {
+	inC := in[0][1]
+	return []tensor.Shape{{c.OutC, inC, c.KH, c.KW}, {c.OutC}}
+}
+
+// FLOPs counts 2 * output elements * filter taps.
+func (c *Conv2D) FLOPs(in []tensor.Shape) int64 {
+	out, err := c.OutShape(in)
+	if err != nil {
+		return 0
+	}
+	taps := int64(in[0][1]) * int64(c.KH) * int64(c.KW)
+	return 2 * int64(out.NumElements()) * taps
+}
+
+// Forward computes the convolution with the configured algorithm.
+func (c *Conv2D) Forward(ctx *FwdCtx) {
+	if c.Algo == AlgoIm2col {
+		c.forwardIm2col(ctx)
+		return
+	}
+	x, w, b, y := ctx.In[0], ctx.Params[0], ctx.Params[1], ctx.Out
+	n, inC, ih, iw := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := y.Shape[2], y.Shape[3]
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			bias := b.Data[oc]
+			for yh := 0; yh < oh; yh++ {
+				for yw := 0; yw < ow; yw++ {
+					sum := bias
+					h0, w0 := yh*c.Stride-c.Pad, yw*c.Stride-c.Pad
+					for ic := 0; ic < inC; ic++ {
+						for kh := 0; kh < c.KH; kh++ {
+							xh := h0 + kh
+							if xh < 0 || xh >= ih {
+								continue
+							}
+							for kw := 0; kw < c.KW; kw++ {
+								xw := w0 + kw
+								if xw < 0 || xw >= iw {
+									continue
+								}
+								sum += x.At(ni, ic, xh, xw) * w.At(oc, ic, kh, kw)
+							}
+						}
+					}
+					y.Set(ni, oc, yh, yw, sum)
+				}
+			}
+		}
+	}
+}
+
+// Backward computes dX, dW and dB from the stashed X and incoming dY.
+func (c *Conv2D) Backward(ctx *BwdCtx) {
+	if c.Algo == AlgoIm2col {
+		c.backwardIm2col(ctx)
+		return
+	}
+	x, w, dy := ctx.In[0], ctx.Params[0], ctx.DOut
+	dx, dw, db := ctx.DIn[0], ctx.DParams[0], ctx.DParams[1]
+	n, inC, ih, iw := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := dy.Shape[2], dy.Shape[3]
+
+	dx.Zero()
+	dw.Zero()
+	db.Zero()
+	for ni := 0; ni < n; ni++ {
+		for oc := 0; oc < c.OutC; oc++ {
+			for yh := 0; yh < oh; yh++ {
+				for yw := 0; yw < ow; yw++ {
+					g := dy.At(ni, oc, yh, yw)
+					if g == 0 {
+						continue
+					}
+					db.Data[oc] += g
+					h0, w0 := yh*c.Stride-c.Pad, yw*c.Stride-c.Pad
+					for ic := 0; ic < inC; ic++ {
+						for kh := 0; kh < c.KH; kh++ {
+							xh := h0 + kh
+							if xh < 0 || xh >= ih {
+								continue
+							}
+							for kw := 0; kw < c.KW; kw++ {
+								xw := w0 + kw
+								if xw < 0 || xw >= iw {
+									continue
+								}
+								dw.Data[((oc*inC+ic)*c.KH+kh)*c.KW+kw] += g * x.At(ni, ic, xh, xw)
+								dx.Data[((ni*inC+ic)*ih+xh)*iw+xw] += g * w.At(oc, ic, kh, kw)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

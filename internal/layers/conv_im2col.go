@@ -1,0 +1,198 @@
+package layers
+
+import (
+	"fmt"
+
+	"gist/internal/tensor"
+)
+
+// ConvAlgo selects the convolution implementation, mirroring cuDNN's
+// choice between memory-optimal and performance-optimal algorithms that
+// the paper discusses in Section II: the workspace a convolution needs is
+// a function of the algorithm, and the paper's baseline deliberately picks
+// the memory-optimal one.
+type ConvAlgo int
+
+const (
+	// AlgoDirect is the memory-optimal direct convolution: no workspace.
+	AlgoDirect ConvAlgo = iota
+	// AlgoIm2col is the performance-optimal lowering to a GEMM: it
+	// materializes the column matrix of each image as workspace
+	// (inC*kh*kw x oh*ow FP32 values) but runs as a dense matrix
+	// multiply, which real libraries execute far faster.
+	AlgoIm2col
+)
+
+// String names the algorithm as reports print it.
+func (a ConvAlgo) String() string {
+	if a == AlgoIm2col {
+		return "im2col"
+	}
+	return "direct"
+}
+
+// WorkspaceBytes returns the scratch memory one invocation of the
+// convolution needs under its configured algorithm, for the given input
+// shape: zero for direct, one image's column matrix for im2col.
+func (c *Conv2D) WorkspaceBytes(in tensor.Shape) int64 {
+	if c.Algo != AlgoIm2col {
+		return 0
+	}
+	if c.KH == 1 && c.KW == 1 && c.Stride == 1 && c.Pad == 0 {
+		// A 1x1 stride-1 convolution is already a GEMM over the input
+		// matrix: no column expansion is materialized.
+		return 0
+	}
+	_, inC, h, w, err := shape4(in)
+	if err != nil {
+		return 0
+	}
+	oh := convOut(h, c.KH, c.Stride, c.Pad)
+	ow := convOut(w, c.KW, c.Stride, c.Pad)
+	return int64(inC*c.KH*c.KW) * int64(oh*ow) * 4
+}
+
+// im2col expands one image (inC x ih x iw) into the column matrix
+// (inC*kh*kw rows x oh*ow columns), with zero padding applied.
+func (c *Conv2D) im2col(x []float32, inC, ih, iw, oh, ow int, cols []float32) {
+	k := c.KH * c.KW
+	for ic := 0; ic < inC; ic++ {
+		for kh := 0; kh < c.KH; kh++ {
+			for kw := 0; kw < c.KW; kw++ {
+				row := (ic*k + kh*c.KW + kw) * oh * ow
+				for yh := 0; yh < oh; yh++ {
+					xh := yh*c.Stride - c.Pad + kh
+					if xh < 0 || xh >= ih {
+						for yw := 0; yw < ow; yw++ {
+							cols[row+yh*ow+yw] = 0
+						}
+						continue
+					}
+					for yw := 0; yw < ow; yw++ {
+						xw := yw*c.Stride - c.Pad + kw
+						if xw < 0 || xw >= iw {
+							cols[row+yh*ow+yw] = 0
+						} else {
+							cols[row+yh*ow+yw] = x[(ic*ih+xh)*iw+xw]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2im scatters a column-matrix gradient back into an image gradient,
+// accumulating overlapping taps.
+func (c *Conv2D) col2im(cols []float32, inC, ih, iw, oh, ow int, dx []float32) {
+	k := c.KH * c.KW
+	for ic := 0; ic < inC; ic++ {
+		for kh := 0; kh < c.KH; kh++ {
+			for kw := 0; kw < c.KW; kw++ {
+				row := (ic*k + kh*c.KW + kw) * oh * ow
+				for yh := 0; yh < oh; yh++ {
+					xh := yh*c.Stride - c.Pad + kh
+					if xh < 0 || xh >= ih {
+						continue
+					}
+					for yw := 0; yw < ow; yw++ {
+						xw := yw*c.Stride - c.Pad + kw
+						if xw < 0 || xw >= iw {
+							continue
+						}
+						dx[(ic*ih+xh)*iw+xw] += cols[row+yh*ow+yw]
+					}
+				}
+			}
+		}
+	}
+}
+
+// forwardIm2col computes the convolution as per-image GEMMs:
+// Y[oc, ohw] = W[oc, K] * cols[K, ohw] + b.
+func (c *Conv2D) forwardIm2col(ctx *FwdCtx) {
+	x, w, b, y := ctx.In[0], ctx.Params[0], ctx.Params[1], ctx.Out
+	n, inC, ih, iw := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := y.Shape[2], y.Shape[3]
+	kdim := inC * c.KH * c.KW
+	ohw := oh * ow
+	cols := make([]float32, kdim*ohw)
+	per := inC * ih * iw
+	for ni := 0; ni < n; ni++ {
+		c.im2col(x.Data[ni*per:(ni+1)*per], inC, ih, iw, oh, ow, cols)
+		for oc := 0; oc < c.OutC; oc++ {
+			wRow := w.Data[oc*kdim : (oc+1)*kdim]
+			out := y.Data[((ni*c.OutC+oc)*oh)*ow : ((ni*c.OutC+oc)*oh+oh)*ow]
+			bias := b.Data[oc]
+			for j := range out {
+				out[j] = bias
+			}
+			for kk, wv := range wRow {
+				if wv == 0 {
+					continue
+				}
+				colRow := cols[kk*ohw : (kk+1)*ohw]
+				for j, cv := range colRow {
+					out[j] += wv * cv
+				}
+			}
+		}
+	}
+}
+
+// backwardIm2col computes dX, dW and dB through the column matrices:
+// dW += dY[oc, ohw] * colsᵀ; dCols = Wᵀ * dY; dX = col2im(dCols).
+func (c *Conv2D) backwardIm2col(ctx *BwdCtx) {
+	x, w, dy := ctx.In[0], ctx.Params[0], ctx.DOut
+	dx, dw, db := ctx.DIn[0], ctx.DParams[0], ctx.DParams[1]
+	n, inC, ih, iw := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := dy.Shape[2], dy.Shape[3]
+	kdim := inC * c.KH * c.KW
+	ohw := oh * ow
+	cols := make([]float32, kdim*ohw)
+	dcols := make([]float32, kdim*ohw)
+	per := inC * ih * iw
+	dx.Zero()
+	dw.Zero()
+	db.Zero()
+	for ni := 0; ni < n; ni++ {
+		c.im2col(x.Data[ni*per:(ni+1)*per], inC, ih, iw, oh, ow, cols)
+		clear(dcols)
+		for oc := 0; oc < c.OutC; oc++ {
+			g := dy.Data[((ni*c.OutC+oc)*oh)*ow : ((ni*c.OutC+oc)*oh+oh)*ow]
+			wRow := w.Data[oc*kdim : (oc+1)*kdim]
+			dwRow := dw.Data[oc*kdim : (oc+1)*kdim]
+			var bsum float32
+			for j, gv := range g {
+				bsum += gv
+				if gv == 0 {
+					continue
+				}
+				_ = j
+			}
+			db.Data[oc] += bsum
+			for kk := 0; kk < kdim; kk++ {
+				colRow := cols[kk*ohw : (kk+1)*ohw]
+				dcolRow := dcols[kk*ohw : (kk+1)*ohw]
+				wv := wRow[kk]
+				var dwAcc float32
+				for j, gv := range g {
+					dwAcc += gv * colRow[j]
+					dcolRow[j] += wv * gv
+				}
+				dwRow[kk] += dwAcc
+			}
+		}
+		c.col2im(dcols, inC, ih, iw, oh, ow, dx.Data[ni*per:(ni+1)*per])
+	}
+}
+
+// SetAlgo selects the convolution algorithm and returns the operator for
+// chaining in network builders.
+func (c *Conv2D) SetAlgo(a ConvAlgo) *Conv2D {
+	if a != AlgoDirect && a != AlgoIm2col {
+		panic(fmt.Sprintf("layers: unknown conv algorithm %d", int(a)))
+	}
+	c.Algo = a
+	return c
+}

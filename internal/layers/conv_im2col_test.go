@@ -1,0 +1,126 @@
+package layers
+
+import (
+	"testing"
+
+	"gist/internal/tensor"
+)
+
+// convBoth runs the same convolution through both algorithms and returns
+// the two outputs.
+func convBoth(t *testing.T, outC, k, stride, pad int, x *tensor.Tensor, w, b *tensor.Tensor) (*tensor.Tensor, *tensor.Tensor) {
+	t.Helper()
+	direct := NewConv2D(outC, k, stride, pad)
+	gemm := NewConv2D(outC, k, stride, pad).SetAlgo(AlgoIm2col)
+	outD, _ := runOpNoT(direct, []*tensor.Tensor{x}, []*tensor.Tensor{w, b})
+	outG, _ := runOpNoT(gemm, []*tensor.Tensor{x}, []*tensor.Tensor{w, b})
+	return outD, outG
+}
+
+func TestIm2colMatchesDirectForward(t *testing.T) {
+	cases := []struct{ outC, k, stride, pad, n, inC, h, w int }{
+		{4, 3, 1, 1, 2, 3, 8, 8},
+		{2, 5, 2, 2, 1, 2, 11, 11},
+		{3, 1, 1, 0, 2, 4, 5, 5},
+		{2, 3, 2, 0, 1, 1, 7, 9},
+	}
+	for _, c := range cases {
+		x := randTensor(1, c.n, c.inC, c.h, c.w)
+		w := randTensor(2, c.outC, c.inC, c.k, c.k)
+		b := randTensor(3, c.outC)
+		outD, outG := convBoth(t, c.outC, c.k, c.stride, c.pad, x, w, b)
+		if !outD.AlmostEqual(outG, 1e-4) {
+			t.Errorf("case %+v: algorithms disagree", c)
+		}
+	}
+}
+
+func TestIm2colNonSquareKernelViaFields(t *testing.T) {
+	// Exercise KH != KW through the struct directly.
+	op := &Conv2D{OutC: 2, KH: 3, KW: 1, Stride: 1, Pad: 0, Algo: AlgoIm2col}
+	ref := &Conv2D{OutC: 2, KH: 3, KW: 1, Stride: 1, Pad: 0}
+	x := randTensor(4, 1, 2, 6, 6)
+	w := randTensor(5, 2, 2, 3, 1)
+	b := randTensor(6, 2)
+	outG, _ := runOpNoT(op, []*tensor.Tensor{x}, []*tensor.Tensor{w, b})
+	outD, _ := runOpNoT(ref, []*tensor.Tensor{x}, []*tensor.Tensor{w, b})
+	if !outD.AlmostEqual(outG, 1e-4) {
+		t.Error("non-square kernels disagree")
+	}
+}
+
+func TestIm2colGradCheck(t *testing.T) {
+	op := NewConv2D(3, 3, 1, 1).SetAlgo(AlgoIm2col)
+	x := randTensor(11, 2, 2, 5, 5)
+	params := []*tensor.Tensor{randTensor(12, 3, 2, 3, 3), randTensor(13, 3)}
+	gradCheck(t, op, []*tensor.Tensor{x}, params, 2e-3)
+}
+
+func TestIm2colStridedPaddedGradCheck(t *testing.T) {
+	op := NewConv2D(2, 3, 2, 1).SetAlgo(AlgoIm2col)
+	x := randTensor(14, 2, 3, 7, 7)
+	params := []*tensor.Tensor{randTensor(15, 2, 3, 3, 3), randTensor(16, 2)}
+	gradCheck(t, op, []*tensor.Tensor{x}, params, 2e-3)
+}
+
+func TestIm2colBackwardMatchesDirect(t *testing.T) {
+	// Both algorithms must produce (nearly) identical gradients on the
+	// same stash and upstream gradient.
+	x := randTensor(21, 2, 3, 6, 6)
+	w := randTensor(22, 4, 3, 3, 3)
+	b := randTensor(23, 4)
+	dy := randTensor(24, 2, 4, 6, 6)
+
+	run := func(algo ConvAlgo) (*tensor.Tensor, *tensor.Tensor, *tensor.Tensor) {
+		op := NewConv2D(4, 3, 1, 1).SetAlgo(algo)
+		dx := tensor.New(2, 3, 6, 6)
+		dw := tensor.New(4, 3, 3, 3)
+		db := tensor.New(4)
+		op.Backward(&BwdCtx{
+			In: []*tensor.Tensor{x}, Params: []*tensor.Tensor{w, b},
+			DOut: dy, DIn: []*tensor.Tensor{dx},
+			DParams: []*tensor.Tensor{dw, db}, Aux: map[string]any{},
+		})
+		return dx, dw, db
+	}
+	dxD, dwD, dbD := run(AlgoDirect)
+	dxG, dwG, dbG := run(AlgoIm2col)
+	if !dxD.AlmostEqual(dxG, 1e-4) {
+		t.Error("dX disagrees")
+	}
+	if !dwD.AlmostEqual(dwG, 1e-4) {
+		t.Error("dW disagrees")
+	}
+	if !dbD.AlmostEqual(dbG, 1e-4) {
+		t.Error("dB disagrees")
+	}
+}
+
+func TestConvWorkspaceBytes(t *testing.T) {
+	in := tensor.Shape{8, 64, 28, 28}
+	direct := NewConv2D(64, 3, 1, 1)
+	if direct.WorkspaceBytes(in) != 0 {
+		t.Error("direct conv needs no workspace")
+	}
+	gemm := NewConv2D(64, 3, 1, 1).SetAlgo(AlgoIm2col)
+	// Column matrix: inC*k*k rows x oh*ow cols of FP32 for one image.
+	want := int64(64*3*3) * int64(28*28) * 4
+	if got := gemm.WorkspaceBytes(in); got != want {
+		t.Errorf("im2col workspace = %d, want %d", got, want)
+	}
+	if gemm.WorkspaceBytes(tensor.Shape{1, 2}) != 0 {
+		t.Error("bad shape should yield zero workspace")
+	}
+}
+
+func TestConvAlgoStringAndPanic(t *testing.T) {
+	if AlgoDirect.String() != "direct" || AlgoIm2col.String() != "im2col" {
+		t.Error("names")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown algo must panic")
+		}
+	}()
+	NewConv2D(1, 1, 1, 0).SetAlgo(ConvAlgo(7))
+}

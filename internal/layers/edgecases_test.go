@@ -1,0 +1,251 @@
+package layers
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"gist/internal/tensor"
+)
+
+func TestConv1x1IsChannelMix(t *testing.T) {
+	// A 1x1 convolution is a per-pixel linear map over channels; verify
+	// against a hand computation.
+	op := NewConv2D(2, 1, 1, 0)
+	x := tensor.FromSlice([]float32{
+		1, 2, // channel 0
+		3, 4, // channel 1
+	}, 1, 2, 1, 2)
+	w := tensor.FromSlice([]float32{1, 10, 100, 1000}, 2, 2, 1, 1)
+	b := tensor.FromSlice([]float32{0, 0}, 2)
+	out, _ := runOpNoT(op, []*tensor.Tensor{x}, []*tensor.Tensor{w, b})
+	// out[0] channel0 = 1*1 + 3*10 = 31; position 1: 2 + 40 = 42.
+	// channel1 = 1*100 + 3*1000 = 3100; position 1: 200 + 4000 = 4200.
+	want := []float32{31, 42, 3100, 4200}
+	for i := range want {
+		if out.Data[i] != want[i] {
+			t.Fatalf("out[%d] = %v, want %v", i, out.Data[i], want[i])
+		}
+	}
+}
+
+func TestConvFullPaddingKeepsEdges(t *testing.T) {
+	// 3x3 pad-1 over a 1x1 image: only the kernel center tap lands.
+	op := NewConv2D(1, 3, 1, 1)
+	x := tensor.FromSlice([]float32{5}, 1, 1, 1, 1)
+	w := tensor.New(1, 1, 3, 3)
+	w.Fill(1)
+	b := tensor.New(1)
+	out, _ := runOpNoT(op, []*tensor.Tensor{x}, []*tensor.Tensor{w, b})
+	if out.Data[0] != 5 {
+		t.Fatalf("center tap = %v, want 5", out.Data[0])
+	}
+}
+
+func TestConvAsymmetricInput(t *testing.T) {
+	op := NewConv2D(3, 3, 2, 1)
+	out, err := op.OutShape([]tensor.Shape{{2, 4, 13, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// oh = (13+2-3)/2+1 = 7; ow = (7+2-3)/2+1 = 4.
+	if !out.Equal(tensor.Shape{2, 3, 7, 4}) {
+		t.Fatalf("out = %v", out)
+	}
+	// The kernels must actually run on the asymmetric shape.
+	x := randTensor(71, 2, 4, 13, 7)
+	w := randTensor(72, 3, 4, 3, 3)
+	b := randTensor(73, 3)
+	got, _ := runOpNoT(op, []*tensor.Tensor{x}, []*tensor.Tensor{w, b})
+	if got.NumElements() != out.NumElements() {
+		t.Fatal("size mismatch")
+	}
+}
+
+func TestMaxPoolAllNegativeWindow(t *testing.T) {
+	// The pool must pick the largest (least negative) value, not zero.
+	op := NewMaxPool(2, 2, 0)
+	x := tensor.FromSlice([]float32{-5, -3, -8, -9}, 1, 1, 2, 2)
+	out, _ := runOpNoT(op, []*tensor.Tensor{x}, nil)
+	if out.Data[0] != -3 {
+		t.Fatalf("max of negatives = %v, want -3", out.Data[0])
+	}
+}
+
+func TestMaxPoolTieBreaksFirst(t *testing.T) {
+	// Ties go to the first (row-major) occurrence, making the argmax map
+	// deterministic.
+	op := NewMaxPool(2, 2, 0)
+	x := tensor.FromSlice([]float32{7, 7, 7, 7}, 1, 1, 2, 2)
+	_, aux := runOpNoT(op, []*tensor.Tensor{x}, nil)
+	dy := tensor.FromSlice([]float32{1}, 1, 1, 1, 1)
+	dx := tensor.New(1, 1, 2, 2)
+	op.Backward(&BwdCtx{DOut: dy, DIn: []*tensor.Tensor{dx}, Aux: aux})
+	if dx.Data[0] != 1 || dx.Data[1] != 0 || dx.Data[2] != 0 || dx.Data[3] != 0 {
+		t.Fatalf("tie gradient = %v, want first slot", dx.Data)
+	}
+}
+
+func TestOverlappingPoolGradientAccumulates(t *testing.T) {
+	// Stride 1 windows overlap: a cell that is the max of two windows
+	// receives both gradients.
+	op := NewMaxPool(2, 1, 0)
+	x := tensor.FromSlice([]float32{
+		0, 0, 0,
+		0, 9, 0,
+		0, 0, 0,
+	}, 1, 1, 3, 3)
+	_, aux := runOpNoT(op, []*tensor.Tensor{x}, nil)
+	dy := tensor.New(1, 1, 2, 2)
+	dy.Fill(1)
+	dx := tensor.New(1, 1, 3, 3)
+	op.Backward(&BwdCtx{DOut: dy, DIn: []*tensor.Tensor{dx}, Aux: aux})
+	if dx.At(0, 0, 1, 1) != 4 {
+		t.Fatalf("center gradient = %v, want 4 (all four windows)", dx.At(0, 0, 1, 1))
+	}
+}
+
+func TestBatchNormSingleSpatialElement(t *testing.T) {
+	// N*H*W = 4 samples per channel, minimal but valid.
+	op := NewBatchNorm()
+	x := randTensor(80, 4, 2, 1, 1)
+	gamma := tensor.New(2)
+	gamma.Fill(1)
+	beta := tensor.New(2)
+	out, _ := runOpNoT(op, []*tensor.Tensor{x}, []*tensor.Tensor{gamma, beta})
+	for _, v := range out.Data {
+		if math.IsNaN(float64(v)) {
+			t.Fatal("NaN from small-batch BN")
+		}
+	}
+}
+
+func TestLRNWindowLargerThanChannels(t *testing.T) {
+	// Window 5 over 2 channels: the window clips at the boundaries.
+	op := NewLRN(5)
+	x := randTensor(81, 1, 2, 3, 3)
+	out, _ := runOpNoT(op, []*tensor.Tensor{x}, nil)
+	for _, v := range out.Data {
+		if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+			t.Fatal("LRN with clipped window produced non-finite value")
+		}
+	}
+}
+
+func TestPropertyReLUIdempotent(t *testing.T) {
+	// relu(relu(x)) == relu(x).
+	f := func(vals []float32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		op := NewReLU()
+		x := tensor.FromSlice(append([]float32(nil), vals...), len(vals))
+		once, _ := runOpNoT(op, []*tensor.Tensor{x}, nil)
+		twice, _ := runOpNoT(op, []*tensor.Tensor{once}, nil)
+		for i := range once.Data {
+			same := once.Data[i] == twice.Data[i]
+			bothNaN := once.Data[i] != once.Data[i] && twice.Data[i] != twice.Data[i]
+			if !same && !bothNaN {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAvgPoolPreservesMean(t *testing.T) {
+	// With window == stride and no padding over an evenly divisible
+	// extent, average pooling preserves the global mean.
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		x := tensor.New(1, 1, 8, 8)
+		x.FillUniform(r, -1, 1)
+		op := NewAvgPool(2, 2, 0)
+		out, _ := runOpNoT(op, []*tensor.Tensor{x}, nil)
+		var inSum, outSum float64
+		for _, v := range x.Data {
+			inSum += float64(v)
+		}
+		for _, v := range out.Data {
+			outSum += float64(v)
+		}
+		return math.Abs(inSum/64-outSum/16) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySoftmaxRowsSumToOne(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		x := tensor.New(4, 7)
+		x.FillNormal(r, 0, 5)
+		op := NewSoftmaxXent()
+		out, _ := runOpNoT(op, []*tensor.Tensor{x}, nil)
+		for ni := 0; ni < 4; ni++ {
+			var s float64
+			for c := 0; c < 7; c++ {
+				v := out.Data[ni*7+c]
+				if v < 0 || v > 1 {
+					return false
+				}
+				s += float64(v)
+			}
+			if math.Abs(s-1) > 1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyConcatThenSplitIdentity(t *testing.T) {
+	// Concat forward followed by its backward on the same data recovers
+	// the inputs exactly.
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		a := tensor.New(2, 2, 3, 3)
+		b := tensor.New(2, 3, 3, 3)
+		a.FillUniform(r, -1, 1)
+		b.FillUniform(r, -1, 1)
+		op := NewConcat()
+		out, _ := runOpNoT(op, []*tensor.Tensor{a, b}, nil)
+		da := tensor.New(2, 2, 3, 3)
+		db := tensor.New(2, 3, 3, 3)
+		op.Backward(&BwdCtx{DOut: out, DIn: []*tensor.Tensor{da, db}, Aux: map[string]any{}})
+		return da.Equal(a) && db.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyConvLinearity(t *testing.T) {
+	// conv(a*x) == a*conv(x) when the bias is zero.
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		const a = 3
+		x := tensor.New(1, 2, 5, 5)
+		x.FillUniform(r, -1, 1)
+		w := tensor.New(2, 2, 3, 3)
+		w.FillUniform(r, -1, 1)
+		b := tensor.New(2)
+		op := NewConv2D(2, 3, 1, 1)
+		y1, _ := runOpNoT(op, []*tensor.Tensor{x}, []*tensor.Tensor{w, b})
+		xs := x.Clone()
+		xs.Scale(a)
+		y2, _ := runOpNoT(op, []*tensor.Tensor{xs}, []*tensor.Tensor{w, b})
+		y1.Scale(a)
+		return y1.AlmostEqual(y2, 1e-3)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+package layers
+
+import (
+	"math"
+	"testing"
+
+	"gist/internal/tensor"
+)
+
+// runOp executes a forward pass and returns out plus the contexts needed to
+// replay backward.
+func runOp(t *testing.T, op Op, ins []*tensor.Tensor, params []*tensor.Tensor, train bool) (*tensor.Tensor, map[string]any) {
+	t.Helper()
+	shapes := make([]tensor.Shape, len(ins))
+	for i, x := range ins {
+		shapes[i] = x.Shape
+	}
+	outShape, err := op.OutShape(shapes)
+	if err != nil {
+		t.Fatalf("OutShape: %v", err)
+	}
+	out := tensor.New(outShape...)
+	aux := map[string]any{}
+	op.Forward(&FwdCtx{In: ins, Params: params, Out: out, Aux: aux, RNG: tensor.NewRNG(5), Train: train})
+	return out, aux
+}
+
+// lossOf computes a deterministic scalar projection of a tensor so finite
+// differences have a scalar objective: sum_i w_i * out_i with fixed pseudo-
+// random weights.
+func lossWeights(n int) []float64 {
+	r := tensor.NewRNG(99)
+	ws := make([]float64, n)
+	for i := range ws {
+		ws[i] = r.Float64()*2 - 1
+	}
+	return ws
+}
+
+func project(out *tensor.Tensor, ws []float64) float64 {
+	var s float64
+	for i, v := range out.Data {
+		s += ws[i] * float64(v)
+	}
+	return s
+}
+
+// gradCheck verifies op.Backward against central finite differences on both
+// input gradients and parameter gradients.
+func gradCheck(t *testing.T, op Op, ins []*tensor.Tensor, params []*tensor.Tensor, tol float64) {
+	t.Helper()
+	out, aux := runOp(t, op, ins, params, true)
+	ws := lossWeights(out.NumElements())
+
+	// Analytic gradients: dOut = ws, run backward once.
+	dOut := tensor.New(out.Shape...)
+	for i := range dOut.Data {
+		dOut.Data[i] = float32(ws[i])
+	}
+	dIns := make([]*tensor.Tensor, len(ins))
+	for i, x := range ins {
+		dIns[i] = tensor.New(x.Shape...)
+	}
+	dParams := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		dParams[i] = tensor.New(p.Shape...)
+	}
+	needs := op.Needs()
+	bctx := &BwdCtx{Params: params, DOut: dOut, DIn: dIns, DParams: dParams, Aux: aux}
+	if needs.X {
+		bctx.In = ins
+	}
+	if needs.Y {
+		bctx.Out = out
+	}
+	op.Backward(bctx)
+
+	const h = 1e-3
+	check := func(name string, target *tensor.Tensor, analytic *tensor.Tensor) {
+		// Sample a subset of coordinates to keep the test fast.
+		stride := max(1, target.NumElements()/64)
+		for i := 0; i < target.NumElements(); i += stride {
+			orig := target.Data[i]
+			target.Data[i] = orig + h
+			plus, _ := runOp(t, op, ins, params, true)
+			target.Data[i] = orig - h
+			minus, _ := runOp(t, op, ins, params, true)
+			target.Data[i] = orig
+			numeric := (project(plus, ws) - project(minus, ws)) / (2 * h)
+			got := float64(analytic.Data[i])
+			if math.Abs(numeric-got) > tol*(1+math.Abs(numeric)) {
+				t.Errorf("%s[%d]: analytic %v vs numeric %v", name, i, got, numeric)
+			}
+		}
+	}
+	for i := range ins {
+		check("dIn", ins[i], dIns[i])
+	}
+	for i := range params {
+		check("dParam", params[i], dParams[i])
+	}
+}
+
+func randTensor(seed uint64, shape ...int) *tensor.Tensor {
+	x := tensor.New(shape...)
+	x.FillUniform(tensor.NewRNG(seed), -1, 1)
+	return x
+}
+
+func TestConvGradCheck(t *testing.T) {
+	op := NewConv2D(3, 3, 1, 1)
+	x := randTensor(1, 2, 2, 5, 5)
+	params := []*tensor.Tensor{randTensor(2, 3, 2, 3, 3), randTensor(3, 3)}
+	gradCheck(t, op, []*tensor.Tensor{x}, params, 2e-3)
+}
+
+func TestConvStridedGradCheck(t *testing.T) {
+	op := NewConv2D(2, 3, 2, 0)
+	x := randTensor(4, 2, 3, 7, 7)
+	params := []*tensor.Tensor{randTensor(5, 2, 3, 3, 3), randTensor(6, 2)}
+	gradCheck(t, op, []*tensor.Tensor{x}, params, 2e-3)
+}
+
+func TestFCGradCheck(t *testing.T) {
+	op := NewFC(4)
+	x := randTensor(7, 3, 6)
+	params := []*tensor.Tensor{randTensor(8, 4, 6), randTensor(9, 4)}
+	gradCheck(t, op, []*tensor.Tensor{x}, params, 2e-3)
+}
+
+func TestFC4DInputGradCheck(t *testing.T) {
+	op := NewFC(3)
+	x := randTensor(10, 2, 2, 3, 3)
+	params := []*tensor.Tensor{randTensor(11, 3, 18), randTensor(12, 3)}
+	gradCheck(t, op, []*tensor.Tensor{x}, params, 2e-3)
+}
+
+func TestReLUGradCheck(t *testing.T) {
+	op := NewReLU()
+	x := randTensor(13, 2, 3, 4, 4)
+	// Keep values away from the kink at 0 for finite differences.
+	x.Apply(func(v float32) float32 {
+		if v > -0.01 && v < 0.01 {
+			return 0.5
+		}
+		return v
+	})
+	gradCheck(t, op, []*tensor.Tensor{x}, nil, 2e-3)
+}
+
+func TestMaxPoolGradCheck(t *testing.T) {
+	op := NewMaxPool(2, 2, 0)
+	x := randTensor(14, 2, 2, 6, 6)
+	gradCheck(t, op, []*tensor.Tensor{x}, nil, 2e-3)
+}
+
+func TestMaxPoolPaddedGradCheck(t *testing.T) {
+	op := NewMaxPool(3, 2, 1)
+	x := randTensor(15, 1, 2, 7, 7)
+	gradCheck(t, op, []*tensor.Tensor{x}, nil, 2e-3)
+}
+
+func TestAvgPoolGradCheck(t *testing.T) {
+	op := NewAvgPool(2, 2, 0)
+	x := randTensor(16, 2, 2, 6, 6)
+	gradCheck(t, op, []*tensor.Tensor{x}, nil, 2e-3)
+}
+
+func TestAvgPoolPaddedGradCheck(t *testing.T) {
+	op := NewAvgPool(3, 2, 1)
+	x := randTensor(17, 1, 2, 7, 7)
+	gradCheck(t, op, []*tensor.Tensor{x}, nil, 2e-3)
+}
+
+func TestBatchNormGradCheck(t *testing.T) {
+	op := NewBatchNorm()
+	x := randTensor(18, 4, 3, 3, 3)
+	params := []*tensor.Tensor{randTensor(19, 3), randTensor(20, 3)}
+	// Gamma away from zero for conditioning.
+	params[0].Apply(func(v float32) float32 { return v + 2 })
+	gradCheck(t, op, []*tensor.Tensor{x}, params, 5e-3)
+}
+
+func TestLRNGradCheck(t *testing.T) {
+	op := NewLRN(5)
+	x := randTensor(21, 2, 6, 3, 3)
+	gradCheck(t, op, []*tensor.Tensor{x}, nil, 5e-3)
+}
+
+func TestAddGradCheck(t *testing.T) {
+	op := NewAdd()
+	a := randTensor(22, 2, 3, 4, 4)
+	b := randTensor(23, 2, 3, 4, 4)
+	gradCheck(t, op, []*tensor.Tensor{a, b}, nil, 2e-3)
+}
+
+func TestConcatGradCheck(t *testing.T) {
+	op := NewConcat()
+	a := randTensor(24, 2, 2, 3, 3)
+	b := randTensor(25, 2, 4, 3, 3)
+	c := randTensor(26, 2, 1, 3, 3)
+	gradCheck(t, op, []*tensor.Tensor{a, b, c}, nil, 2e-3)
+}

@@ -1,0 +1,358 @@
+package layers
+
+import (
+	"fmt"
+	"math"
+
+	"gist/internal/bitpack"
+	"gist/internal/tensor"
+)
+
+// auxKeyDropMask stores the dropout keep-mask in the Aux map.
+const auxKeyDropMask = "dropout.mask"
+
+// DropoutOp is inverted dropout: each element is kept with probability
+// 1-Rate and scaled by 1/(1-Rate). The backward pass replays the 1-bit
+// keep-mask stashed in Aux; neither feature map is needed, so dropout
+// contributes almost nothing to the stashed footprint (1 bit per element).
+type DropoutOp struct {
+	Rate float64
+}
+
+// NewDropout returns a dropout operator with the given drop rate.
+func NewDropout(rate float64) *DropoutOp {
+	if rate < 0 || rate >= 1 {
+		panic(fmt.Sprintf("layers: dropout rate %v outside [0,1)", rate))
+	}
+	return &DropoutOp{Rate: rate}
+}
+
+// Kind returns Dropout.
+func (d *DropoutOp) Kind() Kind { return Dropout }
+
+// Needs reports no feature-map dependence (the mask is a side stash).
+func (d *DropoutOp) Needs() BackwardNeeds { return BackwardNeeds{} }
+
+// OutShape is the identity.
+func (d *DropoutOp) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("layers: Dropout wants 1 input, got %d", len(in))
+	}
+	return in[0].Clone(), nil
+}
+
+// ParamShapes returns no parameters.
+func (d *DropoutOp) ParamShapes([]tensor.Shape) []tensor.Shape { return nil }
+
+// FLOPs counts one multiply per element.
+func (d *DropoutOp) FLOPs(in []tensor.Shape) int64 {
+	return int64(in[0].NumElements())
+}
+
+// Forward applies the mask during training and is the identity otherwise.
+func (d *DropoutOp) Forward(ctx *FwdCtx) {
+	x, y := ctx.In[0], ctx.Out
+	if !ctx.Train {
+		copy(y.Data, x.Data)
+		return
+	}
+	mask := bitpack.NewBitMask(x.NumElements())
+	scale := float32(1 / (1 - d.Rate))
+	for i, v := range x.Data {
+		if ctx.RNG.Float64() >= d.Rate {
+			mask.Set(i, true)
+			y.Data[i] = v * scale
+		} else {
+			y.Data[i] = 0
+		}
+	}
+	ctx.Aux[auxKeyDropMask] = mask
+}
+
+// Backward replays the keep-mask over dY.
+func (d *DropoutOp) Backward(ctx *BwdCtx) {
+	dy, dx := ctx.DOut, ctx.DIn[0]
+	mask, ok := ctx.Aux[auxKeyDropMask].(*bitpack.BitMask)
+	if !ok {
+		copy(dx.Data, dy.Data)
+		return
+	}
+	scale := float32(1 / (1 - d.Rate))
+	for i, g := range dy.Data {
+		if mask.Get(i) {
+			dx.Data[i] = g * scale
+		} else {
+			dx.Data[i] = 0
+		}
+	}
+}
+
+// ConcatOp concatenates its inputs along the channel dimension — the
+// Inception module join. Backward splits dY; no stashes are needed.
+type ConcatOp struct{}
+
+// NewConcat returns a channel-dimension concatenation operator.
+func NewConcat() *ConcatOp { return &ConcatOp{} }
+
+// Kind returns Concat.
+func (c *ConcatOp) Kind() Kind { return Concat }
+
+// Needs reports no stashed-feature-map dependence.
+func (c *ConcatOp) Needs() BackwardNeeds { return BackwardNeeds{} }
+
+// OutShape sums channels; all inputs must agree on N, H, W.
+func (c *ConcatOp) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) < 2 {
+		return nil, fmt.Errorf("layers: Concat wants >= 2 inputs, got %d", len(in))
+	}
+	n, ch, h, w, err := shape4(in[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range in[1:] {
+		n2, c2, h2, w2, err := shape4(s)
+		if err != nil {
+			return nil, err
+		}
+		if n2 != n || h2 != h || w2 != w {
+			return nil, fmt.Errorf("layers: Concat inputs %v and %v disagree", in[0], s)
+		}
+		ch += c2
+	}
+	return tensor.Shape{n, ch, h, w}, nil
+}
+
+// ParamShapes returns no parameters.
+func (c *ConcatOp) ParamShapes([]tensor.Shape) []tensor.Shape { return nil }
+
+// FLOPs counts the copy.
+func (c *ConcatOp) FLOPs(in []tensor.Shape) int64 {
+	var n int64
+	for _, s := range in {
+		n += int64(s.NumElements())
+	}
+	return n
+}
+
+// Forward copies each input's channel block into the output.
+func (c *ConcatOp) Forward(ctx *FwdCtx) {
+	y := ctx.Out
+	n, _, h, w := y.Shape[0], y.Shape[1], y.Shape[2], y.Shape[3]
+	cOff := 0
+	for _, x := range ctx.In {
+		xc := x.Shape[1]
+		for ni := 0; ni < n; ni++ {
+			for ci := 0; ci < xc; ci++ {
+				srcBase := ((ni*xc + ci) * h) * w
+				dstBase := ((ni*y.Shape[1] + cOff + ci) * h) * w
+				copy(y.Data[dstBase:dstBase+h*w], x.Data[srcBase:srcBase+h*w])
+			}
+		}
+		cOff += xc
+	}
+}
+
+// Backward splits dY back into per-input gradients.
+func (c *ConcatOp) Backward(ctx *BwdCtx) {
+	dy := ctx.DOut
+	n, _, h, w := dy.Shape[0], dy.Shape[1], dy.Shape[2], dy.Shape[3]
+	cOff := 0
+	for k, dx := range ctx.DIn {
+		xc := dx.Shape[1]
+		for ni := 0; ni < n; ni++ {
+			for ci := 0; ci < xc; ci++ {
+				srcBase := ((ni*dy.Shape[1] + cOff + ci) * h) * w
+				dstBase := ((ni*xc + ci) * h) * w
+				copy(dx.Data[dstBase:dstBase+h*w], dy.Data[srcBase:srcBase+h*w])
+			}
+		}
+		cOff += xc
+		_ = k
+	}
+}
+
+// AddOp is elementwise addition of two same-shape inputs — the ResNet
+// residual join. Backward passes dY to both inputs unchanged; no stashes.
+type AddOp struct{}
+
+// NewAdd returns an elementwise addition operator.
+func NewAdd() *AddOp { return &AddOp{} }
+
+// Kind returns Add.
+func (a *AddOp) Kind() Kind { return Add }
+
+// Needs reports no stashed-feature-map dependence.
+func (a *AddOp) Needs() BackwardNeeds { return BackwardNeeds{} }
+
+// OutShape requires identical input shapes.
+func (a *AddOp) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("layers: Add wants 2 inputs, got %d", len(in))
+	}
+	if !in[0].Equal(in[1]) {
+		return nil, fmt.Errorf("layers: Add shapes differ: %v vs %v", in[0], in[1])
+	}
+	return in[0].Clone(), nil
+}
+
+// ParamShapes returns no parameters.
+func (a *AddOp) ParamShapes([]tensor.Shape) []tensor.Shape { return nil }
+
+// FLOPs counts one add per element.
+func (a *AddOp) FLOPs(in []tensor.Shape) int64 {
+	return int64(in[0].NumElements())
+}
+
+// Forward sums the two inputs.
+func (a *AddOp) Forward(ctx *FwdCtx) {
+	x0, x1, y := ctx.In[0], ctx.In[1], ctx.Out
+	for i := range y.Data {
+		y.Data[i] = x0.Data[i] + x1.Data[i]
+	}
+}
+
+// Backward copies dY to both input gradients.
+func (a *AddOp) Backward(ctx *BwdCtx) {
+	copy(ctx.DIn[0].Data, ctx.DOut.Data)
+	copy(ctx.DIn[1].Data, ctx.DOut.Data)
+}
+
+// auxKeyLabels carries the minibatch labels into SoftmaxXent.
+const AuxKeyLabels = "loss.labels"
+
+// SoftmaxXentOp fuses softmax with cross-entropy loss. Forward writes the
+// class probabilities to Out (its stashed Y, which backward reads); the
+// scalar loss is available via Loss. Backward ignores DOut and emits
+// dX = (probs − onehot)/N directly.
+type SoftmaxXentOp struct{}
+
+// NewSoftmaxXent returns the fused loss operator.
+func NewSoftmaxXent() *SoftmaxXentOp { return &SoftmaxXentOp{} }
+
+// Kind returns SoftmaxXent.
+func (s *SoftmaxXentOp) Kind() Kind { return SoftmaxXent }
+
+// Needs reports the backward dependence on Y (the probabilities).
+func (s *SoftmaxXentOp) Needs() BackwardNeeds { return BackwardNeeds{Y: true} }
+
+// OutShape is the identity over [n, classes].
+func (s *SoftmaxXentOp) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("layers: SoftmaxXent wants 1 input, got %d", len(in))
+	}
+	if len(in[0]) != 2 {
+		return nil, fmt.Errorf("layers: SoftmaxXent wants [n, classes] input, got %v", in[0])
+	}
+	return in[0].Clone(), nil
+}
+
+// ParamShapes returns no parameters.
+func (s *SoftmaxXentOp) ParamShapes([]tensor.Shape) []tensor.Shape { return nil }
+
+// FLOPs counts the exponentials and normalization.
+func (s *SoftmaxXentOp) FLOPs(in []tensor.Shape) int64 {
+	return 5 * int64(in[0].NumElements())
+}
+
+// Forward computes row-wise softmax probabilities.
+func (s *SoftmaxXentOp) Forward(ctx *FwdCtx) {
+	x, y := ctx.In[0], ctx.Out
+	n, classes := x.Shape[0], x.Shape[1]
+	for ni := 0; ni < n; ni++ {
+		row := x.Data[ni*classes : (ni+1)*classes]
+		out := y.Data[ni*classes : (ni+1)*classes]
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		var sum float64
+		for i, v := range row {
+			e := math.Exp(float64(v - maxV))
+			out[i] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for i := range out {
+			out[i] *= inv
+		}
+	}
+}
+
+// Backward emits (probs − onehot)/N using the labels from Aux.
+func (s *SoftmaxXentOp) Backward(ctx *BwdCtx) {
+	y, dx := ctx.Out, ctx.DIn[0]
+	labels := ctx.Aux[AuxKeyLabels].([]int)
+	n, classes := y.Shape[0], y.Shape[1]
+	invN := float32(1) / float32(n)
+	for ni := 0; ni < n; ni++ {
+		for c := 0; c < classes; c++ {
+			g := y.Data[ni*classes+c]
+			if c == labels[ni] {
+				g -= 1
+			}
+			dx.Data[ni*classes+c] = g * invN
+		}
+	}
+}
+
+// Loss returns the mean cross-entropy of the forward probabilities probs
+// against the labels, plus the top-1 error count.
+func (s *SoftmaxXentOp) Loss(probs *tensor.Tensor, labels []int) (loss float64, errors int) {
+	n, classes := probs.Shape[0], probs.Shape[1]
+	for ni := 0; ni < n; ni++ {
+		row := probs.Data[ni*classes : (ni+1)*classes]
+		p := row[labels[ni]]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(float64(p))
+		best := 0
+		for c := 1; c < classes; c++ {
+			if row[c] > row[best] {
+				best = c
+			}
+		}
+		if best != labels[ni] {
+			errors++
+		}
+	}
+	return loss / float64(n), errors
+}
+
+// InputOp is the graph source: it holds the minibatch and has no compute.
+type InputOp struct {
+	Shape tensor.Shape
+}
+
+// NewInput returns an input placeholder of the given shape.
+func NewInput(shape ...int) *InputOp {
+	return &InputOp{Shape: tensor.Shape(shape).Clone()}
+}
+
+// Kind returns Input.
+func (i *InputOp) Kind() Kind { return Input }
+
+// Needs reports no stashed-feature-map dependence.
+func (i *InputOp) Needs() BackwardNeeds { return BackwardNeeds{} }
+
+// OutShape returns the placeholder shape.
+func (i *InputOp) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 0 {
+		return nil, fmt.Errorf("layers: Input wants no inputs, got %d", len(in))
+	}
+	return i.Shape.Clone(), nil
+}
+
+// ParamShapes returns no parameters.
+func (i *InputOp) ParamShapes([]tensor.Shape) []tensor.Shape { return nil }
+
+// FLOPs is zero.
+func (i *InputOp) FLOPs([]tensor.Shape) int64 { return 0 }
+
+// Forward is a no-op; the executor fills the output directly.
+func (i *InputOp) Forward(*FwdCtx) {}
+
+// Backward is a no-op; nothing consumes the input gradient.
+func (i *InputOp) Backward(*BwdCtx) {}

@@ -1,0 +1,63 @@
+package layers
+
+import (
+	"fmt"
+
+	"gist/internal/tensor"
+)
+
+// ReLUOp is the rectified linear activation. Its backward pass reads only
+// the stashed output Y — and only Y's sign (Figure 4(b)): dX[i] = dY[i] when
+// Y[i] > 0 and 0 otherwise. That one-bit dependence is the basis of the
+// Binarize encoding. ReLU also has the read-once/write-once property that
+// makes it eligible for inplace computation.
+type ReLUOp struct{}
+
+// NewReLU returns a ReLU operator.
+func NewReLU() *ReLUOp { return &ReLUOp{} }
+
+// Kind returns ReLU.
+func (r *ReLUOp) Kind() Kind { return ReLU }
+
+// Needs reports the backward dependence on Y only.
+func (r *ReLUOp) Needs() BackwardNeeds { return BackwardNeeds{Y: true} }
+
+// OutShape is the identity.
+func (r *ReLUOp) OutShape(in []tensor.Shape) (tensor.Shape, error) {
+	if len(in) != 1 {
+		return nil, fmt.Errorf("layers: ReLU wants 1 input, got %d", len(in))
+	}
+	return in[0].Clone(), nil
+}
+
+// ParamShapes returns no parameters.
+func (r *ReLUOp) ParamShapes([]tensor.Shape) []tensor.Shape { return nil }
+
+// FLOPs counts one op per element.
+func (r *ReLUOp) FLOPs(in []tensor.Shape) int64 {
+	return int64(in[0].NumElements())
+}
+
+// Forward computes y = max(x, 0).
+func (r *ReLUOp) Forward(ctx *FwdCtx) {
+	x, y := ctx.In[0], ctx.Out
+	for i, v := range x.Data {
+		if v > 0 {
+			y.Data[i] = v
+		} else {
+			y.Data[i] = 0
+		}
+	}
+}
+
+// Backward gates dY by the sign of the stashed Y.
+func (r *ReLUOp) Backward(ctx *BwdCtx) {
+	y, dy, dx := ctx.Out, ctx.DOut, ctx.DIn[0]
+	for i, g := range dy.Data {
+		if y.Data[i] > 0 {
+			dx.Data[i] = g
+		} else {
+			dx.Data[i] = 0
+		}
+	}
+}

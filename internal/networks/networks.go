@@ -1,0 +1,333 @@
+// Package networks builds the execution graphs of the paper's application
+// suite — AlexNet, NiN, Overfeat, VGG16, Inception-v1 and ResNet — at their
+// full ImageNet shapes for memory planning, deep CIFAR-style ResNets for
+// the Figure 16 minibatch study, and reduced "tiny" variants that the
+// training executor can run end to end on a CPU.
+//
+// One deliberate substitution: AlexNet and Inception historically place
+// local response normalization between a ReLU and the following pool; this
+// suite places LRN after the pool so that ReLU→Pool pairs stay adjacent, as
+// in the paper's idealized layer taxonomy. The feature-map byte totals are
+// unchanged (LRN is shape-preserving); only the pattern adjacency matters,
+// and the paper's own analysis assumes the adjacent form.
+package networks
+
+import (
+	"fmt"
+
+	"gist/internal/graph"
+	"gist/internal/layers"
+)
+
+// ImageNetClasses is the output width of the suite's classifiers.
+const ImageNetClasses = 1000
+
+// Spec names a network builder.
+type Spec struct {
+	Name string
+	// Build constructs the graph for the given minibatch size.
+	Build func(minibatch int) *graph.Graph
+}
+
+// Suite returns the paper's six-network application suite in the order the
+// figures present them.
+func Suite() []Spec {
+	return []Spec{
+		{"AlexNet", AlexNet},
+		{"NiN", NiN},
+		{"Overfeat", Overfeat},
+		{"VGG16", VGG16},
+		{"Inception", Inception},
+		{"ResNet", func(mb int) *graph.Graph { return ResNet50(mb) }},
+	}
+}
+
+// builder wraps a graph with sequential-layer helpers.
+type builder struct {
+	g    *graph.Graph
+	last *graph.Node
+	seq  int
+}
+
+func newBuilder(mb, channels, size int) *builder {
+	b := &builder{g: graph.New()}
+	b.last = b.g.MustAdd("input", layers.NewInput(mb, channels, size, size))
+	return b
+}
+
+func (b *builder) name(prefix string) string {
+	b.seq++
+	return fmt.Sprintf("%s%d", prefix, b.seq)
+}
+
+func (b *builder) conv(outC, k, stride, pad int) *builder {
+	b.last = b.g.MustAdd(b.name("conv"), layers.NewConv2D(outC, k, stride, pad), b.last)
+	return b
+}
+
+func (b *builder) relu() *builder {
+	b.last = b.g.MustAdd(b.name("relu"), layers.NewReLU(), b.last)
+	return b
+}
+
+func (b *builder) convReLU(outC, k, stride, pad int) *builder {
+	return b.conv(outC, k, stride, pad).relu()
+}
+
+func (b *builder) maxPool(k, stride, pad int) *builder {
+	b.last = b.g.MustAdd(b.name("pool"), layers.NewMaxPool(k, stride, pad), b.last)
+	return b
+}
+
+func (b *builder) avgPool(k, stride, pad int) *builder {
+	b.last = b.g.MustAdd(b.name("avgpool"), layers.NewAvgPool(k, stride, pad), b.last)
+	return b
+}
+
+func (b *builder) lrn(n int) *builder {
+	b.last = b.g.MustAdd(b.name("lrn"), layers.NewLRN(n), b.last)
+	return b
+}
+
+func (b *builder) fcReLU(out int) *builder {
+	b.last = b.g.MustAdd(b.name("fc"), layers.NewFC(out), b.last)
+	return b.relu()
+}
+
+func (b *builder) dropout(rate float64) *builder {
+	b.last = b.g.MustAdd(b.name("drop"), layers.NewDropout(rate), b.last)
+	return b
+}
+
+func (b *builder) bn() *builder {
+	b.last = b.g.MustAdd(b.name("bn"), layers.NewBatchNorm(), b.last)
+	return b
+}
+
+func (b *builder) classifier(classes int) *graph.Graph {
+	b.last = b.g.MustAdd(b.name("fc"), layers.NewFC(classes), b.last)
+	b.g.MustAdd("loss", layers.NewSoftmaxXent(), b.last)
+	return b.g
+}
+
+// AlexNet builds the 8-layer Krizhevsky et al. network at 227x227.
+func AlexNet(mb int) *graph.Graph {
+	b := newBuilder(mb, 3, 227)
+	b.convReLU(96, 11, 4, 0).maxPool(3, 2, 0).lrn(5)
+	b.convReLU(256, 5, 1, 2).maxPool(3, 2, 0).lrn(5)
+	b.convReLU(384, 3, 1, 1)
+	b.convReLU(384, 3, 1, 1)
+	b.convReLU(256, 3, 1, 1).maxPool(3, 2, 0)
+	b.fcReLU(4096).dropout(0.5)
+	b.fcReLU(4096).dropout(0.5)
+	return b.classifier(ImageNetClasses)
+}
+
+// NiN builds the Network-in-Network ImageNet model: three mlpconv blocks
+// (each a spatial conv followed by two 1x1 convs) and a global-average-
+// pooling classifier.
+func NiN(mb int) *graph.Graph {
+	b := newBuilder(mb, 3, 227)
+	b.convReLU(96, 11, 4, 0).convReLU(96, 1, 1, 0).convReLU(96, 1, 1, 0).maxPool(3, 2, 0)
+	b.convReLU(256, 5, 1, 2).convReLU(256, 1, 1, 0).convReLU(256, 1, 1, 0).maxPool(3, 2, 0)
+	b.convReLU(384, 3, 1, 1).convReLU(384, 1, 1, 0).convReLU(384, 1, 1, 0).maxPool(3, 2, 0)
+	b.dropout(0.5)
+	b.convReLU(1024, 3, 1, 1).convReLU(1024, 1, 1, 0).convReLU(ImageNetClasses, 1, 1, 0)
+	b.avgPool(6, 6, 0) // global average pooling over the 6x6 map
+	return b.classifier(ImageNetClasses)
+}
+
+// Overfeat builds the Overfeat "fast" model at 231x231.
+func Overfeat(mb int) *graph.Graph {
+	b := newBuilder(mb, 3, 231)
+	b.convReLU(96, 11, 4, 0).maxPool(2, 2, 0)
+	b.convReLU(256, 5, 1, 0).maxPool(2, 2, 0)
+	b.convReLU(512, 3, 1, 1)
+	b.convReLU(1024, 3, 1, 1)
+	b.convReLU(1024, 3, 1, 1).maxPool(2, 2, 0)
+	b.fcReLU(3072).dropout(0.5)
+	b.fcReLU(4096).dropout(0.5)
+	return b.classifier(ImageNetClasses)
+}
+
+// VGG16 builds configuration D of Simonyan & Zisserman at 224x224.
+func VGG16(mb int) *graph.Graph {
+	b := newBuilder(mb, 3, 224)
+	for _, blk := range []struct{ ch, n int }{
+		{64, 2}, {128, 2}, {256, 3}, {512, 3}, {512, 3},
+	} {
+		for i := 0; i < blk.n; i++ {
+			b.convReLU(blk.ch, 3, 1, 1)
+		}
+		b.maxPool(2, 2, 0)
+	}
+	b.fcReLU(4096).dropout(0.5)
+	b.fcReLU(4096).dropout(0.5)
+	return b.classifier(ImageNetClasses)
+}
+
+// inceptionModule adds one GoogLeNet module with the standard four
+// branches and returns the concat node.
+func (b *builder) inceptionModule(in *graph.Node, c1, c3r, c3, c5r, c5, pp int) *graph.Node {
+	g := b.g
+	convReLU := func(x *graph.Node, outC, k, pad int) *graph.Node {
+		c := g.MustAdd(b.name("conv"), layers.NewConv2D(outC, k, 1, pad), x)
+		return g.MustAdd(b.name("relu"), layers.NewReLU(), c)
+	}
+	b1 := convReLU(in, c1, 1, 0)
+	b2 := convReLU(convReLU(in, c3r, 1, 0), c3, 3, 1)
+	b3 := convReLU(convReLU(in, c5r, 1, 0), c5, 5, 2)
+	p := g.MustAdd(b.name("pool"), layers.NewMaxPool(3, 1, 1), in)
+	b4 := convReLU(p, pp, 1, 0)
+	return g.MustAdd(b.name("concat"), layers.NewConcat(), b1, b2, b3, b4)
+}
+
+// Inception builds GoogLeNet (Inception-v1) at 224x224, without the
+// auxiliary classifiers (they exist only for gradient flow and are dropped
+// in most memory studies).
+func Inception(mb int) *graph.Graph {
+	b := newBuilder(mb, 3, 224)
+	b.convReLU(64, 7, 2, 3).maxPool(3, 2, 1).lrn(5)
+	b.convReLU(64, 1, 1, 0).convReLU(192, 3, 1, 1).maxPool(3, 2, 1)
+	n := b.last
+	n = b.inceptionModule(n, 64, 96, 128, 16, 32, 32)   // 3a
+	n = b.inceptionModule(n, 128, 128, 192, 32, 96, 64) // 3b
+	n = b.g.MustAdd(b.name("pool"), layers.NewMaxPool(3, 2, 1), n)
+	n = b.inceptionModule(n, 192, 96, 208, 16, 48, 64)    // 4a
+	n = b.inceptionModule(n, 160, 112, 224, 24, 64, 64)   // 4b
+	n = b.inceptionModule(n, 128, 128, 256, 24, 64, 64)   // 4c
+	n = b.inceptionModule(n, 112, 144, 288, 32, 64, 64)   // 4d
+	n = b.inceptionModule(n, 256, 160, 320, 32, 128, 128) // 4e
+	n = b.g.MustAdd(b.name("pool"), layers.NewMaxPool(3, 2, 1), n)
+	n = b.inceptionModule(n, 256, 160, 320, 32, 128, 128) // 5a
+	n = b.inceptionModule(n, 384, 192, 384, 48, 128, 128) // 5b
+	b.last = n
+	b.avgPool(7, 7, 0).dropout(0.4)
+	return b.classifier(ImageNetClasses)
+}
+
+// bottleneck adds a ResNet bottleneck block (1x1 -> 3x3 -> 1x1 with 4x
+// expansion) and returns the post-activation node.
+func (b *builder) bottleneck(in *graph.Node, mid int, stride int, project bool) *graph.Node {
+	g := b.g
+	out := mid * 4
+	c1 := g.MustAdd(b.name("conv"), layers.NewConv2D(mid, 1, 1, 0), in)
+	n1 := g.MustAdd(b.name("bn"), layers.NewBatchNorm(), c1)
+	r1 := g.MustAdd(b.name("relu"), layers.NewReLU(), n1)
+	c2 := g.MustAdd(b.name("conv"), layers.NewConv2D(mid, 3, stride, 1), r1)
+	n2 := g.MustAdd(b.name("bn"), layers.NewBatchNorm(), c2)
+	r2 := g.MustAdd(b.name("relu"), layers.NewReLU(), n2)
+	c3 := g.MustAdd(b.name("conv"), layers.NewConv2D(out, 1, 1, 0), r2)
+	n3 := g.MustAdd(b.name("bn"), layers.NewBatchNorm(), c3)
+	shortcut := in
+	if project {
+		sc := g.MustAdd(b.name("conv"), layers.NewConv2D(out, 1, stride, 0), in)
+		shortcut = g.MustAdd(b.name("bn"), layers.NewBatchNorm(), sc)
+	}
+	sum := g.MustAdd(b.name("add"), layers.NewAdd(), n3, shortcut)
+	return g.MustAdd(b.name("relu"), layers.NewReLU(), sum)
+}
+
+// ResNet50 builds the ImageNet bottleneck ResNet with stage depths
+// [3, 4, 6, 3] at 224x224 — the suite's "ResNet" entry.
+func ResNet50(mb int) *graph.Graph {
+	return resNetImageNet(mb, [4]int{3, 4, 6, 3})
+}
+
+// ResNet101 builds the [3, 4, 23, 3] ImageNet bottleneck variant.
+func ResNet101(mb int) *graph.Graph {
+	return resNetImageNet(mb, [4]int{3, 4, 23, 3})
+}
+
+// ResNet152 builds the [3, 8, 36, 3] ImageNet bottleneck variant.
+func ResNet152(mb int) *graph.Graph {
+	return resNetImageNet(mb, [4]int{3, 8, 36, 3})
+}
+
+func resNetImageNet(mb int, stages [4]int) *graph.Graph {
+	b := newBuilder(mb, 3, 224)
+	b.conv(64, 7, 2, 3).bn().relu().maxPool(3, 2, 1)
+	n := b.last
+	mids := [4]int{64, 128, 256, 512}
+	for s := 0; s < 4; s++ {
+		for blk := 0; blk < stages[s]; blk++ {
+			stride := 1
+			if blk == 0 && s > 0 {
+				stride = 2
+			}
+			n = b.bottleneck(n, mids[s], stride, blk == 0)
+		}
+	}
+	b.last = n
+	b.avgPool(7, 7, 0)
+	return b.classifier(ImageNetClasses)
+}
+
+// basicBlock adds a CIFAR-style two-conv residual block.
+func (b *builder) basicBlock(in *graph.Node, ch, stride int, project bool) *graph.Node {
+	g := b.g
+	c1 := g.MustAdd(b.name("conv"), layers.NewConv2D(ch, 3, stride, 1), in)
+	n1 := g.MustAdd(b.name("bn"), layers.NewBatchNorm(), c1)
+	r1 := g.MustAdd(b.name("relu"), layers.NewReLU(), n1)
+	c2 := g.MustAdd(b.name("conv"), layers.NewConv2D(ch, 3, 1, 1), r1)
+	n2 := g.MustAdd(b.name("bn"), layers.NewBatchNorm(), c2)
+	shortcut := in
+	if project {
+		sc := g.MustAdd(b.name("conv"), layers.NewConv2D(ch, 1, stride, 0), in)
+		shortcut = g.MustAdd(b.name("bn"), layers.NewBatchNorm(), sc)
+	}
+	sum := g.MustAdd(b.name("add"), layers.NewAdd(), n2, shortcut)
+	return g.MustAdd(b.name("relu"), layers.NewReLU(), sum)
+}
+
+// ResNetCIFAR builds the CIFAR-10 residual network of depth 6n+2 used for
+// the paper's deep-network study (Figure 16 evaluates depths up to 1202,
+// the maximum in the original ResNet paper). depth is rounded down to the
+// nearest valid 6n+2.
+func ResNetCIFAR(mb, depth int) *graph.Graph {
+	n := (depth - 2) / 6
+	if n < 1 {
+		n = 1
+	}
+	b := newBuilder(mb, 3, 32)
+	b.conv(16, 3, 1, 1).bn().relu()
+	cur := b.last
+	for s, ch := range []int{16, 32, 64} {
+		for blk := 0; blk < n; blk++ {
+			stride := 1
+			if blk == 0 && s > 0 {
+				stride = 2
+			}
+			cur = b.basicBlock(cur, ch, stride, blk == 0 && s > 0)
+		}
+	}
+	b.last = cur
+	b.avgPool(8, 8, 0)
+	return b.classifier(10)
+}
+
+// TinyCNN builds a small AlexNet-shaped network over 16x16 synthetic
+// images that the CPU executor trains in seconds — the substrate for the
+// paper's accuracy experiments (Figure 12).
+func TinyCNN(mb, classes int) *graph.Graph {
+	b := newBuilder(mb, 3, 16)
+	b.convReLU(8, 3, 1, 1).maxPool(2, 2, 0)
+	b.convReLU(16, 3, 1, 1).maxPool(2, 2, 0)
+	b.fcReLU(32)
+	return b.classifier(classes)
+}
+
+// TinyVGG builds a reduced VGG-shaped network over 32x32 images for the
+// SSDC sparsity study (Figure 14): the same conv-conv-pool rhythm as VGG16
+// with narrower channels.
+func TinyVGG(mb, classes int) *graph.Graph {
+	b := newBuilder(mb, 3, 32)
+	for _, blk := range []struct{ ch, n int }{{8, 2}, {16, 2}, {32, 3}} {
+		for i := 0; i < blk.n; i++ {
+			b.convReLU(blk.ch, 3, 1, 1)
+		}
+		b.maxPool(2, 2, 0)
+	}
+	b.fcReLU(64)
+	return b.classifier(classes)
+}

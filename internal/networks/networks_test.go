@@ -1,0 +1,285 @@
+package networks
+
+import (
+	"testing"
+
+	"gist/internal/graph"
+	"gist/internal/layers"
+	"gist/internal/tensor"
+)
+
+func TestSuiteBuildsAndValidates(t *testing.T) {
+	for _, spec := range Suite() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			g := spec.Build(4)
+			if err := g.Validate(); err != nil {
+				t.Fatalf("%s: %v", spec.Name, err)
+			}
+			outs := g.OutputNodes()
+			if len(outs) != 1 || outs[0].Kind() != layers.SoftmaxXent {
+				t.Fatalf("%s: outputs = %v", spec.Name, outs)
+			}
+			if len(g.InputNodes()) != 1 {
+				t.Fatalf("%s: want 1 input", spec.Name)
+			}
+		})
+	}
+}
+
+func TestAlexNetShapes(t *testing.T) {
+	g := AlexNet(64)
+	// conv1: (227-11)/4+1 = 55.
+	c1 := g.Lookup("conv1")
+	if !c1.OutShape.Equal(tensor.Shape{64, 96, 55, 55}) {
+		t.Fatalf("conv1 = %v", c1.OutShape)
+	}
+	// pool1: (55-3)/2+1 = 27.
+	p1 := g.Lookup("pool3") // name counter: conv1, relu2, pool3
+	if p1 == nil || !p1.OutShape.Equal(tensor.Shape{64, 96, 27, 27}) {
+		t.Fatalf("pool = %v", p1)
+	}
+	// Final pool output is 256x6x6 = 9216 features feeding fc 4096.
+	var lastPool *graph.Node
+	for _, n := range g.Nodes {
+		if n.Kind() == layers.MaxPool {
+			lastPool = n
+		}
+	}
+	if !lastPool.OutShape.Equal(tensor.Shape{64, 256, 6, 6}) {
+		t.Fatalf("last pool = %v", lastPool.OutShape)
+	}
+}
+
+func TestVGG16Structure(t *testing.T) {
+	g := VGG16(64)
+	convs, pools, fcs := 0, 0, 0
+	for _, n := range g.Nodes {
+		switch n.Kind() {
+		case layers.Conv:
+			convs++
+		case layers.MaxPool:
+			pools++
+		case layers.FC:
+			fcs++
+		}
+	}
+	if convs != 13 || pools != 5 || fcs != 3 {
+		t.Fatalf("VGG16: %d convs, %d pools, %d fcs; want 13/5/3", convs, pools, fcs)
+	}
+	// conv5_3 output: 512x14x14; last pool: 512x7x7.
+	var lastPool *graph.Node
+	for _, n := range g.Nodes {
+		if n.Kind() == layers.MaxPool {
+			lastPool = n
+		}
+	}
+	if !lastPool.OutShape.Equal(tensor.Shape{64, 512, 7, 7}) {
+		t.Fatalf("last pool = %v", lastPool.OutShape)
+	}
+	// VGG16 weights ≈ 138M params ≈ 552 MB.
+	params := g.WeightBytes() / 4
+	if params < 130e6 || params > 145e6 {
+		t.Fatalf("VGG16 params = %d, want ~138M", params)
+	}
+}
+
+func TestInceptionStructure(t *testing.T) {
+	g := Inception(32)
+	concats := 0
+	var last *graph.Node
+	for _, n := range g.Nodes {
+		if n.Kind() == layers.Concat {
+			concats++
+			last = n
+		}
+	}
+	if concats != 9 {
+		t.Fatalf("Inception modules = %d, want 9", concats)
+	}
+	// 5b output: 1024 channels at 7x7.
+	if !last.OutShape.Equal(tensor.Shape{32, 1024, 7, 7}) {
+		t.Fatalf("5b = %v", last.OutShape)
+	}
+	// GoogLeNet is famously small in weights: ~7M params (< 13M with our
+	// fc and no aux towers).
+	params := g.WeightBytes() / 4
+	if params > 15e6 {
+		t.Fatalf("Inception params = %d, want < 15M", params)
+	}
+}
+
+func TestOverfeatShapes(t *testing.T) {
+	g := Overfeat(16)
+	var lastPool *graph.Node
+	for _, n := range g.Nodes {
+		if n.Kind() == layers.MaxPool {
+			lastPool = n
+		}
+	}
+	if !lastPool.OutShape.Equal(tensor.Shape{16, 1024, 6, 6}) {
+		t.Fatalf("last pool = %v", lastPool.OutShape)
+	}
+}
+
+func TestNiNGlobalPooling(t *testing.T) {
+	g := NiN(8)
+	var avg *graph.Node
+	for _, n := range g.Nodes {
+		if n.Kind() == layers.AvgPool {
+			avg = n
+		}
+	}
+	if avg == nil || !avg.OutShape.Equal(tensor.Shape{8, 1000, 1, 1}) {
+		t.Fatalf("global avg = %v", avg)
+	}
+}
+
+func TestResNet50Structure(t *testing.T) {
+	g := ResNet50(8)
+	adds, convs := 0, 0
+	for _, n := range g.Nodes {
+		switch n.Kind() {
+		case layers.Add:
+			adds++
+		case layers.Conv:
+			convs++
+		}
+	}
+	if adds != 16 {
+		t.Fatalf("residual adds = %d, want 16", adds)
+	}
+	// 16 blocks * 3 convs + 4 projections + stem = 53.
+	if convs != 53 {
+		t.Fatalf("convs = %d, want 53", convs)
+	}
+	params := g.WeightBytes() / 4
+	if params < 23e6 || params > 28e6 {
+		t.Fatalf("ResNet50 params = %d, want ~25.5M", params)
+	}
+}
+
+func TestResNetCIFARDepths(t *testing.T) {
+	for _, depth := range []int{20, 56, 110} {
+		g := ResNetCIFAR(4, depth)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		convs := 0
+		for _, n := range g.Nodes {
+			if n.Kind() == layers.Conv {
+				convs++
+			}
+		}
+		// 6n+2 depth => 6n convs in blocks + stem + 2 projections.
+		n := (depth - 2) / 6
+		want := 6*n + 1 + 2
+		if convs != want {
+			t.Fatalf("depth %d: convs = %d, want %d", depth, convs, want)
+		}
+	}
+}
+
+func TestResNetCIFARDeepBuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("deep graph build")
+	}
+	g := ResNetCIFAR(4, 1202)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Nodes) < 4000 {
+		t.Fatalf("ResNet-1202 has %d nodes, expected thousands", len(g.Nodes))
+	}
+}
+
+func TestTinyNetworksBuild(t *testing.T) {
+	for name, g := range map[string]*graph.Graph{
+		"TinyCNN": TinyCNN(8, 10),
+		"TinyVGG": TinyVGG(8, 10),
+	} {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Small enough to execute: under 2M activation elements total.
+		var elems int64
+		for _, n := range g.Nodes {
+			elems += int64(n.OutShape.NumElements())
+		}
+		if elems > 2<<20 {
+			t.Fatalf("%s too large to train on CPU: %d elements", name, elems)
+		}
+	}
+}
+
+func TestMinibatchScaling(t *testing.T) {
+	// Feature-map bytes must scale linearly with minibatch size.
+	g32 := VGG16(32)
+	g64 := VGG16(64)
+	var b32, b64 int64
+	for _, n := range g32.Nodes {
+		b32 += n.OutShape.Bytes()
+	}
+	for _, n := range g64.Nodes {
+		b64 += n.OutShape.Bytes()
+	}
+	if b64 != 2*b32 {
+		t.Fatalf("scaling: %d vs %d", b64, 2*b32)
+	}
+	// Weights must not scale with minibatch.
+	if g32.WeightBytes() != g64.WeightBytes() {
+		t.Fatal("weights must be minibatch independent")
+	}
+}
+
+func TestReLUPoolPairsExist(t *testing.T) {
+	// The Binarize pattern must exist in every suite network except
+	// ResNet (whose pools follow BN/add chains).
+	for _, spec := range Suite() {
+		g := spec.Build(2)
+		pairs := 0
+		for _, n := range g.Nodes {
+			if n.Kind() == layers.ReLU {
+				for _, c := range n.Consumers() {
+					if c.Kind() == layers.MaxPool {
+						pairs++
+					}
+				}
+			}
+		}
+		if spec.Name != "ResNet" && pairs == 0 {
+			t.Errorf("%s: no ReLU-Pool pairs", spec.Name)
+		}
+	}
+}
+
+func TestResNetDeepVariants(t *testing.T) {
+	for name, spec := range map[string]struct {
+		build func(int) *graph.Graph
+		adds  int
+	}{
+		"ResNet101": {ResNet101, 33},
+		"ResNet152": {ResNet152, 50},
+	} {
+		g := spec.build(2)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		adds := 0
+		for _, n := range g.Nodes {
+			if n.Kind() == layers.Add {
+				adds++
+			}
+		}
+		if adds != spec.adds {
+			t.Errorf("%s: %d residual blocks, want %d", name, adds, spec.adds)
+		}
+	}
+	// ResNet-101 ~44.5M params, ResNet-152 ~60M.
+	if p := ResNet101(1).WeightBytes() / 4; p < 42e6 || p > 48e6 {
+		t.Errorf("ResNet101 params = %d", p)
+	}
+	if p := ResNet152(1).WeightBytes() / 4; p < 57e6 || p > 64e6 {
+		t.Errorf("ResNet152 params = %d", p)
+	}
+}

@@ -1,0 +1,222 @@
+// Package recompute implements the checkpoint-and-recompute baseline the
+// paper discusses in Section II-B (Chen et al., "Training Deep Nets with
+// Sublinear Memory Cost"): instead of stashing every feature map for the
+// backward pass, stash only every k-th one (a checkpoint) and recompute
+// the segment between checkpoints during the backward pass.
+//
+// The paper's criticism, which this model lets us quantify, is that the
+// largest layers are usually also the slowest to recompute: the footprint
+// savings cost a substantial fraction of an extra forward pass, where
+// Gist's encodings cost a few streaming passes.
+package recompute
+
+import (
+	"math"
+
+	"gist/internal/costmodel"
+	"gist/internal/graph"
+	"gist/internal/tensor"
+)
+
+// Plan describes a checkpointing schedule over a graph.
+type Plan struct {
+	Graph *graph.Graph
+	// Every k-th stashed feature map is a checkpoint.
+	K int
+	// CheckpointBytes is the resident footprint of the kept stashes.
+	CheckpointBytes int64
+	// SegmentPeakBytes is the largest transient working set needed to
+	// recompute one segment during the backward pass.
+	SegmentPeakBytes int64
+	// GradientPoolBytes is the transient gradient-map pool (the two
+	// largest adjacent gradient maps coexist).
+	GradientPoolBytes int64
+	// RecomputeFLOPs is the extra forward work the backward pass performs.
+	RecomputeFLOPs int64
+	// TotalFLOPs is the baseline forward FLOPs, for overhead ratios.
+	TotalFLOPs int64
+}
+
+// Build computes the checkpoint plan with stride k over the graph's
+// baseline-stashed feature maps (k <= 1 means checkpoint everything,
+// reproducing the baseline).
+func Build(g *graph.Graph, k int) *Plan {
+	if k < 1 {
+		k = 1
+	}
+	p := &Plan{Graph: g, K: k}
+
+	flops := perNodeFLOPs(g)
+	var grads []int64
+	for _, n := range g.Nodes {
+		p.TotalFLOPs += flops[n.ID]
+		grads = append(grads, n.OutShape.Bytes())
+	}
+
+	// Walk the graph in forward order, splitting it into segments
+	// delimited by checkpointed stashes. Recomputing a dropped stash
+	// replays its whole segment — including the non-stashed intermediates
+	// (the convolutions), which is exactly why the paper finds recompute
+	// expensive: the largest layers are the slowest to replay.
+	var segBytes, segFLOPs int64
+	segHasDropped := false
+	closeSegment := func() {
+		if segBytes > p.SegmentPeakBytes {
+			p.SegmentPeakBytes = segBytes
+		}
+		if segHasDropped {
+			p.RecomputeFLOPs += segFLOPs
+		}
+		segBytes, segFLOPs, segHasDropped = 0, 0, false
+	}
+	stashIdx := 0
+	for _, n := range g.Nodes {
+		isStash := graph.OutputStashed(n)
+		if isStash && stashIdx%k == 0 {
+			stashIdx++
+			p.CheckpointBytes += n.OutShape.Bytes()
+			closeSegment()
+			continue
+		}
+		if isStash {
+			stashIdx++
+			segHasDropped = true
+		}
+		segBytes += n.OutShape.Bytes()
+		segFLOPs += flops[n.ID]
+	}
+	closeSegment()
+
+	// Gradient pool: the two largest gradient maps can coexist.
+	var g1, g2 int64
+	for _, b := range grads {
+		if b > g1 {
+			g1, g2 = b, g1
+		} else if b > g2 {
+			g2 = b
+		}
+	}
+	p.GradientPoolBytes = g1 + g2
+	return p
+}
+
+// perNodeFLOPs computes each node's forward FLOPs.
+func perNodeFLOPs(g *graph.Graph) map[int]int64 {
+	m := map[int]int64{}
+	for _, n := range g.Nodes {
+		inShapes := make([]tensor.Shape, len(n.Inputs))
+		for i, in := range n.Inputs {
+			inShapes[i] = in.OutShape
+		}
+		m[n.ID] = n.Op.FLOPs(inShapes)
+	}
+	return m
+}
+
+// FootprintBytes is the plan's total resident footprint: checkpoints plus
+// the worst segment's transient working set plus the gradient pool.
+func (p *Plan) FootprintBytes() int64 {
+	return p.CheckpointBytes + p.SegmentPeakBytes + p.GradientPoolBytes
+}
+
+// TimeOverhead returns the modeled slowdown of the recompute schedule on
+// the device: the recomputed forward work as a fraction of a full
+// training step (forward ~1/3 of a step, backward ~2/3).
+func (p *Plan) TimeOverhead(d costmodel.Device) float64 {
+	if p.TotalFLOPs == 0 {
+		return 0
+	}
+	// A training step costs roughly 3x the forward FLOPs (forward + 2x
+	// backward); the recomputed FLOPs add on top.
+	return float64(p.RecomputeFLOPs) / (3 * float64(p.TotalFLOPs))
+}
+
+// SqrtK returns the sqrt(N) checkpoint stride for the graph — the stride
+// that minimizes checkpoints + segment size for a uniform chain (Chen et
+// al.'s sublinear result).
+func SqrtK(g *graph.Graph) int {
+	n := 0
+	for _, node := range g.Nodes {
+		if graph.OutputStashed(node) {
+			n++
+		}
+	}
+	k := int(math.Round(math.Sqrt(float64(n))))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// BuildBudget computes a checkpoint plan that closes a segment whenever
+// its transient bytes would exceed the budget — the natural generalization
+// of uniform strides to networks whose layer sizes vary by an order of
+// magnitude (a uniform stride lets one early VGG16 segment swallow several
+// 0.8 GB feature maps).
+func BuildBudget(g *graph.Graph, budget int64) *Plan {
+	p := &Plan{Graph: g, K: 0}
+	flops := perNodeFLOPs(g)
+	var grads []int64
+	for _, n := range g.Nodes {
+		p.TotalFLOPs += flops[n.ID]
+		grads = append(grads, n.OutShape.Bytes())
+	}
+
+	var segBytes, segFLOPs int64
+	segHasDropped := false
+	closeSegment := func() {
+		if segBytes > p.SegmentPeakBytes {
+			p.SegmentPeakBytes = segBytes
+		}
+		if segHasDropped {
+			p.RecomputeFLOPs += segFLOPs
+		}
+		segBytes, segFLOPs, segHasDropped = 0, 0, false
+	}
+	for _, n := range g.Nodes {
+		isStash := graph.OutputStashed(n)
+		if isStash && segBytes+n.OutShape.Bytes() > budget {
+			// Checkpoint here: keeping this stash resident resets the
+			// transient segment.
+			p.CheckpointBytes += n.OutShape.Bytes()
+			closeSegment()
+			continue
+		}
+		if isStash {
+			segHasDropped = true
+		}
+		segBytes += n.OutShape.Bytes()
+		segFLOPs += flops[n.ID]
+	}
+	closeSegment()
+
+	var g1, g2 int64
+	for _, b := range grads {
+		if b > g1 {
+			g1, g2 = b, g1
+		} else if b > g2 {
+			g2 = b
+		}
+	}
+	p.GradientPoolBytes = g1 + g2
+	return p
+}
+
+// Optimize scans segment budgets and returns the plan with the smallest
+// footprint — the schedule a sublinear-memory planner would pick.
+func Optimize(g *graph.Graph) *Plan {
+	var total int64
+	for _, n := range g.Nodes {
+		total += n.OutShape.Bytes()
+	}
+	best := Build(g, 1)
+	for budget := total / 256; budget <= total; budget *= 2 {
+		if budget <= 0 {
+			continue
+		}
+		if p := BuildBudget(g, budget); p.FootprintBytes() < best.FootprintBytes() {
+			best = p
+		}
+	}
+	return best
+}

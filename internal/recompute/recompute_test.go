@@ -1,0 +1,140 @@
+package recompute
+
+import (
+	"testing"
+
+	"gist/internal/costmodel"
+	"gist/internal/graph"
+	"gist/internal/networks"
+)
+
+func TestK1IsBaseline(t *testing.T) {
+	g := networks.AlexNet(8)
+	p := Build(g, 1)
+	// Every stash checkpointed: no recompute work. (The segment peak may
+	// still be nonzero — it carries the non-stashed immediates, which the
+	// baseline also keeps transiently.)
+	if p.RecomputeFLOPs != 0 {
+		t.Errorf("k=1 should recompute nothing, got %d FLOPs", p.RecomputeFLOPs)
+	}
+	var stashed int64
+	for _, n := range g.Nodes {
+		if graph.OutputStashed(n) {
+			stashed += n.OutShape.Bytes()
+		}
+	}
+	if p.CheckpointBytes != stashed {
+		t.Errorf("k=1 checkpoints = %d, want all stashed %d", p.CheckpointBytes, stashed)
+	}
+}
+
+func TestLargerKSavesMemoryCostsTime(t *testing.T) {
+	g := networks.VGG16(8)
+	d := costmodel.TitanX()
+	base := Build(g, 1)
+	k4 := Build(g, 4)
+	if k4.CheckpointBytes >= base.CheckpointBytes {
+		t.Errorf("k=4 checkpoints %d should be below k=1's %d",
+			k4.CheckpointBytes, base.CheckpointBytes)
+	}
+	// Overhead grows (weakly) with k.
+	prevOv := -1.0
+	for _, k := range []int{1, 2, 4, 8} {
+		ov := Build(g, k).TimeOverhead(d)
+		if ov < prevOv {
+			t.Errorf("k=%d: overhead %v should grow with k", k, ov)
+		}
+		prevOv = ov
+	}
+}
+
+func TestSqrtK(t *testing.T) {
+	g := networks.VGG16(8)
+	k := SqrtK(g)
+	n := 0
+	for _, node := range g.Nodes {
+		if graph.OutputStashed(node) {
+			n++
+		}
+	}
+	if k < 2 || k*k > 4*n {
+		t.Errorf("sqrt stride %d implausible for %d stashes", k, n)
+	}
+}
+
+func TestRecomputeOverheadSubstantial(t *testing.T) {
+	// The paper's point: at memory-competitive schedules, recompute costs
+	// a double-digit percentage of step time where Gist costs ~4%.
+	g := networks.VGG16(64)
+	d := costmodel.TitanX()
+	p := Optimize(g)
+	ov := p.TimeOverhead(d)
+	if ov < 0.05 || ov > 0.5 {
+		t.Errorf("optimized recompute overhead = %v, want substantial (5-50%%)", ov)
+	}
+	// And it must save real memory relative to keeping every stash.
+	base := Build(g, 1)
+	if p.FootprintBytes() >= base.FootprintBytes() {
+		t.Errorf("optimized plan (%d) must beat keep-everything (%d)",
+			p.FootprintBytes(), base.FootprintBytes())
+	}
+}
+
+func TestOptimizeBeatsUniformStride(t *testing.T) {
+	// On size-heterogeneous networks the byte-budget segmenter must do at
+	// least as well as the naive sqrt stride.
+	g := networks.VGG16(8)
+	opt := Optimize(g)
+	uniform := Build(g, SqrtK(g))
+	if opt.FootprintBytes() > uniform.FootprintBytes() {
+		t.Errorf("optimized (%d) worse than uniform sqrt stride (%d)",
+			opt.FootprintBytes(), uniform.FootprintBytes())
+	}
+}
+
+func TestBudgetSegmentsRespectBudget(t *testing.T) {
+	g := networks.AlexNet(8)
+	var total int64
+	for _, n := range g.Nodes {
+		total += n.OutShape.Bytes()
+	}
+	budget := total / 8
+	p := BuildBudget(g, budget)
+	// Segment peak can exceed the budget only by less than one buffer
+	// (the buffer that triggered the close is the next segment's first).
+	var largest int64
+	for _, n := range g.Nodes {
+		if b := n.OutShape.Bytes(); b > largest {
+			largest = b
+		}
+	}
+	if p.SegmentPeakBytes > budget+largest {
+		t.Errorf("segment peak %d exceeds budget %d + largest buffer %d",
+			p.SegmentPeakBytes, budget, largest)
+	}
+}
+
+func TestFootprintComposition(t *testing.T) {
+	g := networks.AlexNet(8)
+	p := Build(g, 2)
+	if p.FootprintBytes() != p.CheckpointBytes+p.SegmentPeakBytes+p.GradientPoolBytes {
+		t.Error("footprint must decompose")
+	}
+	if p.GradientPoolBytes <= 0 {
+		t.Error("gradient pool must be positive")
+	}
+}
+
+func TestZeroAndNegativeK(t *testing.T) {
+	g := networks.AlexNet(4)
+	if Build(g, 0).K != 1 || Build(g, -3).K != 1 {
+		t.Error("k < 1 must clamp to 1")
+	}
+}
+
+func TestTimeOverheadEmptyGraph(t *testing.T) {
+	p := &Plan{}
+	if p.TimeOverhead(costmodel.TitanX()) != 0 {
+		t.Error("empty plan overhead should be 0")
+	}
+}

@@ -1,0 +1,132 @@
+package sparse
+
+// ELL is an ELLPACK encoding: every row stores exactly maxRowNNZ entries
+// (shorter rows are padded). The paper compared ELL, Hybrid and CSR and
+// chose CSR for its lowest format-conversion latency and best
+// compression/overhead tradeoff; ELL is kept here for that ablation. Column
+// indices use 1 byte (the same narrow reshape as CSR).
+type ELL struct {
+	Rows, Cols int
+	N          int
+	RowWidth   int // entries per row, = max row NNZ
+	ColIdx     []uint8
+	Values     []float32
+	used       []int32 // NNZ per row, to skip padding on decode
+}
+
+// EncodeELL compresses xs viewed as a NarrowCols-column matrix into ELL.
+func EncodeELL(xs []float32) *ELL {
+	cols := NarrowCols
+	rows := (len(xs) + cols - 1) / cols
+	used := make([]int32, rows)
+	width := 0
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		end := min(base+cols, len(xs))
+		n := 0
+		for i := base; i < end; i++ {
+			if xs[i] != 0 {
+				n++
+			}
+		}
+		used[r] = int32(n)
+		if n > width {
+			width = n
+		}
+	}
+	e := &ELL{
+		Rows: rows, Cols: cols, N: len(xs), RowWidth: width,
+		ColIdx: make([]uint8, rows*width),
+		Values: make([]float32, rows*width),
+		used:   used,
+	}
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		end := min(base+cols, len(xs))
+		k := r * width
+		for i := base; i < end; i++ {
+			if xs[i] != 0 {
+				e.ColIdx[k] = uint8(i - base)
+				e.Values[k] = xs[i]
+				k++
+			}
+		}
+	}
+	return e
+}
+
+// Decode expands the ELL encoding back to dense form.
+func (e *ELL) Decode(dst []float32) []float32 {
+	if dst == nil {
+		dst = make([]float32, e.N)
+	}
+	if len(dst) != e.N {
+		panic("sparse: Decode length mismatch")
+	}
+	clear(dst)
+	for r := 0; r < e.Rows; r++ {
+		base := r * e.Cols
+		for k := 0; k < int(e.used[r]); k++ {
+			idx := r*e.RowWidth + k
+			dst[base+int(e.ColIdx[idx])] = e.Values[idx]
+		}
+	}
+	return dst
+}
+
+// Bytes returns the padded storage footprint (values + column indices +
+// per-row counts).
+func (e *ELL) Bytes() int64 {
+	return int64(len(e.Values))*4 + int64(len(e.ColIdx)) + int64(len(e.used))*4
+}
+
+// CompressionRatio returns dense FP32 bytes divided by encoded bytes.
+func (e *ELL) CompressionRatio() float64 {
+	return float64(int64(e.N)*4) / float64(e.Bytes())
+}
+
+// COO stores explicit (index, value) pairs with 4-byte flat indices — the
+// simplest format and the baseline hybrid schemes fall back to. Its index
+// overhead is what the narrow value optimization eliminates.
+type COO struct {
+	N      int
+	Idx    []int32
+	Values []float32
+}
+
+// EncodeCOO compresses xs into coordinate format.
+func EncodeCOO(xs []float32) *COO {
+	c := &COO{N: len(xs)}
+	for i, v := range xs {
+		if v != 0 {
+			c.Idx = append(c.Idx, int32(i))
+			c.Values = append(c.Values, v)
+		}
+	}
+	return c
+}
+
+// Decode expands the COO encoding back to dense form.
+func (c *COO) Decode(dst []float32) []float32 {
+	if dst == nil {
+		dst = make([]float32, c.N)
+	}
+	if len(dst) != c.N {
+		panic("sparse: Decode length mismatch")
+	}
+	clear(dst)
+	for k, i := range c.Idx {
+		dst[i] = c.Values[k]
+	}
+	return dst
+}
+
+// Bytes returns the storage footprint (4-byte indices + 4-byte values).
+func (c *COO) Bytes() int64 {
+	return int64(len(c.Idx))*4 + int64(len(c.Values))*4
+}
+
+// CompressionRatio returns dense FP32 bytes divided by encoded bytes.
+func (c *COO) CompressionRatio() float64 {
+	return float64(int64(c.N)*4) / float64(c.Bytes())
+}

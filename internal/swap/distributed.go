@@ -1,0 +1,81 @@
+package swap
+
+// Distributed-training contention model. The paper's third argument
+// against swap-based schemes: PCIe "is a shared critical resource in
+// distributed DNN training", because data-parallel workers exchange weight
+// gradients over the same links the swapping scheme saturates with feature
+// maps. This model quantifies that interaction for ring-allreduce data
+// parallelism.
+
+import (
+	"gist/internal/costmodel"
+	"gist/internal/graph"
+)
+
+// AllReduceTime returns the PCIe time of a ring all-reduce of the graph's
+// weight gradients across n workers: each worker sends and receives
+// 2*(n-1)/n of the gradient bytes.
+func AllReduceTime(d costmodel.Device, g *graph.Graph, workers int) float64 {
+	if workers <= 1 {
+		return 0
+	}
+	bytes := float64(g.WeightBytes())
+	volume := 2 * float64(workers-1) / float64(workers) * bytes
+	return volume / float64(d.PCIeBandwidth)
+}
+
+// DistributedStepTime models one data-parallel step for a worker whose
+// local training uses the given memory scheme. The gradient all-reduce
+// overlaps with the backward pass in the baseline and under Gist (the
+// link is otherwise idle), but a swapping scheme's feature-map traffic
+// owns the link during the step, so the all-reduce serializes behind it.
+type DistributedScheme int
+
+const (
+	// SchemeBaseline keeps everything in device memory (may not fit).
+	SchemeBaseline DistributedScheme = iota
+	// SchemeVDNN swaps stashes with prefetching.
+	SchemeVDNN
+	// SchemeGist uses the in-device encodings (modeled at the paper's ~4%
+	// overhead via the cost model's encoding analysis; callers pass the
+	// already-computed local step time).
+	SchemeGist
+)
+
+// DistributedStepTime combines a worker's local step time with the
+// all-reduce. localStep is the scheme's single-GPU step time; swapBusy is
+// the PCIe time the scheme itself consumes per step (zero for baseline
+// and Gist).
+func DistributedStepTime(d costmodel.Device, g *graph.Graph, workers int,
+	localStep, swapBusy float64) float64 {
+	ar := AllReduceTime(d, g, workers)
+	if swapBusy == 0 {
+		// The all-reduce hides behind the backward pass when the link is
+		// free; only the excess over half the step (the backward span)
+		// shows up.
+		hidden := localStep / 2
+		if ar <= hidden {
+			return localStep
+		}
+		return localStep + (ar - hidden)
+	}
+	// The link is busy with feature maps for swapBusy seconds; gradient
+	// exchange queues behind it. Whatever the link cannot hide extends
+	// the step.
+	linkDemand := swapBusy + ar
+	hidden := localStep / 2
+	if linkDemand <= hidden {
+		return localStep
+	}
+	return localStep + (linkDemand - hidden)
+}
+
+// SwapLinkBusyTime returns the PCIe seconds per step a swapping scheme
+// consumes moving stashes (both directions).
+func SwapLinkBusyTime(d costmodel.Device, g *graph.Graph, tl *graph.Timeline) float64 {
+	var t float64
+	for _, s := range stashes(g, tl) {
+		t += 2 * d.TransferTime(s.bytes)
+	}
+	return t
+}

@@ -1,0 +1,357 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeNumElements(t *testing.T) {
+	cases := []struct {
+		shape Shape
+		want  int
+	}{
+		{Shape{}, 1},
+		{Shape{7}, 7},
+		{Shape{2, 3}, 6},
+		{Shape{64, 3, 224, 224}, 64 * 3 * 224 * 224},
+	}
+	for _, c := range cases {
+		if got := c.shape.NumElements(); got != c.want {
+			t.Errorf("NumElements(%v) = %d, want %d", c.shape, got, c.want)
+		}
+	}
+}
+
+func TestShapeBytes(t *testing.T) {
+	s := Shape{64, 3, 224, 224}
+	want := int64(64*3*224*224) * 4
+	if got := s.Bytes(); got != want {
+		t.Errorf("Bytes = %d, want %d", got, want)
+	}
+}
+
+func TestShapeEqualAndClone(t *testing.T) {
+	s := Shape{1, 2, 3}
+	c := s.Clone()
+	if !s.Equal(c) {
+		t.Fatal("clone should equal original")
+	}
+	c[0] = 9
+	if s.Equal(c) {
+		t.Fatal("mutating clone must not affect original")
+	}
+	if s.Equal(Shape{1, 2}) {
+		t.Fatal("shapes of different rank must not be equal")
+	}
+}
+
+func TestShapeValid(t *testing.T) {
+	if (Shape{}).Valid() {
+		t.Error("empty shape should be invalid")
+	}
+	if (Shape{3, 0}).Valid() {
+		t.Error("zero dimension should be invalid")
+	}
+	if !(Shape{3, 4}).Valid() {
+		t.Error("positive shape should be valid")
+	}
+}
+
+func TestNewZeroFilled(t *testing.T) {
+	x := New(2, 3)
+	if x.NumElements() != 6 {
+		t.Fatalf("NumElements = %d", x.NumElements())
+	}
+	for i, v := range x.Data {
+		if v != 0 {
+			t.Fatalf("element %d = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestFromSliceSharesBacking(t *testing.T) {
+	d := []float32{1, 2, 3, 4}
+	x := FromSlice(d, 2, 2)
+	d[0] = 42
+	if x.Data[0] != 42 {
+		t.Fatal("FromSlice must not copy")
+	}
+}
+
+func TestFromSlicePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetIndexing(t *testing.T) {
+	x := New(2, 3, 4, 5)
+	x.Set(1, 2, 3, 4, 7.5)
+	if got := x.At(1, 2, 3, 4); got != 7.5 {
+		t.Fatalf("At = %v", got)
+	}
+	// NCHW layout: last index is the fastest-varying.
+	x.Zero()
+	x.Set(0, 0, 0, 1, 1)
+	if x.Data[1] != 1 {
+		t.Fatal("w must be fastest-varying dimension")
+	}
+	x.Zero()
+	x.Set(0, 0, 1, 0, 1)
+	if x.Data[5] != 1 {
+		t.Fatal("h stride must be W")
+	}
+}
+
+func TestReshape(t *testing.T) {
+	x := New(2, 6)
+	y := x.Reshape(3, 4)
+	y.Data[0] = 5
+	if x.Data[0] != 5 {
+		t.Fatal("reshape must share data")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on bad reshape")
+		}
+	}()
+	x.Reshape(5, 5)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	x := New(3)
+	x.Fill(2)
+	y := x.Clone()
+	y.Data[0] = 9
+	if x.Data[0] != 2 {
+		t.Fatal("clone must be independent")
+	}
+}
+
+func TestFillScaleAddApply(t *testing.T) {
+	x := New(4)
+	x.Fill(3)
+	x.Scale(2)
+	for _, v := range x.Data {
+		if v != 6 {
+			t.Fatalf("scale: got %v", v)
+		}
+	}
+	y := New(4)
+	y.Fill(1)
+	x.AddScaled(y, 0.5)
+	for _, v := range x.Data {
+		if v != 6.5 {
+			t.Fatalf("addscaled: got %v", v)
+		}
+	}
+	x.Apply(func(v float32) float32 { return -v })
+	for _, v := range x.Data {
+		if v != -6.5 {
+			t.Fatalf("apply: got %v", v)
+		}
+	}
+	x.Zero()
+	for _, v := range x.Data {
+		if v != 0 {
+			t.Fatal("zero failed")
+		}
+	}
+}
+
+func TestAddSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(3).Add(New(4))
+}
+
+func TestSparsity(t *testing.T) {
+	x := FromSlice([]float32{0, 1, 0, 2}, 4)
+	if got := x.Sparsity(); got != 0.5 {
+		t.Fatalf("Sparsity = %v, want 0.5", got)
+	}
+	empty := &Tensor{Shape: Shape{}, Data: nil}
+	if empty.Sparsity() != 0 {
+		t.Fatal("empty tensor sparsity should be 0")
+	}
+}
+
+func TestMaxAbsAndL2(t *testing.T) {
+	x := FromSlice([]float32{3, -4}, 2)
+	if got := x.MaxAbs(); got != 4 {
+		t.Fatalf("MaxAbs = %v", got)
+	}
+	if got := x.L2(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("L2 = %v, want 5", got)
+	}
+}
+
+func TestEqualAndAlmostEqual(t *testing.T) {
+	x := FromSlice([]float32{1, 2}, 2)
+	y := FromSlice([]float32{1, 2.0005}, 2)
+	if x.Equal(y) {
+		t.Fatal("Equal should be exact")
+	}
+	if !x.AlmostEqual(y, 1e-3) {
+		t.Fatal("AlmostEqual within tolerance")
+	}
+	if x.AlmostEqual(y, 1e-5) {
+		t.Fatal("AlmostEqual outside tolerance")
+	}
+	if x.AlmostEqual(FromSlice([]float32{1}, 1), 1) {
+		t.Fatal("shape mismatch must not be almost-equal")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(8)
+	same := true
+	a2 := NewRNG(7)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed must not produce the degenerate all-zero stream")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	r := NewRNG(42)
+	for i := 0; i < 10000; i++ {
+		if f := r.Float32(); f < 0 || f >= 1 {
+			t.Fatalf("Float32 out of range: %v", f)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		if n := r.Intn(17); n < 0 || n >= 17 {
+			t.Fatalf("Intn out of range: %d", n)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestFillDistributions(t *testing.T) {
+	r := NewRNG(3)
+	x := New(10000)
+	x.FillUniform(r, -2, 2)
+	for _, v := range x.Data {
+		if v < -2 || v >= 2 {
+			t.Fatalf("uniform out of range: %v", v)
+		}
+	}
+	x.FillHe(r, 100)
+	var sumSq float64
+	for _, v := range x.Data {
+		sumSq += float64(v) * float64(v)
+	}
+	std := math.Sqrt(sumSq / float64(len(x.Data)))
+	want := math.Sqrt(2.0 / 100)
+	if math.Abs(std-want)/want > 0.1 {
+		t.Errorf("He std = %v, want ~%v", std, want)
+	}
+	x.FillXavier(r, 50, 50)
+	limit := math.Sqrt(6.0 / 100)
+	for _, v := range x.Data {
+		if math.Abs(float64(v)) > limit {
+			t.Fatalf("Xavier out of range: %v", v)
+		}
+	}
+}
+
+func TestPropertyShapeCloneEqual(t *testing.T) {
+	f := func(dims []uint8) bool {
+		s := make(Shape, 0, len(dims)%5+1)
+		for i := 0; i <= len(dims)%5 && i < len(dims); i++ {
+			s = append(s, int(dims[i])%7+1)
+		}
+		if len(s) == 0 {
+			s = Shape{1}
+		}
+		return s.Equal(s.Clone())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyScaleLinear(t *testing.T) {
+	// Property: (x scaled by a) L2 == |a| * (x L2), within float tolerance.
+	f := func(vals []float32, a float32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 64 {
+			vals = vals[:64]
+		}
+		for _, v := range vals {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) || math.Abs(float64(v)) > 1e10 {
+				return true
+			}
+		}
+		if math.IsNaN(float64(a)) || math.IsInf(float64(a), 0) || math.Abs(float64(a)) > 1e10 {
+			return true
+		}
+		x := FromSlice(append([]float32(nil), vals...), len(vals))
+		before := x.L2()
+		x.Scale(a)
+		after := x.L2()
+		want := math.Abs(float64(a)) * before
+		if want == 0 {
+			return after == 0
+		}
+		return math.Abs(after-want)/want < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

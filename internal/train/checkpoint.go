@@ -1,0 +1,196 @@
+package train
+
+// Checkpointing: a compact binary serialization of an executor's learned
+// parameters and batch-norm running statistics, so example applications
+// and long experiments can save and resume training. The format is a
+// little-endian stream: magic, node count, then per parameterized node its
+// name, parameter tensors (shape + raw FP32 data), and any batch-norm
+// running statistics.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"gist/internal/layers"
+	"gist/internal/tensor"
+)
+
+const checkpointMagic = uint32(0x67495354) // "gIST"
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("train: corrupt checkpoint (string length %d)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func writeTensor(w io.Writer, t *tensor.Tensor) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(t.Shape))); err != nil {
+		return err
+	}
+	for _, d := range t.Shape {
+		if err := binary.Write(w, binary.LittleEndian, uint32(d)); err != nil {
+			return err
+		}
+	}
+	return binary.Write(w, binary.LittleEndian, t.Data)
+}
+
+func readTensor(r io.Reader) (*tensor.Tensor, error) {
+	var rank uint32
+	if err := binary.Read(r, binary.LittleEndian, &rank); err != nil {
+		return nil, err
+	}
+	if rank > 8 {
+		return nil, fmt.Errorf("train: corrupt checkpoint (rank %d)", rank)
+	}
+	shape := make([]int, rank)
+	for i := range shape {
+		var d uint32
+		if err := binary.Read(r, binary.LittleEndian, &d); err != nil {
+			return nil, err
+		}
+		shape[i] = int(d)
+	}
+	t := tensor.New(shape...)
+	if err := binary.Read(r, binary.LittleEndian, t.Data); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// SaveCheckpoint writes the executor's parameters and batch-norm running
+// statistics to w.
+func (e *Executor) SaveCheckpoint(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, checkpointMagic); err != nil {
+		return err
+	}
+	var count uint32
+	for _, n := range e.G.Nodes {
+		if len(e.params[n.ID]) > 0 {
+			count++
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, count); err != nil {
+		return err
+	}
+	for _, n := range e.G.Nodes {
+		ps := e.params[n.ID]
+		if len(ps) == 0 {
+			continue
+		}
+		if err := writeString(bw, n.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(ps))); err != nil {
+			return err
+		}
+		for _, p := range ps {
+			if err := writeTensor(bw, p); err != nil {
+				return err
+			}
+		}
+		// Batch-norm running statistics ride along (length 0 otherwise).
+		var mean, variance []float32
+		if bn, ok := n.Op.(*layers.BatchNormOp); ok {
+			mean, variance = bn.RunningMean, bn.RunningVar
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(mean))); err != nil {
+			return err
+		}
+		if len(mean) > 0 {
+			if err := binary.Write(bw, binary.LittleEndian, mean); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, variance); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadCheckpoint restores parameters saved by SaveCheckpoint into this
+// executor. The graph must contain the same parameterized node names with
+// the same shapes.
+func (e *Executor) LoadCheckpoint(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return err
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("train: not a gist checkpoint (magic %#x)", magic)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	for i := uint32(0); i < count; i++ {
+		name, err := readString(br)
+		if err != nil {
+			return err
+		}
+		node := e.G.Lookup(name)
+		if node == nil {
+			return fmt.Errorf("train: checkpoint node %q not in graph", name)
+		}
+		var nParams uint32
+		if err := binary.Read(br, binary.LittleEndian, &nParams); err != nil {
+			return err
+		}
+		ps := e.params[node.ID]
+		if int(nParams) != len(ps) {
+			return fmt.Errorf("train: node %q has %d params, checkpoint has %d",
+				name, len(ps), nParams)
+		}
+		for j := range ps {
+			t, err := readTensor(br)
+			if err != nil {
+				return err
+			}
+			if !t.Shape.Equal(ps[j].Shape) {
+				return fmt.Errorf("train: node %q param %d shape %v, checkpoint %v",
+					name, j, ps[j].Shape, t.Shape)
+			}
+			copy(ps[j].Data, t.Data)
+		}
+		var nStats uint32
+		if err := binary.Read(br, binary.LittleEndian, &nStats); err != nil {
+			return err
+		}
+		if nStats > 0 {
+			mean := make([]float32, nStats)
+			variance := make([]float32, nStats)
+			if err := binary.Read(br, binary.LittleEndian, mean); err != nil {
+				return err
+			}
+			if err := binary.Read(br, binary.LittleEndian, variance); err != nil {
+				return err
+			}
+			if bn, ok := node.Op.(*layers.BatchNormOp); ok {
+				bn.RunningMean, bn.RunningVar = mean, variance
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,330 @@
+// Package train executes graphs for real: it allocates tensors, runs every
+// operator's forward and backward kernels, applies SGD, and reproduces the
+// numerical behaviour of Gist's encodings inside the training loop. The
+// paper's accuracy experiment (Figure 12) is this package's reason to
+// exist: the executor can quantize activations immediately after each layer
+// (the conventional "All-FP16" scheme whose forward error compounds) or
+// delay the reduction to the stashed copy only (DPR, forward stays exact),
+// and it can round-trip stashes through the real Binarize/SSDC/DPR
+// encoders.
+package train
+
+import (
+	"fmt"
+	"math"
+
+	"gist/internal/encoding"
+	"gist/internal/floatenc"
+	"gist/internal/graph"
+	"gist/internal/layers"
+	"gist/internal/tensor"
+)
+
+// PrecisionMode selects how activations are reduced during training.
+type PrecisionMode int
+
+const (
+	// FullPrecision is the FP32 baseline.
+	FullPrecision PrecisionMode = iota
+	// AllReduced quantizes every layer output immediately after it is
+	// computed, so the error is injected into the forward pass and
+	// propagates — the conventional scheme the paper shows failing.
+	AllReduced
+	// DelayedReduced quantizes only the stashed copy used by the backward
+	// pass; forward consumers see full FP32 values (Gist's DPR).
+	DelayedReduced
+)
+
+// String names the mode as the paper's figures do.
+func (m PrecisionMode) String() string {
+	switch m {
+	case FullPrecision:
+		return "Baseline-FP32"
+	case AllReduced:
+		return "All-Reduced"
+	case DelayedReduced:
+		return "Gist-DPR"
+	}
+	return fmt.Sprintf("PrecisionMode(%d)", int(m))
+}
+
+// Options configures an executor.
+type Options struct {
+	Mode   PrecisionMode
+	Format floatenc.Format
+	// Encodings, when non-nil, round-trips every assigned stash through
+	// the real encoder kernels (Binarize mask, narrow CSR, packed DPR)
+	// instead of in-place quantization, verifying the full machinery.
+	Encodings *encoding.Analysis
+	// Seed drives weight initialization and dropout.
+	Seed uint64
+}
+
+// Executor owns the parameters and scratch state for training one graph.
+type Executor struct {
+	G    *graph.Graph
+	opts Options
+
+	params map[int][]*tensor.Tensor
+	grads  map[int][]*tensor.Tensor
+	moms   map[int][]*tensor.Tensor
+	rng    *tensor.RNG
+
+	// outs holds each node's forward output for the current step; stash
+	// holds the (possibly reduced) view backward readers see.
+	outs  map[int]*tensor.Tensor
+	stash map[int]*tensor.Tensor
+	aux   map[int]map[string]any
+
+	// StashBytes records, per step, the total bytes of the stashed
+	// representations the backward pass actually read (encoded when
+	// encodings are active) — a runtime cross-check of the planner.
+	StashBytes int64
+}
+
+// NewExecutor initializes parameters (He init for conv/FC weights, ones and
+// zeros for batch-norm scale/shift, zero biases).
+func NewExecutor(g *graph.Graph, opts Options) *Executor {
+	if opts.Format == floatenc.FP32 && opts.Mode != FullPrecision {
+		panic("train: reduced mode requires a reduced format")
+	}
+	e := &Executor{
+		G: g, opts: opts,
+		params: map[int][]*tensor.Tensor{},
+		grads:  map[int][]*tensor.Tensor{},
+		moms:   map[int][]*tensor.Tensor{},
+		rng:    tensor.NewRNG(opts.Seed),
+	}
+	for _, n := range g.Nodes {
+		if len(n.ParamShapes) == 0 {
+			continue
+		}
+		ps := make([]*tensor.Tensor, len(n.ParamShapes))
+		gs := make([]*tensor.Tensor, len(n.ParamShapes))
+		ms := make([]*tensor.Tensor, len(n.ParamShapes))
+		for i, shape := range n.ParamShapes {
+			ps[i] = tensor.New(shape...)
+			gs[i] = tensor.New(shape...)
+			ms[i] = tensor.New(shape...)
+			switch {
+			case n.Kind() == layers.BatchNorm && i == 0:
+				ps[i].Fill(1) // gamma
+			case n.Kind() == layers.BatchNorm && i == 1:
+				// beta stays zero
+			case i == 0:
+				fanIn := shape.NumElements() / shape[0]
+				ps[i].FillHe(e.rng, fanIn)
+			}
+		}
+		e.params[n.ID] = ps
+		e.grads[n.ID] = gs
+		e.moms[n.ID] = ms
+	}
+	return e
+}
+
+// Params returns the parameter tensors of a node (nil if none).
+func (e *Executor) Params(n *graph.Node) []*tensor.Tensor { return e.params[n.ID] }
+
+// Output returns node n's forward output from the latest step.
+func (e *Executor) Output(n *graph.Node) *tensor.Tensor { return e.outs[n.ID] }
+
+// Forward runs the forward pass on the given minibatch. Labels are needed
+// only when the graph ends in a loss node and Backward will run.
+func (e *Executor) Forward(input *tensor.Tensor, labels []int, training bool) {
+	e.outs = map[int]*tensor.Tensor{}
+	e.stash = map[int]*tensor.Tensor{}
+	e.aux = map[int]map[string]any{}
+	for _, n := range e.G.Nodes {
+		out := tensor.New(n.OutShape...)
+		aux := map[string]any{}
+		if n.Kind() == layers.Input {
+			if !input.Shape.Equal(n.OutShape) {
+				panic(fmt.Sprintf("train: input shape %v, want %v", input.Shape, n.OutShape))
+			}
+			copy(out.Data, input.Data)
+		} else {
+			ins := make([]*tensor.Tensor, len(n.Inputs))
+			for i, in := range n.Inputs {
+				ins[i] = e.outs[in.ID]
+			}
+			if n.Kind() == layers.SoftmaxXent {
+				aux[layers.AuxKeyLabels] = labels
+			}
+			n.Op.Forward(&layers.FwdCtx{
+				In: ins, Params: e.params[n.ID], Out: out,
+				Aux: aux, RNG: e.rng, Train: training,
+			})
+		}
+		if e.opts.Mode == AllReduced && n.Kind() != layers.SoftmaxXent {
+			// Conventional scheme: inject quantization error immediately,
+			// so every downstream layer consumes reduced values. The loss
+			// layer itself stays exact (prior-work schemes quantize layer
+			// activations, not the loss).
+			floatenc.QuantizeSlice(e.opts.Format, out.Data)
+		}
+		e.outs[n.ID] = out
+		e.aux[n.ID] = aux
+	}
+}
+
+// prepareStashes builds the backward-pass view of every feature map after
+// the forward pass completes — the executor's equivalent of Gist inserting
+// encode functions after each stash's last forward use.
+func (e *Executor) prepareStashes() {
+	e.StashBytes = 0
+	for _, n := range e.G.Nodes {
+		out := e.outs[n.ID]
+		if e.opts.Encodings != nil {
+			if as := e.opts.Encodings.ByNode[n.ID]; as != nil {
+				enc := encoding.EncodeStash(as, out)
+				e.StashBytes += enc.Bytes()
+				e.stash[n.ID] = enc.Decode()
+				continue
+			}
+		}
+		if e.opts.Mode == DelayedReduced && stashedForBackward(e, n) {
+			q := out.Clone()
+			floatenc.QuantizeSlice(e.opts.Format, q.Data)
+			e.StashBytes += e.opts.Format.PackedBytes(len(q.Data))
+			e.stash[n.ID] = q
+			continue
+		}
+		if stashedForBackward(e, n) {
+			e.StashBytes += out.Bytes()
+		}
+		e.stash[n.ID] = out
+	}
+}
+
+// stashedForBackward reports whether n's output has a backward reader,
+// under the encoding analysis when present.
+func stashedForBackward(e *Executor, n *graph.Node) bool {
+	if e.opts.Encodings != nil {
+		return e.opts.Encodings.OutputStashed(n)
+	}
+	return graph.OutputStashed(n)
+}
+
+// Backward runs the backward pass, accumulating parameter gradients.
+func (e *Executor) Backward() {
+	e.prepareStashes()
+	gradOf := map[int]*tensor.Tensor{}
+	nodes := e.G.Nodes
+	for i := len(nodes) - 1; i >= 0; i-- {
+		n := nodes[i]
+		if n.Kind() == layers.Input {
+			continue
+		}
+		dOut := gradOf[n.ID]
+		if dOut == nil {
+			if len(n.Consumers()) == 0 {
+				// Loss node: its Backward seeds the gradient itself.
+				dOut = tensor.New(n.OutShape...)
+			} else {
+				// Dead branch (no gradient flowed): skip.
+				continue
+			}
+		}
+		ins := make([]*tensor.Tensor, len(n.Inputs))
+		dIns := make([]*tensor.Tensor, len(n.Inputs))
+		for j, in := range n.Inputs {
+			ins[j] = e.stash[in.ID]
+			dIns[j] = tensor.New(in.OutShape...)
+		}
+		ctx := &layers.BwdCtx{
+			Params: e.params[n.ID], DOut: dOut,
+			DIn: dIns, DParams: e.grads[n.ID], Aux: e.aux[n.ID],
+		}
+		if n.Op.Needs().X {
+			ctx.In = ins
+		}
+		if n.Op.Needs().Y {
+			ctx.Out = e.stash[n.ID]
+		}
+		n.Op.Backward(ctx)
+		for j, in := range n.Inputs {
+			if g := gradOf[in.ID]; g == nil {
+				gradOf[in.ID] = dIns[j]
+			} else {
+				g.Add(dIns[j])
+			}
+		}
+	}
+}
+
+// ClipGradNorm rescales all parameter gradients so their global L2 norm is
+// at most maxNorm, the standard guard against the exploding gradients that
+// plain SGD on deeper ReLU stacks invites.
+func (e *Executor) ClipGradNorm(maxNorm float64) {
+	var sumSq float64
+	for _, gs := range e.grads {
+		for _, g := range gs {
+			for _, v := range g.Data {
+				sumSq += float64(v) * float64(v)
+			}
+		}
+	}
+	norm := math.Sqrt(sumSq)
+	if norm <= maxNorm || norm == 0 {
+		return
+	}
+	scale := float32(maxNorm / norm)
+	for _, gs := range e.grads {
+		for _, g := range gs {
+			g.Scale(scale)
+		}
+	}
+}
+
+// SGD applies one momentum-SGD update and zeroes the gradients.
+func (e *Executor) SGD(lr, momentum, weightDecay float32) {
+	for id, ps := range e.params {
+		gs, ms := e.grads[id], e.moms[id]
+		for i, p := range ps {
+			g, m := gs[i], ms[i]
+			for k := range p.Data {
+				grad := g.Data[k] + weightDecay*p.Data[k]
+				m.Data[k] = momentum*m.Data[k] + grad
+				p.Data[k] -= lr * m.Data[k]
+			}
+			g.Zero()
+		}
+	}
+}
+
+// lossNode returns the graph's softmax cross-entropy node. It panics if
+// there is none: the trainer only drives classification graphs.
+func (e *Executor) lossNode() *graph.Node {
+	for _, n := range e.G.Nodes {
+		if n.Kind() == layers.SoftmaxXent {
+			return n
+		}
+	}
+	panic("train: graph has no SoftmaxXent loss node")
+}
+
+// Step runs forward, backward and an SGD update on one minibatch and
+// returns the minibatch loss and top-1 error count.
+func (e *Executor) Step(input *tensor.Tensor, labels []int, lr float32) (loss float64, errors int) {
+	e.Forward(input, labels, true)
+	loss, errors = e.lossOf(labels)
+	e.Backward()
+	e.ClipGradNorm(5)
+	e.SGD(lr, 0.9, 1e-4)
+	return loss, errors
+}
+
+// ReLUSparsities returns the zero fraction of every ReLU output from the
+// latest forward pass, keyed by node name — the Figure 14 probe.
+func (e *Executor) ReLUSparsities() map[string]float64 {
+	m := map[string]float64{}
+	for _, n := range e.G.Nodes {
+		if n.Kind() == layers.ReLU {
+			if out := e.outs[n.ID]; out != nil {
+				m[n.Name] = out.Sparsity()
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,167 @@
+package train
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"gist/internal/graph"
+	"gist/internal/layers"
+	"gist/internal/tensor"
+)
+
+// smallNetWide mirrors smallNet's node names with wider shapes, for the
+// checkpoint shape-mismatch test.
+func smallNetWide(mb int) *graph.Graph {
+	g := graph.New()
+	in := g.MustAdd("input", layers.NewInput(mb, 2, 8, 8))
+	c1 := g.MustAdd("conv1", layers.NewConv2D(8, 3, 1, 1), in) // 8 channels, not 4
+	r1 := g.MustAdd("relu1", layers.NewReLU(), c1)
+	p1 := g.MustAdd("pool1", layers.NewMaxPool(2, 2, 0), r1)
+	fc := g.MustAdd("fc", layers.NewFC(4), p1)
+	g.MustAdd("loss", layers.NewSoftmaxXent(), fc)
+	return g
+}
+
+func TestSGDOptMatchesExecutorSGD(t *testing.T) {
+	// The standalone SGD optimizer must match the executor's built-in
+	// update exactly on the same gradients.
+	g1, g2 := smallNet(4), smallNet(4)
+	e1 := NewExecutor(g1, Options{Seed: 3})
+	e2 := NewExecutor(g2, Options{Seed: 3})
+	d1 := NewDataset(4, 2, 8, 0.3, 4)
+	d2 := NewDataset(4, 2, 8, 0.3, 4)
+	opt := NewSGD(0.05, 0.9, 1e-4)
+	for i := 0; i < 3; i++ {
+		x1, l1 := d1.Batch(4)
+		x2, l2 := d2.Batch(4)
+		e1.Step(x1, l1, 0.05)
+		e2.StepWith(x2, l2, opt)
+	}
+	for _, n := range g1.Nodes {
+		p1, p2 := e1.Params(n), e2.Params(g2.Lookup(n.Name))
+		for j := range p1 {
+			if !p1[j].Equal(p2[j]) {
+				t.Fatalf("%s param %d diverged between built-in and optimizer SGD", n.Name, j)
+			}
+		}
+	}
+}
+
+func TestAdamTrains(t *testing.T) {
+	g := smallNet(8)
+	e := NewExecutor(g, Options{Seed: 5})
+	d := NewDataset(4, 2, 8, 0.3, 6)
+	opt := NewAdam(0.005)
+	var first, last float64
+	for i := 1; i <= 100; i++ {
+		x, labels := d.Batch(8)
+		loss, _ := e.StepWith(x, labels, opt)
+		if i == 1 {
+			first = loss
+		}
+		last = loss
+	}
+	if math.IsNaN(last) || last >= first {
+		t.Fatalf("Adam did not reduce loss: %v -> %v", first, last)
+	}
+}
+
+func TestAdamStepSizeBounded(t *testing.T) {
+	// Adam's per-coordinate step is bounded by ~LR regardless of gradient
+	// scale (bias-corrected), a defining property of the optimizer.
+	opt := NewAdam(0.01)
+	p := tensor.FromSlice([]float32{1}, 1)
+	g := tensor.FromSlice([]float32{1e6}, 1)
+	opt.Update([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+	moved := math.Abs(float64(p.Data[0] - 1))
+	if moved > 0.011 {
+		t.Fatalf("Adam step %v should be bounded by ~lr", moved)
+	}
+	if moved < 0.009 {
+		t.Fatalf("Adam first step should be ~lr, got %v", moved)
+	}
+}
+
+func TestEvalModeDeterministic(t *testing.T) {
+	// Eval disables dropout: two eval passes on the same data must agree.
+	g := smallNet(4)
+	e := NewExecutor(g, Options{Seed: 9})
+	d := NewDataset(4, 2, 8, 0.3, 10)
+	x, labels := d.Batch(4)
+	l1, e1 := e.Eval(x, labels)
+	l2, e2 := e.Eval(x, labels)
+	if l1 != l2 || e1 != e2 {
+		t.Fatal("eval must be deterministic")
+	}
+}
+
+func TestEvalAccuracyImprovesWithTraining(t *testing.T) {
+	g := smallNet(8)
+	e := NewExecutor(g, Options{Seed: 11})
+	train := NewDataset(4, 2, 8, 0.3, 12)
+	val := NewDataset(4, 2, 8, 0.3, 12) // same prototypes seed
+	before := e.EvalAccuracy(val, 8, 5)
+	Run(e, train, RunConfig{Minibatch: 8, Steps: 120, LR: 0.05, ProbeEvery: 40})
+	after := e.EvalAccuracy(val, 8, 5)
+	if after >= before {
+		t.Fatalf("validation error should fall: %v -> %v", before, after)
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	g1 := smallNet(4)
+	e1 := NewExecutor(g1, Options{Seed: 21})
+	d := NewDataset(4, 2, 8, 0.3, 22)
+	Run(e1, d, RunConfig{Minibatch: 4, Steps: 20, LR: 0.05, ProbeEvery: 10})
+
+	var buf bytes.Buffer
+	if err := e1.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Load into a freshly initialized executor with different seed.
+	g2 := smallNet(4)
+	e2 := NewExecutor(g2, Options{Seed: 99})
+	if err := e2.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g1.Nodes {
+		p1, p2 := e1.Params(n), e2.Params(g2.Lookup(n.Name))
+		for j := range p1 {
+			if !p1[j].Equal(p2[j]) {
+				t.Fatalf("%s param %d not restored", n.Name, j)
+			}
+		}
+	}
+	// Restored executor must produce identical eval results.
+	x, labels := d.Batch(4)
+	l1, _ := e1.Eval(x, labels)
+	l2, _ := e2.Eval(x, labels)
+	if l1 != l2 {
+		t.Fatalf("restored eval loss %v != original %v", l2, l1)
+	}
+}
+
+func TestCheckpointBadMagic(t *testing.T) {
+	e := NewExecutor(smallNet(2), Options{Seed: 1})
+	err := e.LoadCheckpoint(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8}))
+	if err == nil {
+		t.Fatal("bad magic must error")
+	}
+}
+
+func TestCheckpointShapeMismatch(t *testing.T) {
+	e1 := NewExecutor(smallNet(4), Options{Seed: 1})
+	var buf bytes.Buffer
+	if err := e1.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// A different architecture with the same node names but different
+	// shapes must refuse the checkpoint.
+	other := smallNetWide(4)
+	e2 := NewExecutor(other, Options{Seed: 2})
+	if err := e2.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+}

@@ -1,0 +1,97 @@
+package train
+
+// Learning-rate schedules. The paper's suite trains with the networks'
+// original recipes — step decay over ~90 epochs for the AlexNet-era models
+// and warmup+steps for ResNets — so the trainer supports the standard
+// schedule shapes.
+
+import "math"
+
+// LRSchedule maps a (0-based) step index to a learning rate.
+type LRSchedule interface {
+	At(step int) float32
+}
+
+// ConstantLR is a fixed learning rate.
+type ConstantLR float32
+
+// At returns the constant rate.
+func (c ConstantLR) At(int) float32 { return float32(c) }
+
+// StepDecay multiplies the base rate by Gamma every DecayEvery steps —
+// the classic "divide by 10 every 30 epochs" recipe.
+type StepDecay struct {
+	Base       float32
+	Gamma      float64
+	DecayEvery int
+}
+
+// At returns Base * Gamma^(step/DecayEvery).
+func (s StepDecay) At(step int) float32 {
+	if s.DecayEvery <= 0 {
+		return s.Base
+	}
+	k := step / s.DecayEvery
+	return s.Base * float32(math.Pow(s.Gamma, float64(k)))
+}
+
+// CosineDecay anneals from Base to Floor over Horizon steps.
+type CosineDecay struct {
+	Base, Floor float32
+	Horizon     int
+}
+
+// At returns the cosine-annealed rate (clamped at Floor past the horizon).
+func (c CosineDecay) At(step int) float32 {
+	if c.Horizon <= 0 || step >= c.Horizon {
+		return c.Floor
+	}
+	frac := float64(step) / float64(c.Horizon)
+	return c.Floor + (c.Base-c.Floor)*float32(0.5*(1+math.Cos(math.Pi*frac)))
+}
+
+// Warmup linearly ramps from 0 to the inner schedule's rate over
+// WarmupSteps, then delegates — the deep-ResNet stabilizer.
+type Warmup struct {
+	WarmupSteps int
+	Inner       LRSchedule
+}
+
+// At returns the warmed-up rate.
+func (w Warmup) At(step int) float32 {
+	inner := w.Inner.At(step)
+	if step >= w.WarmupSteps || w.WarmupSteps <= 0 {
+		return inner
+	}
+	return inner * float32(step+1) / float32(w.WarmupSteps)
+}
+
+// RunScheduled trains like Run but takes a learning-rate schedule.
+func RunScheduled(e *Executor, d *Dataset, cfg RunConfig, sched LRSchedule) []Record {
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 10
+	}
+	var records []Record
+	windowErrs, windowN := 0, 0
+	var lastLoss float64
+	for step := 1; step <= cfg.Steps; step++ {
+		x, labels := d.Batch(cfg.Minibatch)
+		loss, errs := e.Step(x, labels, sched.At(step-1))
+		windowErrs += errs
+		windowN += cfg.Minibatch
+		lastLoss = loss
+		if step%cfg.ProbeEvery == 0 {
+			rec := Record{
+				Minibatch:    step,
+				Loss:         lastLoss,
+				AccuracyLoss: float64(windowErrs) / float64(windowN),
+			}
+			if cfg.ProbeSparsity {
+				rec.ReLUSparsity = e.ReLUSparsities()
+			}
+			records = append(records, rec)
+			windowErrs, windowN = 0, 0
+		}
+	}
+	return records
+}

@@ -1,0 +1,86 @@
+package train
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConstantLR(t *testing.T) {
+	s := ConstantLR(0.1)
+	if s.At(0) != 0.1 || s.At(1000) != 0.1 {
+		t.Fatal("constant schedule must not vary")
+	}
+}
+
+func TestStepDecay(t *testing.T) {
+	s := StepDecay{Base: 1, Gamma: 0.1, DecayEvery: 30}
+	if s.At(0) != 1 || s.At(29) != 1 {
+		t.Error("rate before first decay")
+	}
+	if got := s.At(30); math.Abs(float64(got)-0.1) > 1e-7 {
+		t.Errorf("after one decay: %v", got)
+	}
+	if got := s.At(65); math.Abs(float64(got)-0.01) > 1e-8 {
+		t.Errorf("after two decays: %v", got)
+	}
+	// Degenerate period: no decay.
+	if (StepDecay{Base: 2, Gamma: 0.5}).At(100) != 2 {
+		t.Error("zero period must not decay")
+	}
+}
+
+func TestCosineDecay(t *testing.T) {
+	s := CosineDecay{Base: 1, Floor: 0.1, Horizon: 100}
+	if s.At(0) != 1 {
+		t.Errorf("start = %v", s.At(0))
+	}
+	mid := s.At(50)
+	if math.Abs(float64(mid)-0.55) > 1e-6 {
+		t.Errorf("midpoint = %v, want 0.55", mid)
+	}
+	if s.At(100) != 0.1 || s.At(500) != 0.1 {
+		t.Error("past horizon must clamp at floor")
+	}
+	// Monotone decreasing.
+	prev := s.At(0)
+	for i := 1; i <= 100; i++ {
+		cur := s.At(i)
+		if cur > prev {
+			t.Fatalf("cosine not monotone at %d", i)
+		}
+		prev = cur
+	}
+}
+
+func TestWarmup(t *testing.T) {
+	s := Warmup{WarmupSteps: 10, Inner: ConstantLR(1)}
+	if got := s.At(0); math.Abs(float64(got)-0.1) > 1e-7 {
+		t.Errorf("first step = %v, want 0.1", got)
+	}
+	if got := s.At(4); math.Abs(float64(got)-0.5) > 1e-7 {
+		t.Errorf("step 4 = %v, want 0.5", got)
+	}
+	if s.At(10) != 1 || s.At(100) != 1 {
+		t.Error("post-warmup must be the inner rate")
+	}
+	if (Warmup{Inner: ConstantLR(2)}).At(0) != 2 {
+		t.Error("zero warmup must delegate immediately")
+	}
+}
+
+func TestRunScheduledTrains(t *testing.T) {
+	g := smallNet(8)
+	e := NewExecutor(g, Options{Seed: 41})
+	d := NewDataset(4, 2, 8, 0.3, 42)
+	sched := Warmup{WarmupSteps: 10, Inner: StepDecay{Base: 0.05, Gamma: 0.5, DecayEvery: 50}}
+	recs := RunScheduled(e, d, RunConfig{Minibatch: 8, Steps: 120, ProbeEvery: 30}, sched)
+	if len(recs) != 4 {
+		t.Fatalf("records = %d", len(recs))
+	}
+	if Diverged(recs, 4) {
+		t.Fatal("scheduled run diverged")
+	}
+	if recs[len(recs)-1].AccuracyLoss > 0.3 {
+		t.Fatalf("final accuracy loss %v", recs[len(recs)-1].AccuracyLoss)
+	}
+}

@@ -1,0 +1,124 @@
+package train
+
+// Trainer drives repeated minibatch steps and records the accuracy-loss
+// trajectory the paper plots in Figure 12 and the per-layer sparsity series
+// of Figure 14.
+
+import (
+	"gist/internal/graph"
+	"gist/internal/tensor"
+)
+
+// Record is one probe point of a training run.
+type Record struct {
+	Minibatch int
+	Loss      float64
+	// AccuracyLoss is the paper's y-axis: 1 - training accuracy, measured
+	// over the probe window.
+	AccuracyLoss float64
+	// ReLUSparsity holds per-ReLU zero fractions at this probe (only when
+	// sparsity probing is enabled).
+	ReLUSparsity map[string]float64
+}
+
+// RunConfig configures a training run.
+type RunConfig struct {
+	Minibatch int
+	Steps     int
+	LR        float32
+	// ProbeEvery controls how often a Record is emitted (in steps).
+	ProbeEvery int
+	// ProbeSparsity records ReLU sparsities at each probe.
+	ProbeSparsity bool
+	// Seed controls the data stream (weights are seeded by the executor).
+	DataSeed uint64
+}
+
+// Run trains the executor's graph on the dataset and returns the probe
+// records. The accuracy-loss at each probe is the error rate accumulated
+// since the previous probe, matching how the paper tracks training
+// accuracy over time.
+func Run(e *Executor, d *Dataset, cfg RunConfig) []Record {
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 10
+	}
+	var records []Record
+	windowErrs, windowN := 0, 0
+	var lastLoss float64
+	for step := 1; step <= cfg.Steps; step++ {
+		x, labels := d.Batch(cfg.Minibatch)
+		loss, errs := e.Step(x, labels, cfg.LR)
+		windowErrs += errs
+		windowN += cfg.Minibatch
+		lastLoss = loss
+		if step%cfg.ProbeEvery == 0 {
+			rec := Record{
+				Minibatch:    step,
+				Loss:         lastLoss,
+				AccuracyLoss: float64(windowErrs) / float64(windowN),
+			}
+			if cfg.ProbeSparsity {
+				rec.ReLUSparsity = e.ReLUSparsities()
+			}
+			records = append(records, rec)
+			windowErrs, windowN = 0, 0
+		}
+	}
+	return records
+}
+
+// FinalAccuracyLoss returns the accuracy loss of the last probe window, or
+// 1 (untrained) when there are no records.
+func FinalAccuracyLoss(records []Record) float64 {
+	if len(records) == 0 {
+		return 1
+	}
+	return records[len(records)-1].AccuracyLoss
+}
+
+// Diverged reports whether a run failed to train: its final accuracy loss
+// is no better than chance for the given class count, or its loss became
+// non-finite.
+func Diverged(records []Record, classes int) bool {
+	if len(records) == 0 {
+		return true
+	}
+	last := records[len(records)-1]
+	chance := 1 - 1/float64(classes)
+	if last.AccuracyLoss >= chance*0.95 {
+		return true
+	}
+	return last.Loss != last.Loss // NaN
+}
+
+// MeasuredSparsity converts a training run's final sparsity probe into a
+// planning-time sparsity model for the encoding analysis, letting the
+// full-scale memory planner use sparsities measured on the scaled run.
+func MeasuredSparsity(rec Record) func(n *graph.Node) float64 {
+	return func(n *graph.Node) float64 {
+		if s, ok := rec.ReLUSparsity[n.Name]; ok {
+			return s
+		}
+		return 0
+	}
+}
+
+// AverageSparsity returns the mean ReLU sparsity of a record, or 0.
+func AverageSparsity(rec Record) float64 {
+	if len(rec.ReLUSparsity) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range rec.ReLUSparsity {
+		sum += s
+	}
+	return sum / float64(len(rec.ReLUSparsity))
+}
+
+// Ones is a convenience constructor for an all-ones input of the given
+// shape, used by examples and micro-benchmarks.
+func Ones(shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	t.Fill(1)
+	return t
+}
