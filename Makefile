@@ -1,0 +1,27 @@
+# Developer entry points. `make check` is the full pre-merge gate.
+
+GO ?= go
+
+.PHONY: build test vet race fuzz bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector run: benchmarks skip themselves via internal/race.
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the checkpoint parser.
+fuzz:
+	$(GO) test ./internal/train/ -run FuzzReadCheckpoint -fuzz FuzzReadCheckpoint -fuzztime 20s
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run TestXXX .
+
+check: build vet test race

@@ -18,56 +18,74 @@ import (
 	"gist/internal/liveness"
 	"gist/internal/memplan"
 	"gist/internal/networks"
+	"gist/internal/race"
 	"gist/internal/sparse"
 	"gist/internal/tensor"
 	"gist/internal/train"
 )
 
+// skipIfRace skips a benchmark under `go test -race`: these benches are
+// single-goroutine full-experiment harnesses whose only effect under the
+// race detector is a ~10x slower CI run.
+func skipIfRace(b *testing.B) {
+	if race.Enabled {
+		b.Skip("benchmark skipped under -race (no concurrency to check)")
+	}
+}
+
 // --- one benchmark per paper table/figure ---
 
 func BenchmarkFig1(b *testing.B) {
+	skipIfRace(b)
 	for i := 0; i < b.N; i++ {
 		_ = experiments.Fig1(experiments.DefaultMinibatch)
 	}
 }
 
 func BenchmarkFig3(b *testing.B) {
+	skipIfRace(b)
 	for i := 0; i < b.N; i++ {
 		_ = experiments.Fig3(experiments.DefaultMinibatch)
 	}
 }
 
 func BenchmarkTable1(b *testing.B) {
+	skipIfRace(b)
 	for i := 0; i < b.N; i++ {
 		_ = experiments.Table1()
 	}
 }
 
 func BenchmarkFig8(b *testing.B) {
+	skipIfRace(b)
 	for i := 0; i < b.N; i++ {
 		_ = experiments.Fig8(experiments.DefaultMinibatch)
 	}
 }
 
 func BenchmarkFig9(b *testing.B) {
+	skipIfRace(b)
 	for i := 0; i < b.N; i++ {
 		_ = experiments.Fig9(experiments.DefaultMinibatch)
 	}
 }
 
 func BenchmarkFig10(b *testing.B) {
+	skipIfRace(b)
 	for i := 0; i < b.N; i++ {
 		_ = experiments.Fig10(experiments.DefaultMinibatch)
 	}
 }
 
 func BenchmarkFig11(b *testing.B) {
+	skipIfRace(b)
 	for i := 0; i < b.N; i++ {
 		_ = experiments.Fig11(experiments.DefaultMinibatch)
 	}
 }
 
 func BenchmarkFig12(b *testing.B) {
+	skipIfRace(b)
 	// Reduced scale: the full accuracy study is a multi-seed training
 	// run; the bench exercises one seed at a quarter of the steps.
 	s := experiments.DefaultTrainScale()
@@ -81,12 +99,14 @@ func BenchmarkFig12(b *testing.B) {
 }
 
 func BenchmarkFig13(b *testing.B) {
+	skipIfRace(b)
 	for i := 0; i < b.N; i++ {
 		_ = experiments.Fig13(experiments.DefaultMinibatch)
 	}
 }
 
 func BenchmarkFig14(b *testing.B) {
+	skipIfRace(b)
 	s := experiments.DefaultSparsityScale()
 	s.Steps = 20
 	b.ResetTimer()
@@ -96,18 +116,21 @@ func BenchmarkFig14(b *testing.B) {
 }
 
 func BenchmarkFig15(b *testing.B) {
+	skipIfRace(b)
 	for i := 0; i < b.N; i++ {
 		_ = experiments.Fig15(experiments.DefaultMinibatch)
 	}
 }
 
 func BenchmarkFig16(b *testing.B) {
+	skipIfRace(b)
 	for i := 0; i < b.N; i++ {
 		_ = experiments.Fig16()
 	}
 }
 
 func BenchmarkFig17(b *testing.B) {
+	skipIfRace(b)
 	for i := 0; i < b.N; i++ {
 		_ = experiments.Fig17(experiments.DefaultMinibatch)
 	}
@@ -129,6 +152,7 @@ func sparseInput(sparsity float64) []float32 {
 }
 
 func BenchmarkBinarizeEncode(b *testing.B) {
+	skipIfRace(b)
 	xs := sparseInput(0.5)
 	b.SetBytes(kernelElems * 4)
 	for i := 0; i < b.N; i++ {
@@ -137,6 +161,7 @@ func BenchmarkBinarizeEncode(b *testing.B) {
 }
 
 func BenchmarkBinarizeGate(b *testing.B) {
+	skipIfRace(b)
 	xs := sparseInput(0.5)
 	m := bitpack.FromPositive(xs)
 	dy := sparseInput(0)
@@ -149,6 +174,7 @@ func BenchmarkBinarizeGate(b *testing.B) {
 }
 
 func BenchmarkSSDCEncodeCSR(b *testing.B) {
+	skipIfRace(b)
 	xs := sparseInput(0.7)
 	b.SetBytes(kernelElems * 4)
 	for i := 0; i < b.N; i++ {
@@ -157,6 +183,7 @@ func BenchmarkSSDCEncodeCSR(b *testing.B) {
 }
 
 func BenchmarkSSDCDecodeCSR(b *testing.B) {
+	skipIfRace(b)
 	c := sparse.EncodeCSR(sparseInput(0.7))
 	dst := make([]float32, kernelElems)
 	b.SetBytes(kernelElems * 4)
@@ -167,6 +194,7 @@ func BenchmarkSSDCDecodeCSR(b *testing.B) {
 }
 
 func BenchmarkDPRQuantize(b *testing.B) {
+	skipIfRace(b)
 	for _, f := range []floatenc.Format{floatenc.FP16, floatenc.FP10, floatenc.FP8} {
 		f := f
 		b.Run(f.String(), func(b *testing.B) {
@@ -181,6 +209,7 @@ func BenchmarkDPRQuantize(b *testing.B) {
 }
 
 func BenchmarkDPRPackUnpack(b *testing.B) {
+	skipIfRace(b)
 	xs := sparseInput(0)
 	b.SetBytes(kernelElems * 4)
 	for i := 0; i < b.N; i++ {
@@ -194,6 +223,7 @@ func BenchmarkDPRPackUnpack(b *testing.B) {
 // BenchmarkAblationCSRFormats compares the conversion cost of the three
 // sparse formats the paper evaluated before choosing CSR.
 func BenchmarkAblationCSRFormats(b *testing.B) {
+	skipIfRace(b)
 	xs := sparseInput(0.7)
 	b.Run("CSR", func(b *testing.B) {
 		b.SetBytes(kernelElems * 4)
@@ -219,6 +249,7 @@ func BenchmarkAblationCSRFormats(b *testing.B) {
 // width achieves across the sparsity range (bytes reported via the size
 // models; the bench exercises the narrow encoder).
 func BenchmarkAblationNarrowVsWideCSR(b *testing.B) {
+	skipIfRace(b)
 	for _, sp := range []float64{0.2, 0.5, 0.8} {
 		sp := sp
 		b.Run(spName(sp), func(b *testing.B) {
@@ -248,6 +279,7 @@ func spName(sp float64) string {
 // BenchmarkAblationAllocators compares the static sharing allocator to the
 // dynamic peak computation on VGG16's buffer set.
 func BenchmarkAblationAllocators(b *testing.B) {
+	skipIfRace(b)
 	g := networks.VGG16(64)
 	tl := gGraph.BuildTimeline(g)
 	bufs := liveness.Analyze(g, tl, liveness.Options{})
@@ -266,6 +298,7 @@ func BenchmarkAblationAllocators(b *testing.B) {
 // BenchmarkScheduleBuilder measures a full Gist planning pass at paper
 // scale.
 func BenchmarkScheduleBuilder(b *testing.B) {
+	skipIfRace(b)
 	g := networks.VGG16(64)
 	cfg := gist.LossyLossless(gist.FP16)
 	b.ResetTimer()
@@ -277,6 +310,7 @@ func BenchmarkScheduleBuilder(b *testing.B) {
 // BenchmarkTrainStep measures one real minibatch step with and without
 // encodings round-tripping every stash.
 func BenchmarkTrainStep(b *testing.B) {
+	skipIfRace(b)
 	run := func(b *testing.B, withEnc bool) {
 		g := networks.TinyCNN(8, 4)
 		opts := train.Options{Seed: 1}

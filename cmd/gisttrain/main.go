@@ -8,6 +8,7 @@
 //
 //	gisttrain -experiment fig12 -steps 400
 //	gisttrain -experiment fig14 -steps 120 -probe 20
+//	gisttrain -experiment robust -steps 200 -bitflip 0.05 -ckpt /tmp/gist.ckpt
 package main
 
 import (
@@ -19,11 +20,22 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "fig12", "fig12 or fig14")
+	experiment := flag.String("experiment", "fig12", "fig12, fig14 or robust")
 	steps := flag.Int("steps", 0, "training steps (0 = default scale)")
 	probe := flag.Int("probe", 0, "probe interval in steps (fig14; 0 = default)")
 	minibatch := flag.Int("mb", 0, "minibatch size (0 = default)")
 	seed := flag.Uint64("seed", 0, "RNG seed (0 = default)")
+
+	// Fault-injection flags (robust experiment).
+	bitflip := flag.Float64("bitflip", -1, "per-stash bit-flip probability (robust; <0 = default)")
+	encfail := flag.Float64("encfail", -1, "per-stash encode-failure probability (robust; <0 = default)")
+	decfail := flag.Float64("decfail", -1, "per-stash decode-failure probability (robust; <0 = default)")
+	allocBudget := flag.Int64("allocbudget", 0, "per-step stash byte budget before injected alloc failure (robust; 0 = off)")
+	allocFails := flag.Int("allocfails", 0, "injected alloc failures before the pressure clears (robust)")
+	faultSeed := flag.Uint64("faultseed", 0, "fault injector seed (robust; 0 = default)")
+	retries := flag.Int("retries", 0, "per-step retry budget (robust; 0 = default)")
+	ckpt := flag.String("ckpt", "", "periodic atomic checkpoint path (robust; empty = off)")
+	ckptTruncate := flag.Int64("ckpt-truncate", 0, "tear checkpoint writes at this byte offset (robust; 0 = off)")
 	flag.Parse()
 
 	switch *experiment {
@@ -54,8 +66,47 @@ func main() {
 			s.Seed = *seed
 		}
 		fmt.Println(experiments.Fig14(s))
+	case "robust":
+		s := experiments.DefaultRobustScale()
+		if *steps > 0 {
+			s.Steps = *steps
+		}
+		if *minibatch > 0 {
+			s.Minibatch = *minibatch
+		}
+		if *seed != 0 {
+			s.Seed = *seed
+		}
+		if *bitflip >= 0 {
+			s.Faults.BitFlipRate = *bitflip
+		}
+		if *encfail >= 0 {
+			s.Faults.EncodeFailRate = *encfail
+		}
+		if *decfail >= 0 {
+			s.Faults.DecodeFailRate = *decfail
+		}
+		if *allocBudget > 0 {
+			s.Faults.AllocBudgetBytes = *allocBudget
+		}
+		if *allocFails > 0 {
+			s.Faults.AllocFailures = *allocFails
+		}
+		if *faultSeed != 0 {
+			s.Faults.Seed = *faultSeed
+		}
+		if *retries > 0 {
+			s.MaxRetries = *retries
+		}
+		if *ckpt != "" {
+			s.CheckpointPath = *ckpt
+		}
+		if *ckptTruncate > 0 {
+			s.Faults.CheckpointTruncateAt = *ckptTruncate
+		}
+		fmt.Println(experiments.Robust(s))
 	default:
-		fmt.Fprintf(os.Stderr, "gisttrain: unknown experiment %q (fig12 or fig14)\n", *experiment)
+		fmt.Fprintf(os.Stderr, "gisttrain: unknown experiment %q (fig12, fig14 or robust)\n", *experiment)
 		os.Exit(1)
 	}
 }

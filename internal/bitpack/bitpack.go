@@ -35,6 +35,10 @@ func FromPositive(xs []float32) *BitMask {
 // Len returns the number of bits in the mask.
 func (m *BitMask) Len() int { return m.n }
 
+// Words exposes the packed backing words. Integrity checksums and the
+// fault injector operate on this raw view; ordinary callers use Get/Set.
+func (m *BitMask) Words() []uint64 { return m.words }
+
 // Bytes returns the storage footprint of the packed mask.
 func (m *BitMask) Bytes() int64 { return int64(len(m.words)) * 8 }
 

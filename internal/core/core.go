@@ -9,6 +9,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"gist/internal/costmodel"
@@ -37,6 +38,19 @@ func (m AllocationMode) String() string {
 	}
 	return "dynamic"
 }
+
+// Typed planning errors, so callers can branch on the failure class
+// instead of string-matching (and so nothing in the planning path panics
+// on malformed input).
+var (
+	// ErrNilGraph reports a Build request without a graph.
+	ErrNilGraph = errors.New("core: nil graph")
+	// ErrInvalidGraph wraps a graph that failed validation.
+	ErrInvalidGraph = errors.New("core: invalid graph")
+	// ErrInvalidPlan reports a static plan that violated lifetime
+	// disjointness — an internal invariant failure, never expected.
+	ErrInvalidPlan = errors.New("core: static plan violated lifetime disjointness")
+)
 
 // Request describes one planning run.
 type Request struct {
@@ -77,10 +91,10 @@ type Plan struct {
 // Build runs the Schedule Builder on a request.
 func Build(req Request) (*Plan, error) {
 	if req.Graph == nil {
-		return nil, fmt.Errorf("core: nil graph")
+		return nil, ErrNilGraph
 	}
 	if err := req.Graph.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrInvalidGraph, err)
 	}
 	tl := graph.BuildTimeline(req.Graph)
 
@@ -98,7 +112,7 @@ func Build(req Request) (*Plan, error) {
 	})
 	static := memplan.PlanStatic(bufs)
 	if _, _, ok := static.Validate(); !ok {
-		return nil, fmt.Errorf("core: static plan violated lifetime disjointness")
+		return nil, ErrInvalidPlan
 	}
 	dyn := memplan.PlanDynamic(bufs)
 	p := &Plan{

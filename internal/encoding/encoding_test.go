@@ -1,6 +1,7 @@
 package encoding
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -211,8 +212,14 @@ func TestRuntimeBinarizeRoundTrip(t *testing.T) {
 		}
 		return v
 	})
-	e := EncodeStash(as, x)
-	dec := e.Decode()
+	e, err := EncodeStash(as, x)
+	if err != nil {
+		t.Fatalf("EncodeStash: %v", err)
+	}
+	dec, err := e.Decode()
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
 	for i, v := range x.Data {
 		want := float32(0)
 		if v > 0 {
@@ -242,8 +249,14 @@ func TestRuntimeSSDCRoundTripLossless(t *testing.T) {
 			x.Data[i] = r.Float32()
 		}
 	}
-	e := EncodeStash(as, x)
-	dec := e.Decode()
+	e, err := EncodeStash(as, x)
+	if err != nil {
+		t.Fatalf("EncodeStash: %v", err)
+	}
+	dec, err := e.Decode()
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
 	if !dec.Equal(x) {
 		t.Fatal("SSDC must be bit-exact")
 	}
@@ -261,8 +274,14 @@ func TestRuntimeSSDCWithDPRQuantizesValues(t *testing.T) {
 			x.Data[i] = r.Float32() + 0.1
 		}
 	}
-	e := EncodeStash(as, x)
-	dec := e.Decode()
+	e, err := EncodeStash(as, x)
+	if err != nil {
+		t.Fatalf("EncodeStash: %v", err)
+	}
+	dec, err := e.Decode()
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
 	for i, v := range x.Data {
 		if dec.Data[i] != floatenc.FP16.Quantize(v) {
 			t.Fatalf("SSDC+DPR decode[%d] = %v, want %v", i, dec.Data[i], floatenc.FP16.Quantize(v))
@@ -286,8 +305,14 @@ func TestRuntimeDPRRoundTrip(t *testing.T) {
 	}
 	x := tensor.New(inN.OutShape...)
 	x.FillNormal(tensor.NewRNG(5), 0, 1)
-	e := EncodeStash(as, x)
-	dec := e.Decode()
+	e, err := EncodeStash(as, x)
+	if err != nil {
+		t.Fatalf("EncodeStash: %v", err)
+	}
+	dec, err := e.Decode()
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
 	for i, v := range x.Data {
 		if dec.Data[i] != floatenc.FP10.Quantize(v) {
 			t.Fatalf("DPR decode[%d] = %v, want %v", i, dec.Data[i], floatenc.FP10.Quantize(v))
@@ -298,13 +323,10 @@ func TestRuntimeDPRRoundTrip(t *testing.T) {
 	}
 }
 
-func TestEncodeStashNoTechniquePanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	EncodeStash(&Assignment{Tech: None}, tensor.New(1))
+func TestEncodeStashNoTechniqueErrors(t *testing.T) {
+	if _, err := EncodeStash(&Assignment{Tech: None}, tensor.New(1)); !errors.Is(err, ErrNoTechnique) {
+		t.Fatalf("err = %v, want ErrNoTechnique", err)
+	}
 }
 
 func TestDefaultSparsityModel(t *testing.T) {

@@ -1,10 +1,36 @@
 package encoding
 
 import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
 	"gist/internal/bitpack"
 	"gist/internal/floatenc"
 	"gist/internal/sparse"
 	"gist/internal/tensor"
+)
+
+// Typed errors for the encode→hold→decode path. The stash lives in fragile
+// encoded form across the long forward→backward temporal gap, so every
+// anomaly surfaces as a structured error the executor can recover from
+// instead of a panic.
+var (
+	// ErrNoTechnique reports an EncodeStash call whose assignment carries
+	// no encoding technique.
+	ErrNoTechnique = errors.New("encoding: stash has no technique")
+	// ErrCorruptStash reports a checksum mismatch between seal and decode:
+	// the encoded payload was altered while it was held.
+	ErrCorruptStash = errors.New("encoding: corrupt stash (checksum mismatch)")
+	// ErrStashTooLarge reports an SSDC encode whose runtime sparsity fell
+	// below the break-even point, making the CSR form larger than the dense
+	// DPR alternative it was supposed to beat.
+	ErrStashTooLarge = errors.New("encoding: encoded stash larger than dense alternative")
+	// ErrShapeMismatch reports an encoded payload whose element count does
+	// not match the stash's recorded shape.
+	ErrShapeMismatch = errors.New("encoding: stash payload does not match shape")
 )
 
 // EncodedStash is a materialized encoded representation of a stashed
@@ -17,13 +43,23 @@ type EncodedStash struct {
 	Shape  tensor.Shape
 	Mask   *bitpack.BitMask // Binarize
 	CSR    *sparse.CSR      // SSDC (values possibly DPR-quantized)
-	Packed *floatenc.Packed // DPR
+	Packed *floatenc.Packed // DPR (also the dense-fallback container)
+
+	// Checksum is the CRC32-C of the payload, valid only after Seal.
+	Checksum uint32
+	sealed   bool
 }
 
 // EncodeStash encodes a feature map per the assignment. The input tensor is
 // not modified; callers relinquish it after encoding, which is exactly the
 // memory-sharing opportunity Gist creates.
-func EncodeStash(as *Assignment, t *tensor.Tensor) *EncodedStash {
+//
+// For SSDC the runtime zero pattern decides the footprint: when the actual
+// sparsity is below the narrow-CSR break-even point the CSR form can exceed
+// the dense DPR stash it competes with, and EncodeStash returns
+// ErrStashTooLarge. Callers that prefer graceful degradation over a hard
+// error use EncodeStashAdaptive.
+func EncodeStash(as *Assignment, t *tensor.Tensor) (*EncodedStash, error) {
 	e := &EncodedStash{Tech: as.Tech, Shape: t.Shape.Clone()}
 	switch as.Tech {
 	case Binarize:
@@ -38,33 +74,196 @@ func EncodeStash(as *Assignment, t *tensor.Tensor) *EncodedStash {
 			floatenc.QuantizeSlice(as.Format, data)
 		}
 		e.CSR = sparse.EncodeCSR(data)
+		// Compare against the dense DPR alternative using the same cost
+		// model as the static analysis (ssdcBytes): when DPR is layered on
+		// SSDC the CSR value array would also shrink to the packed width, so
+		// credit that saving before declaring CSR uncompetitive.
+		effective := e.CSR.Bytes()
+		if as.Format != floatenc.FP32 {
+			nnz := int64(e.CSR.NNZ())
+			effective -= nnz*4 - as.Format.PackedBytes(int(nnz))
+		}
+		if dense := as.Format.PackedBytes(len(t.Data)); effective >= dense {
+			return nil, fmt.Errorf("%w: CSR %d bytes >= dense %s %d bytes (nnz %d/%d)",
+				ErrStashTooLarge, effective, as.Format, dense, e.CSR.NNZ(), len(t.Data))
+		}
 	case DPR:
 		e.Packed = floatenc.EncodeSlice(as.Format, t.Data)
 	default:
-		panic("encoding: EncodeStash with no technique")
+		return nil, fmt.Errorf("%w (technique %v)", ErrNoTechnique, as.Tech)
 	}
-	return e
+	return e, nil
+}
+
+// EncodeDense builds the dense fallback stash: the feature map packed at
+// the assignment's DPR format (raw FP32 words when the format is FP32).
+// This is the representation the executor degrades to when SSDC's runtime
+// sparsity makes CSR uncompetitive.
+func EncodeDense(f floatenc.Format, t *tensor.Tensor) *EncodedStash {
+	return &EncodedStash{
+		Tech:   DPR,
+		Shape:  t.Shape.Clone(),
+		Packed: floatenc.EncodeSlice(f, t.Data),
+	}
+}
+
+// EncodeStashAdaptive encodes per the assignment but degrades an SSDC
+// stash whose runtime CSR form is larger than its dense DPR alternative to
+// the dense encoding instead of failing. It reports whether the fallback
+// fired so the executor can count degradations.
+func EncodeStashAdaptive(as *Assignment, t *tensor.Tensor) (e *EncodedStash, fellBack bool, err error) {
+	e, err = EncodeStash(as, t)
+	if errors.Is(err, ErrStashTooLarge) {
+		return EncodeDense(as.Format, t), true, nil
+	}
+	return e, false, err
+}
+
+// Seal computes and records the payload checksum, arming Verify and Decode
+// to detect any later corruption of the held representation. Integrity is
+// opt-in: unsealed stashes skip all checksum work (the zero-overhead path).
+func (e *EncodedStash) Seal() {
+	e.Checksum = e.checksum()
+	e.sealed = true
+}
+
+// Sealed reports whether the stash carries a checksum.
+func (e *EncodedStash) Sealed() bool { return e.sealed }
+
+// Verify re-hashes the payload of a sealed stash and returns ErrCorruptStash
+// on mismatch. Unsealed stashes verify trivially.
+func (e *EncodedStash) Verify() error {
+	if !e.sealed {
+		return nil
+	}
+	if got := e.checksum(); got != e.Checksum {
+		return fmt.Errorf("%w: %v stash of shape %v: crc %#x, sealed %#x",
+			ErrCorruptStash, e.Tech, e.Shape, got, e.Checksum)
+	}
+	return nil
+}
+
+// crcTable is the Castagnoli polynomial table (hardware-accelerated on
+// modern CPUs, the conventional choice for storage integrity).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum hashes the technique, shape and payload arrays.
+func (e *EncodedStash) checksum() uint32 {
+	h := crc32.New(crcTable)
+	var buf [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		h.Write(buf[:4])
+	}
+	put32(uint32(e.Tech))
+	put32(uint32(len(e.Shape)))
+	for _, d := range e.Shape {
+		put32(uint32(d))
+	}
+	switch e.Tech {
+	case Binarize:
+		for _, w := range e.Mask.Words() {
+			binary.LittleEndian.PutUint64(buf[:8], w)
+			h.Write(buf[:8])
+		}
+	case SSDC:
+		for _, p := range e.CSR.RowPtr {
+			put32(uint32(p))
+		}
+		h.Write(e.CSR.ColIdx)
+		for _, v := range e.CSR.Values {
+			put32(math.Float32bits(v))
+		}
+	case DPR:
+		for _, w := range e.Packed.Words {
+			put32(w)
+		}
+	}
+	return h.Sum32()
+}
+
+// PayloadBits returns the number of addressable payload bits — the fault
+// injector's corruption surface (mask words, CSR meta and value arrays,
+// packed DPR words).
+func (e *EncodedStash) PayloadBits() int {
+	switch e.Tech {
+	case Binarize:
+		return len(e.Mask.Words()) * 64
+	case SSDC:
+		return len(e.CSR.RowPtr)*32 + len(e.CSR.ColIdx)*8 + len(e.CSR.Values)*32
+	case DPR:
+		return len(e.Packed.Words) * 32
+	}
+	return 0
+}
+
+// FlipBit inverts payload bit i (0 <= i < PayloadBits), the primitive the
+// fault injector uses to simulate in-memory corruption of a held stash.
+func (e *EncodedStash) FlipBit(i int) {
+	if i < 0 || i >= e.PayloadBits() {
+		panic(fmt.Sprintf("encoding: FlipBit index %d out of range [0,%d)", i, e.PayloadBits()))
+	}
+	switch e.Tech {
+	case Binarize:
+		e.Mask.Words()[i/64] ^= 1 << (uint(i) % 64)
+	case SSDC:
+		if n := len(e.CSR.RowPtr) * 32; i < n {
+			e.CSR.RowPtr[i/32] ^= 1 << (uint(i) % 32)
+			return
+		} else {
+			i -= n
+		}
+		if n := len(e.CSR.ColIdx) * 8; i < n {
+			e.CSR.ColIdx[i/8] ^= 1 << (uint(i) % 8)
+			return
+		} else {
+			i -= n
+		}
+		bits := math.Float32bits(e.CSR.Values[i/32]) ^ 1<<(uint(i)%32)
+		e.CSR.Values[i/32] = math.Float32frombits(bits)
+	case DPR:
+		e.Packed.Words[i/32] ^= 1 << (uint(i) % 32)
+	}
 }
 
 // Decode materializes the FP32 staging tensor for the backward use. For
 // Binarize the mask itself is the backward representation, but Decode still
 // reconstructs a 0/1 tensor so that generic backward code can run unchanged
 // (ReLU backward only tests Y > 0, and the pool argmax map carries the rest).
-func (e *EncodedStash) Decode() *tensor.Tensor {
+//
+// A sealed stash is verified first; corruption surfaces as ErrCorruptStash
+// before any decoding touches the damaged payload. Payload/shape
+// disagreements (possible on unsealed stashes) surface as ErrShapeMismatch
+// rather than an index panic.
+func (e *EncodedStash) Decode() (*tensor.Tensor, error) {
+	if err := e.Verify(); err != nil {
+		return nil, err
+	}
 	out := tensor.New(e.Shape...)
 	switch e.Tech {
 	case Binarize:
+		if e.Mask.Len() != len(out.Data) {
+			return nil, fmt.Errorf("%w: mask %d bits, shape %v", ErrShapeMismatch, e.Mask.Len(), e.Shape)
+		}
 		for i := range out.Data {
 			if e.Mask.Get(i) {
 				out.Data[i] = 1
 			}
 		}
 	case SSDC:
+		if e.CSR.N != len(out.Data) {
+			return nil, fmt.Errorf("%w: CSR over %d elements, shape %v", ErrShapeMismatch, e.CSR.N, e.Shape)
+		}
 		e.CSR.Decode(out.Data)
 	case DPR:
+		if e.Packed.N != len(out.Data) {
+			return nil, fmt.Errorf("%w: packed %d elements, shape %v", ErrShapeMismatch, e.Packed.N, e.Shape)
+		}
 		e.Packed.DecodeSlice(out.Data)
+	default:
+		return nil, fmt.Errorf("%w (technique %v)", ErrNoTechnique, e.Tech)
 	}
-	return out
+	return out, nil
 }
 
 // Bytes returns the encoded representation's storage footprint.

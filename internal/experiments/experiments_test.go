@@ -5,7 +5,18 @@ import (
 	"testing"
 
 	"gist/internal/floatenc"
+	"gist/internal/race"
 )
+
+// skipIfRace skips the full-training harness tests under `go test -race`:
+// single-goroutine minute-scale runs that only time out CI at the race
+// detector's ~10x slowdown (the fast tests keep race coverage).
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if race.Enabled {
+		t.Skip("full-training harness skipped under -race")
+	}
+}
 
 func TestFig1StashedDominates(t *testing.T) {
 	r := Fig1(DefaultMinibatch)
@@ -154,6 +165,7 @@ func TestFig15Ordering(t *testing.T) {
 }
 
 func TestFig16DeeperBenefitsMore(t *testing.T) {
+	skipIfRace(t)
 	r := Fig16()
 	s509 := r.Values["ResNet-509/speedup"]
 	s1202 := r.Values["ResNet-1202/speedup"]
@@ -202,6 +214,7 @@ func TestFig17DynamicBands(t *testing.T) {
 }
 
 func TestFig12AccuracyStory(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("training run")
 	}
@@ -242,6 +255,7 @@ func TestForwardErrorByDepthDeterministic(t *testing.T) {
 }
 
 func TestFig14CompressionOverTime(t *testing.T) {
+	skipIfRace(t)
 	if testing.Short() {
 		t.Skip("training run")
 	}

@@ -73,6 +73,7 @@ func TestExtEnergyGistWins(t *testing.T) {
 }
 
 func TestSummaryAllWithinBand(t *testing.T) {
+	skipIfRace(t)
 	r := Summary()
 	for _, line := range r.Lines[1:] {
 		if strings.Contains(line, "off ") {

@@ -1,0 +1,308 @@
+// Package faults is a deterministic, seedable fault injector for the Gist
+// encode→hold→decode pipeline and its checkpoint stream. Gist keeps
+// activations in fragile encoded form (1-bit masks, narrow CSR, packed
+// sub-FP16 words) across the long forward→backward temporal gap, which is
+// exactly the window where a production training system must tolerate
+// corruption, allocation failure and crashes. The injector flips bits in
+// held EncodedStash payloads, fails encode/decode calls, simulates
+// allocation failure against a memory budget, and truncates or corrupts
+// checkpoint streams — all driven by one seeded RNG so every run replays
+// exactly.
+//
+// Every injected fault is logged as an Event; the trainer's RecoveryReport
+// is cross-checked against this log (every injected stash corruption must
+// be detected by the CRC seal, every injected failure must be retried or
+// degraded around). A nil *Injector is valid and injects nothing, so call
+// sites pay only a nil check when injection is off.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"gist/internal/encoding"
+	"gist/internal/tensor"
+)
+
+// Injected-failure errors. ErrInjected is the root every specific error
+// wraps, so recovery code can match the whole family with errors.Is.
+var (
+	ErrInjected       = errors.New("faults: injected failure")
+	ErrInjectedEncode = fmt.Errorf("%w: encode", ErrInjected)
+	ErrInjectedDecode = fmt.Errorf("%w: decode", ErrInjected)
+	ErrInjectedAlloc  = fmt.Errorf("%w: stash allocation (memory budget exceeded)", ErrInjected)
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+// Fault kinds, one per injection surface.
+const (
+	BitFlip Kind = iota
+	EncodeFail
+	DecodeFail
+	AllocFail
+	CheckpointTruncate
+	CheckpointCorrupt
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case BitFlip:
+		return "bit-flip"
+	case EncodeFail:
+		return "encode-fail"
+	case DecodeFail:
+		return "decode-fail"
+	case AllocFail:
+		return "alloc-fail"
+	case CheckpointTruncate:
+		return "checkpoint-truncate"
+	case CheckpointCorrupt:
+		return "checkpoint-corrupt"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one injected fault, recorded in the order faults fired.
+type Event struct {
+	Kind Kind
+	// Step is the training step active when the fault fired (0 before the
+	// first BeginStep).
+	Step int
+	// Node names the stash the fault targeted, when applicable.
+	Node string
+	// Detail is a human-readable specifics string (bit index, byte offset,
+	// budget overshoot).
+	Detail string
+}
+
+// Config selects the fault mix. The zero Config injects nothing.
+type Config struct {
+	// Seed drives the injector's private RNG; runs replay exactly.
+	Seed uint64
+	// BitFlipRate is the per-stash probability of flipping one uniformly
+	// chosen payload bit after the stash is sealed.
+	BitFlipRate float64
+	// EncodeFailRate is the per-stash probability of failing the encode
+	// call (simulating a failed kernel launch or transient allocator error).
+	EncodeFailRate float64
+	// DecodeFailRate is the per-stash probability of failing the decode
+	// call before the backward use.
+	DecodeFailRate float64
+	// AllocBudgetBytes, when positive, fails a step's stash allocation once
+	// the step's cumulative encoded bytes exceed the budget — simulated
+	// memory pressure. The pressure clears after AllocFailures failures
+	// (transient, as in a co-tenant releasing memory), so retries succeed.
+	AllocBudgetBytes int64
+	// AllocFailures is how many budget overruns fail before the pressure
+	// clears. Zero means 1 when a budget is set.
+	AllocFailures int
+	// CheckpointTruncateAt, when positive, silently drops all checkpoint
+	// stream bytes past this offset — a torn write. Applies to writers
+	// wrapped with WrapWriter.
+	CheckpointTruncateAt int64
+	// CheckpointFlipByte, when positive, XORs 0xFF into the checkpoint
+	// stream byte at this offset (0 disables; the first bytes are the magic,
+	// so every interesting offset is positive).
+	CheckpointFlipByte int64
+}
+
+// Injector injects the configured faults. Methods are safe on a nil
+// receiver (no-ops) and safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu             sync.Mutex
+	rng            *tensor.RNG
+	step           int
+	stepBytes      int64
+	allocFailsLeft int
+	events         []Event
+}
+
+// New returns an injector for the config. New(Config{}) and nil both inject
+// nothing.
+func New(cfg Config) *Injector {
+	in := &Injector{cfg: cfg, rng: tensor.NewRNG(cfg.Seed)}
+	in.allocFailsLeft = cfg.AllocFailures
+	if cfg.AllocBudgetBytes > 0 && cfg.AllocFailures == 0 {
+		in.allocFailsLeft = 1
+	}
+	return in
+}
+
+// Enabled reports whether any fault is configured.
+func (in *Injector) Enabled() bool {
+	if in == nil {
+		return false
+	}
+	c := in.cfg
+	return c.BitFlipRate > 0 || c.EncodeFailRate > 0 || c.DecodeFailRate > 0 ||
+		c.AllocBudgetBytes > 0 || c.CheckpointTruncateAt > 0 || c.CheckpointFlipByte > 0
+}
+
+// BeginStep marks the start of a training step: per-step allocation
+// accounting resets and subsequent events carry the step number.
+func (in *Injector) BeginStep(step int) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.step = step
+	in.stepBytes = 0
+}
+
+// record appends an event; callers hold the lock.
+func (in *Injector) record(k Kind, node, detail string) {
+	in.events = append(in.events, Event{Kind: k, Step: in.step, Node: node, Detail: detail})
+}
+
+// FailEncode rolls the encode-failure die for one stash, returning
+// ErrInjectedEncode (and logging the event) on a hit.
+func (in *Injector) FailEncode(node string) error {
+	if in == nil || in.cfg.EncodeFailRate <= 0 {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.rng.Float64() >= in.cfg.EncodeFailRate {
+		return nil
+	}
+	in.record(EncodeFail, node, "")
+	return fmt.Errorf("%w (stash %q)", ErrInjectedEncode, node)
+}
+
+// FailDecode rolls the decode-failure die for one stash.
+func (in *Injector) FailDecode(node string) error {
+	if in == nil || in.cfg.DecodeFailRate <= 0 {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.rng.Float64() >= in.cfg.DecodeFailRate {
+		return nil
+	}
+	in.record(DecodeFail, node, "")
+	return fmt.Errorf("%w (stash %q)", ErrInjectedDecode, node)
+}
+
+// Alloc charges one stash allocation against the step's memory budget and
+// fails with ErrInjectedAlloc while simulated pressure lasts.
+func (in *Injector) Alloc(node string, bytes int64) error {
+	if in == nil || in.cfg.AllocBudgetBytes <= 0 {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.stepBytes += bytes
+	if in.stepBytes <= in.cfg.AllocBudgetBytes || in.allocFailsLeft <= 0 {
+		return nil
+	}
+	in.allocFailsLeft--
+	in.record(AllocFail, node, fmt.Sprintf("step bytes %d > budget %d", in.stepBytes, in.cfg.AllocBudgetBytes))
+	return fmt.Errorf("%w (stash %q, %d bytes over %d budget)",
+		ErrInjectedAlloc, node, in.stepBytes-in.cfg.AllocBudgetBytes, in.cfg.AllocBudgetBytes)
+}
+
+// CorruptStash rolls the bit-flip die for one sealed stash and, on a hit,
+// flips a uniformly chosen payload bit and logs it. It reports whether the
+// stash was corrupted. The caller must decode (and hence CRC-verify) the
+// stash immediately after this call so every logged flip is either detected
+// or proves a checksum gap.
+func (in *Injector) CorruptStash(node string, e *encoding.EncodedStash) bool {
+	if in == nil || in.cfg.BitFlipRate <= 0 || e == nil {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.rng.Float64() >= in.cfg.BitFlipRate {
+		return false
+	}
+	bits := e.PayloadBits()
+	if bits == 0 {
+		return false
+	}
+	bit := in.rng.Intn(bits)
+	e.FlipBit(bit)
+	in.record(BitFlip, node, fmt.Sprintf("payload bit %d of %d", bit, bits))
+	return true
+}
+
+// Events returns a copy of the fault log in firing order.
+func (in *Injector) Events() []Event {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Event(nil), in.events...)
+}
+
+// Counts aggregates the fault log by kind.
+func (in *Injector) Counts() map[Kind]int {
+	m := map[Kind]int{}
+	for _, ev := range in.Events() {
+		m[ev.Kind]++
+	}
+	return m
+}
+
+// WrapWriter wraps a checkpoint stream writer with the configured
+// truncation/corruption faults. With no checkpoint fault configured (or a
+// nil injector) the writer is returned unchanged.
+func (in *Injector) WrapWriter(w io.Writer) io.Writer {
+	if in == nil || (in.cfg.CheckpointTruncateAt <= 0 && in.cfg.CheckpointFlipByte <= 0) {
+		return w
+	}
+	return &faultyWriter{in: in, w: w}
+}
+
+// faultyWriter applies truncation and byte corruption to a stream.
+type faultyWriter struct {
+	in        *Injector
+	w         io.Writer
+	off       int64
+	truncated bool
+}
+
+// Write passes data through, dropping bytes past the truncation point and
+// flipping the configured byte. Dropped writes still report success — a
+// torn write at the OS layer looks exactly like this to the writer.
+func (fw *faultyWriter) Write(p []byte) (int, error) {
+	in := fw.in
+	trunc, flip := in.cfg.CheckpointTruncateAt, in.cfg.CheckpointFlipByte
+
+	n := len(p)
+	start := fw.off
+	fw.off += int64(n)
+
+	out := p
+	if flip > 0 && flip >= start && flip < start+int64(n) {
+		out = append([]byte(nil), p...)
+		out[flip-start] ^= 0xff
+		in.mu.Lock()
+		in.record(CheckpointCorrupt, "", fmt.Sprintf("flipped byte at offset %d", flip))
+		in.mu.Unlock()
+	}
+	if trunc > 0 && start+int64(len(out)) > trunc {
+		if !fw.truncated {
+			fw.truncated = true
+			in.mu.Lock()
+			in.record(CheckpointTruncate, "", fmt.Sprintf("tore stream at offset %d", trunc))
+			in.mu.Unlock()
+		}
+		if start >= trunc {
+			return n, nil // entirely past the tear: swallow
+		}
+		out = out[:trunc-start]
+	}
+	if _, err := fw.w.Write(out); err != nil {
+		return 0, err
+	}
+	return n, nil
+}

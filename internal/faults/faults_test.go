@@ -1,0 +1,233 @@
+package faults
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+
+	"gist/internal/encoding"
+	"gist/internal/floatenc"
+	"gist/internal/tensor"
+)
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Fatal("nil injector must be disabled")
+	}
+	in.BeginStep(1)
+	if err := in.FailEncode("x"); err != nil {
+		t.Fatalf("nil FailEncode: %v", err)
+	}
+	if err := in.FailDecode("x"); err != nil {
+		t.Fatalf("nil FailDecode: %v", err)
+	}
+	if err := in.Alloc("x", 1<<30); err != nil {
+		t.Fatalf("nil Alloc: %v", err)
+	}
+	if in.CorruptStash("x", nil) {
+		t.Fatal("nil CorruptStash must not corrupt")
+	}
+	if got := in.Events(); got != nil {
+		t.Fatalf("nil Events = %v", got)
+	}
+	var buf bytes.Buffer
+	if w := in.WrapWriter(&buf); w != &buf {
+		t.Fatal("nil WrapWriter must return the writer unchanged")
+	}
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	in := New(Config{Seed: 1})
+	if in.Enabled() {
+		t.Fatal("zero config must be disabled")
+	}
+	for i := 0; i < 100; i++ {
+		if in.FailEncode("x") != nil || in.FailDecode("x") != nil || in.Alloc("x", 1<<40) != nil {
+			t.Fatal("zero config injected a failure")
+		}
+	}
+	if len(in.Events()) != 0 {
+		t.Fatal("zero config logged events")
+	}
+}
+
+// drive runs a fixed fault-rolling sequence against an injector and
+// returns its event log.
+func drive(in *Injector) []Event {
+	s := sealedStash(encoding.DPR, floatenc.FP16, 256, 0)
+	for step := 1; step <= 20; step++ {
+		in.BeginStep(step)
+		for i := 0; i < 5; i++ {
+			in.FailEncode("n")
+			in.Alloc("n", 100)
+			in.FailDecode("n")
+			in.CorruptStash("n", s)
+		}
+	}
+	return in.Events()
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	cfg := Config{Seed: 7, BitFlipRate: 0.1, EncodeFailRate: 0.05,
+		DecodeFailRate: 0.05, AllocBudgetBytes: 350, AllocFailures: 3}
+	a := drive(New(cfg))
+	b := drive(New(cfg))
+	if len(a) == 0 {
+		t.Fatal("expected some injected faults")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed, different logs:\n%v\n%v", a, b)
+	}
+	c := drive(New(Config{Seed: 8, BitFlipRate: 0.1, EncodeFailRate: 0.05,
+		DecodeFailRate: 0.05, AllocBudgetBytes: 350, AllocFailures: 3}))
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical logs")
+	}
+}
+
+// sealedStash builds and seals one encoded stash of the given technique
+// over n elements with the given zero fraction.
+func sealedStash(tech encoding.Technique, f floatenc.Format, n int, zeroFrac float64) *encoding.EncodedStash {
+	x := tensor.New(n)
+	r := tensor.NewRNG(11)
+	for i := range x.Data {
+		if r.Float64() >= zeroFrac {
+			x.Data[i] = r.Float32() + 0.25
+		}
+	}
+	as := &encoding.Assignment{Tech: tech, Format: f}
+	e, err := encoding.EncodeStash(as, x)
+	if err != nil {
+		panic(err)
+	}
+	e.Seal()
+	return e
+}
+
+func TestEveryCorruptionIsDetectedByCRC(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() *encoding.EncodedStash
+	}{
+		{"binarize", func() *encoding.EncodedStash {
+			return sealedStash(encoding.Binarize, floatenc.FP32, 512, 0.5)
+		}},
+		{"ssdc", func() *encoding.EncodedStash {
+			return sealedStash(encoding.SSDC, floatenc.FP32, 512, 0.9)
+		}},
+		{"dpr", func() *encoding.EncodedStash {
+			return sealedStash(encoding.DPR, floatenc.FP16, 512, 0)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := New(Config{Seed: 3, BitFlipRate: 1})
+			in.BeginStep(1)
+			for trial := 0; trial < 50; trial++ {
+				s := tc.mk()
+				if !in.CorruptStash("n", s) {
+					t.Fatal("rate-1 injector did not corrupt")
+				}
+				if _, err := s.Decode(); !errors.Is(err, encoding.ErrCorruptStash) {
+					t.Fatalf("trial %d: corrupted stash decoded without ErrCorruptStash: %v", trial, err)
+				}
+			}
+			if got := in.Counts()[BitFlip]; got != 50 {
+				t.Fatalf("BitFlip count = %d, want 50", got)
+			}
+		})
+	}
+}
+
+func TestAllocBudgetIsTransient(t *testing.T) {
+	in := New(Config{Seed: 1, AllocBudgetBytes: 100, AllocFailures: 2})
+	in.BeginStep(1)
+	if err := in.Alloc("a", 80); err != nil {
+		t.Fatalf("within budget: %v", err)
+	}
+	if err := in.Alloc("b", 80); !errors.Is(err, ErrInjectedAlloc) {
+		t.Fatalf("over budget: %v, want ErrInjectedAlloc", err)
+	}
+	in.BeginStep(2) // retry: accounting resets, one failure left
+	in.Alloc("a", 80)
+	if err := in.Alloc("b", 80); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second failure: %v", err)
+	}
+	in.BeginStep(3) // pressure cleared
+	in.Alloc("a", 80)
+	if err := in.Alloc("b", 80); err != nil {
+		t.Fatalf("pressure should have cleared: %v", err)
+	}
+	if got := in.Counts()[AllocFail]; got != 2 {
+		t.Fatalf("AllocFail count = %d, want 2", got)
+	}
+}
+
+func TestWrapWriterTruncates(t *testing.T) {
+	in := New(Config{Seed: 1, CheckpointTruncateAt: 10})
+	var buf bytes.Buffer
+	w := in.WrapWriter(&buf)
+	payload := []byte("0123456789abcdef")
+	n, err := w.Write(payload[:8])
+	if err != nil || n != 8 {
+		t.Fatalf("write 1: n=%d err=%v", n, err)
+	}
+	// Crosses the tear: reports full success, writes only up to offset 10.
+	n, err = w.Write(payload[8:])
+	if err != nil || n != 8 {
+		t.Fatalf("write 2 must look successful (torn write): n=%d err=%v", n, err)
+	}
+	if got := buf.String(); got != "0123456789" {
+		t.Fatalf("stream = %q, want first 10 bytes only", got)
+	}
+	if _, err := w.Write([]byte("zz")); err != nil {
+		t.Fatalf("write past tear: %v", err)
+	}
+	if buf.Len() != 10 {
+		t.Fatal("bytes leaked past the tear")
+	}
+	if got := in.Counts()[CheckpointTruncate]; got != 1 {
+		t.Fatalf("CheckpointTruncate count = %d, want 1", got)
+	}
+}
+
+func TestWrapWriterFlipsByte(t *testing.T) {
+	in := New(Config{Seed: 1, CheckpointFlipByte: 5})
+	var buf bytes.Buffer
+	w := in.WrapWriter(&buf)
+	payload := []byte{0, 1, 2, 3, 4, 5, 6, 7}
+	if _, err := w.Write(payload[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(payload[4:]); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0, 1, 2, 3, 4, 5 ^ 0xff, 6, 7}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("stream = %v, want %v", buf.Bytes(), want)
+	}
+	// The caller's slice must not be mutated.
+	if payload[5] != 5 {
+		t.Fatal("WrapWriter mutated the caller's buffer")
+	}
+	if got := in.Counts()[CheckpointCorrupt]; got != 1 {
+		t.Fatalf("CheckpointCorrupt count = %d, want 1", got)
+	}
+}
+
+func TestEventsCarryStepAndNode(t *testing.T) {
+	in := New(Config{Seed: 1, EncodeFailRate: 1})
+	in.BeginStep(42)
+	if err := in.FailEncode("relu3"); !errors.Is(err, ErrInjectedEncode) {
+		t.Fatalf("err = %v", err)
+	}
+	evs := in.Events()
+	if len(evs) != 1 || evs[0].Step != 42 || evs[0].Node != "relu3" || evs[0].Kind != EncodeFail {
+		t.Fatalf("event = %+v", evs)
+	}
+	if evs[0].Kind.String() != "encode-fail" {
+		t.Fatalf("kind string = %q", evs[0].Kind)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package race reports whether the Go race detector is compiled into this
+// binary, so heavyweight benchmarks can skip cleanly under `go test -race`
+// (the detector's ~10x slowdown turns them into CI timeouts, and they
+// exercise no concurrency of their own).
+package race
+
+// Enabled is true in builds made with -race.
+const Enabled = true

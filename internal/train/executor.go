@@ -10,10 +10,12 @@
 package train
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"gist/internal/encoding"
+	"gist/internal/faults"
 	"gist/internal/floatenc"
 	"gist/internal/graph"
 	"gist/internal/layers"
@@ -58,6 +60,32 @@ type Options struct {
 	Encodings *encoding.Analysis
 	// Seed drives weight initialization and dropout.
 	Seed uint64
+	// Integrity seals every encoded stash with a CRC32-C checksum at encode
+	// and verifies it at decode, turning silent corruption of the held
+	// representation into a typed ErrCorruptStash. Off by default (the
+	// zero-overhead path); forced on while fault injection is active.
+	Integrity bool
+	// Faults, when non-nil and enabled, injects deterministic faults into
+	// the encode→hold→decode path (see the faults package). Runs with
+	// injection must drive the executor through TryStep or RunRecoverable,
+	// which surface the injected failures as errors.
+	Faults *faults.Injector
+}
+
+// RobustnessStats counts the degradation and corruption events one
+// executor observed — the per-run robustness counters the RecoveryReport
+// aggregates and cross-checks against the injector's log.
+type RobustnessStats struct {
+	// SSDCFallbacks counts stashes whose runtime sparsity made narrow CSR
+	// larger than the dense DPR alternative, degrading to dense encoding.
+	SSDCFallbacks int64
+	// CRCFailures counts corrupt stashes detected by checksum at decode.
+	CRCFailures int64
+	// EncodeFailures, DecodeFailures and AllocFailures count injected
+	// failures of the respective stash operations.
+	EncodeFailures int64
+	DecodeFailures int64
+	AllocFailures  int64
 }
 
 // Executor owns the parameters and scratch state for training one graph.
@@ -80,6 +108,10 @@ type Executor struct {
 	// representations the backward pass actually read (encoded when
 	// encodings are active) — a runtime cross-check of the planner.
 	StashBytes int64
+
+	// Robust accumulates degradation and corruption counters over the
+	// executor's lifetime.
+	Robust RobustnessStats
 }
 
 // NewExecutor initializes parameters (He init for conv/FC weights, ones and
@@ -168,18 +200,61 @@ func (e *Executor) Forward(input *tensor.Tensor, labels []int, training bool) {
 	}
 }
 
+// integrity reports whether stashes are CRC-sealed and verified this run:
+// explicitly requested, or forced on by active fault injection so every
+// injected bit flip is detectable.
+func (e *Executor) integrity() bool {
+	return e.opts.Integrity || e.opts.Faults.Enabled()
+}
+
 // prepareStashes builds the backward-pass view of every feature map after
 // the forward pass completes — the executor's equivalent of Gist inserting
 // encode functions after each stash's last forward use.
-func (e *Executor) prepareStashes() {
+//
+// This is where the robustness layer lives: injected encode/decode/alloc
+// failures surface here as typed errors, corruption of a sealed stash is
+// caught by the CRC check inside Decode, and an SSDC stash whose runtime
+// sparsity fell below break-even degrades to the dense DPR encoding. With
+// no injector and integrity off, every added path is a nil/bool check.
+func (e *Executor) prepareStashes() error {
 	e.StashBytes = 0
+	inj := e.opts.Faults
 	for _, n := range e.G.Nodes {
 		out := e.outs[n.ID]
 		if e.opts.Encodings != nil {
 			if as := e.opts.Encodings.ByNode[n.ID]; as != nil {
-				enc := encoding.EncodeStash(as, out)
+				if err := inj.FailEncode(n.Name); err != nil {
+					e.Robust.EncodeFailures++
+					return err
+				}
+				enc, fellBack, err := encoding.EncodeStashAdaptive(as, out)
+				if err != nil {
+					return fmt.Errorf("train: stash %q: %w", n.Name, err)
+				}
+				if fellBack {
+					e.Robust.SSDCFallbacks++
+				}
+				if err := inj.Alloc(n.Name, enc.Bytes()); err != nil {
+					e.Robust.AllocFailures++
+					return err
+				}
+				if err := inj.FailDecode(n.Name); err != nil {
+					e.Robust.DecodeFailures++
+					return err
+				}
+				if e.integrity() {
+					enc.Seal()
+				}
+				inj.CorruptStash(n.Name, enc)
+				dec, err := enc.Decode()
+				if err != nil {
+					if errors.Is(err, encoding.ErrCorruptStash) {
+						e.Robust.CRCFailures++
+					}
+					return fmt.Errorf("train: stash %q: %w", n.Name, err)
+				}
 				e.StashBytes += enc.Bytes()
-				e.stash[n.ID] = enc.Decode()
+				e.stash[n.ID] = dec
 				continue
 			}
 		}
@@ -195,6 +270,7 @@ func (e *Executor) prepareStashes() {
 		}
 		e.stash[n.ID] = out
 	}
+	return nil
 }
 
 // stashedForBackward reports whether n's output has a backward reader,
@@ -206,9 +282,14 @@ func stashedForBackward(e *Executor, n *graph.Node) bool {
 	return graph.OutputStashed(n)
 }
 
-// Backward runs the backward pass, accumulating parameter gradients.
-func (e *Executor) Backward() {
-	e.prepareStashes()
+// Backward runs the backward pass, accumulating parameter gradients. The
+// only failures are stash-pipeline ones (injected faults, detected
+// corruption); without an injector and with well-formed encodings it
+// always returns nil.
+func (e *Executor) Backward() error {
+	if err := e.prepareStashes(); err != nil {
+		return err
+	}
 	gradOf := map[int]*tensor.Tensor{}
 	nodes := e.G.Nodes
 	for i := len(nodes) - 1; i >= 0; i-- {
@@ -251,6 +332,7 @@ func (e *Executor) Backward() {
 			}
 		}
 	}
+	return nil
 }
 
 // ClipGradNorm rescales all parameter gradients so their global L2 norm is
@@ -304,14 +386,33 @@ func (e *Executor) lossNode() *graph.Node {
 	panic("train: graph has no SoftmaxXent loss node")
 }
 
-// Step runs forward, backward and an SGD update on one minibatch and
-// returns the minibatch loss and top-1 error count.
-func (e *Executor) Step(input *tensor.Tensor, labels []int, lr float32) (loss float64, errors int) {
+// TryStep runs forward, backward and an SGD update on one minibatch,
+// returning the minibatch loss, top-1 error count and any stash-pipeline
+// error. On error no parameter update has been applied (failures occur in
+// stash preparation, before gradients accumulate), but batch-norm running
+// statistics and the dropout RNG have advanced — restore a Snapshot before
+// retrying for a bit-exact replay. Fault-injected runs must use TryStep
+// (or RunRecoverable, which wraps it with snapshot/retry/backoff).
+func (e *Executor) TryStep(input *tensor.Tensor, labels []int, lr float32) (loss float64, errs int, err error) {
 	e.Forward(input, labels, true)
-	loss, errors = e.lossOf(labels)
-	e.Backward()
+	loss, errs = e.lossOf(labels)
+	if err := e.Backward(); err != nil {
+		return loss, errs, err
+	}
 	e.ClipGradNorm(5)
 	e.SGD(lr, 0.9, 1e-4)
+	return loss, errs, nil
+}
+
+// Step runs forward, backward and an SGD update on one minibatch and
+// returns the minibatch loss and top-1 error count. Without fault
+// injection the stash pipeline cannot fail; Step panics if it somehow does
+// (use TryStep to handle failures).
+func (e *Executor) Step(input *tensor.Tensor, labels []int, lr float32) (loss float64, errors int) {
+	loss, errors, err := e.TryStep(input, labels, lr)
+	if err != nil {
+		panic(fmt.Sprintf("train: Step under fault injection must use TryStep: %v", err))
+	}
 	return loss, errors
 }
 

@@ -29,7 +29,9 @@ func graphGradCheck(t *testing.T, g *graph.Graph, seed uint64) {
 	// eval mode uses running stats, so use graphs without BN here, or
 	// accept train-mode BN with fixed data — we use eval-consistent ops).
 	e.Forward(x, labels, false)
-	e.Backward()
+	if err := e.Backward(); err != nil {
+		t.Fatalf("Backward: %v", err)
+	}
 
 	const h = 1e-3
 	for _, n := range g.Nodes {

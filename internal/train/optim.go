@@ -1,6 +1,7 @@
 package train
 
 import (
+	"fmt"
 	"math"
 
 	"gist/internal/layers"
@@ -87,11 +88,15 @@ func (o *AdamOpt) Update(params, grads []*tensor.Tensor) {
 }
 
 // StepWith runs forward, backward and an update with the given optimizer
-// (gradient clipping included), returning loss and top-1 errors.
+// (gradient clipping included), returning loss and top-1 errors. Like
+// Step, it panics on stash-pipeline errors, which only fault-injected runs
+// can produce.
 func (e *Executor) StepWith(input *tensor.Tensor, labels []int, opt Optimizer) (loss float64, errors int) {
 	e.Forward(input, labels, true)
 	loss, errors = e.lossOf(labels)
-	e.Backward()
+	if err := e.Backward(); err != nil {
+		panic(fmt.Sprintf("train: StepWith under fault injection: %v", err))
+	}
 	e.ClipGradNorm(5)
 	for id, ps := range e.params {
 		opt.Update(ps, e.grads[id])

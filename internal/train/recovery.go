@@ -1,0 +1,268 @@
+package train
+
+// Crash-safe training recovery: an in-memory snapshot of everything a step
+// mutates (parameters, momenta, batch-norm running statistics, the RNG),
+// and a trainer loop that re-executes a failed step from the last good
+// snapshot with capped exponential backoff, periodically persisting an
+// atomic on-disk checkpoint. The loop surfaces a RecoveryReport whose
+// counters are cross-checked against the fault injector's log in tests.
+
+import (
+	"fmt"
+	"time"
+
+	"gist/internal/faults"
+	"gist/internal/layers"
+	"gist/internal/tensor"
+)
+
+// Snapshot captures the executor state a training step mutates, so a
+// failed step can be rolled back and replayed bit-identically.
+type Snapshot struct {
+	params map[int][][]float32
+	moms   map[int][][]float32
+	bnMean map[int][]float32
+	bnVar  map[int][]float32
+	rng    uint64
+}
+
+// Snapshot copies the executor's mutable training state.
+func (e *Executor) Snapshot() *Snapshot {
+	s := &Snapshot{
+		params: map[int][][]float32{},
+		moms:   map[int][][]float32{},
+		bnMean: map[int][]float32{},
+		bnVar:  map[int][]float32{},
+		rng:    e.rng.State(),
+	}
+	for id, ps := range e.params {
+		s.params[id] = copyTensors(ps)
+		s.moms[id] = copyTensors(e.moms[id])
+	}
+	for _, n := range e.G.Nodes {
+		if bn, ok := n.Op.(*layers.BatchNormOp); ok {
+			s.bnMean[n.ID] = append([]float32(nil), bn.RunningMean...)
+			s.bnVar[n.ID] = append([]float32(nil), bn.RunningVar...)
+		}
+	}
+	return s
+}
+
+// copyTensors deep-copies the data arrays of a tensor list.
+func copyTensors(ts []*tensor.Tensor) [][]float32 {
+	out := make([][]float32, len(ts))
+	for i, t := range ts {
+		out[i] = append([]float32(nil), t.Data...)
+	}
+	return out
+}
+
+// restoreTensors writes saved data arrays back into the tensor list.
+func restoreTensors(ts []*tensor.Tensor, saved [][]float32) {
+	for i, t := range ts {
+		copy(t.Data, saved[i])
+	}
+}
+
+// Restore rewinds the executor to a snapshot taken on the same executor:
+// parameters, momenta, batch-norm statistics and the RNG stream. Gradients
+// are zeroed (a failed step may not have consumed them).
+func (e *Executor) Restore(s *Snapshot) {
+	for id, ps := range e.params {
+		restoreTensors(ps, s.params[id])
+		restoreTensors(e.moms[id], s.moms[id])
+		for _, g := range e.grads[id] {
+			g.Zero()
+		}
+	}
+	for _, n := range e.G.Nodes {
+		if bn, ok := n.Op.(*layers.BatchNormOp); ok {
+			// An empty saved slice means the stats were still lazily
+			// unallocated at snapshot time; return to that pristine state so
+			// the replayed forward re-initializes them identically.
+			if m := s.bnMean[n.ID]; len(m) == 0 {
+				bn.RunningMean, bn.RunningVar = nil, nil
+			} else {
+				bn.RunningMean = append([]float32(nil), m...)
+				bn.RunningVar = append([]float32(nil), s.bnVar[n.ID]...)
+			}
+		}
+	}
+	e.rng.SetState(s.rng)
+}
+
+// RecoveryConfig tunes the retry/backoff/checkpoint behaviour of
+// RunRecoverable. The zero value uses the documented defaults.
+type RecoveryConfig struct {
+	// MaxRetries is the retry budget per step (default 5). The run aborts
+	// once a single step exhausts it.
+	MaxRetries int
+	// BackoffBase is the first retry's delay (default 1ms); each further
+	// retry doubles it, capped at BackoffMax (default 100ms).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// CheckpointPath, when set, atomically writes a verified checkpoint
+	// there every CheckpointEvery steps (default: the probe interval).
+	CheckpointPath  string
+	CheckpointEvery int
+	// Sleep replaces time.Sleep for the backoff waits (tests inject a
+	// recorder); nil uses time.Sleep.
+	Sleep func(time.Duration)
+}
+
+func (rc *RecoveryConfig) withDefaults(probeEvery int) RecoveryConfig {
+	c := *rc
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 5
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 100 * time.Millisecond
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = probeEvery
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	return c
+}
+
+// RecoveryReport summarizes the robustness behaviour of one recoverable
+// run: how often steps failed and were replayed, what the executor counted
+// (fallbacks, CRC detections, injected failures), and how checkpointing
+// fared. FaultCounts carries the injector's own log for cross-checking.
+type RecoveryReport struct {
+	// Steps is the number of steps that completed.
+	Steps int
+	// Retries is the total number of step re-executions.
+	Retries int
+	// RecoveredSteps is the number of steps that failed at least once and
+	// then completed.
+	RecoveredSteps int
+	// GaveUpStep is the step that exhausted its retry budget (0 when the
+	// run completed).
+	GaveUpStep int
+	// BackoffTotal is the summed backoff delay the run waited out.
+	BackoffTotal time.Duration
+	// CheckpointSaves and CheckpointFailures count the periodic atomic
+	// checkpoint writes.
+	CheckpointSaves    int
+	CheckpointFailures int
+	// Robust is the executor's counter block at run end.
+	Robust RobustnessStats
+	// FaultCounts aggregates the injector's event log by kind (nil when no
+	// injector was attached).
+	FaultCounts map[faults.Kind]int
+}
+
+// String renders the report as a compact multi-line summary.
+func (r *RecoveryReport) String() string {
+	s := fmt.Sprintf("steps %d, retries %d, recovered steps %d, backoff %v\n",
+		r.Steps, r.Retries, r.RecoveredSteps, r.BackoffTotal)
+	s += fmt.Sprintf("stash: crc-detected %d, ssdc->dense fallbacks %d, injected encode/decode/alloc %d/%d/%d\n",
+		r.Robust.CRCFailures, r.Robust.SSDCFallbacks,
+		r.Robust.EncodeFailures, r.Robust.DecodeFailures, r.Robust.AllocFailures)
+	s += fmt.Sprintf("checkpoints: %d saved, %d failed", r.CheckpointSaves, r.CheckpointFailures)
+	if r.GaveUpStep > 0 {
+		s += fmt.Sprintf("\nGAVE UP at step %d", r.GaveUpStep)
+	}
+	return s
+}
+
+// RunRecoverable trains like Run but survives stash-pipeline failures: each
+// step runs against a snapshot of the last good state, and on failure the
+// state is rolled back, the loop backs off (exponential, capped), and the
+// step is re-executed. A step that exhausts MaxRetries aborts the run with
+// an error; the records and report accumulated so far are still returned.
+//
+// With no fault injector attached the loop's overhead is one state
+// snapshot per step; with nothing to roll back it behaves exactly like Run.
+func RunRecoverable(e *Executor, d *Dataset, cfg RunConfig, rcfg RecoveryConfig) ([]Record, *RecoveryReport, error) {
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 10
+	}
+	rc := rcfg.withDefaults(cfg.ProbeEvery)
+	report := &RecoveryReport{}
+	inj := e.opts.Faults
+
+	var records []Record
+	windowErrs, windowN := 0, 0
+	var lastLoss float64
+
+	good := e.Snapshot()
+	for step := 1; step <= cfg.Steps; step++ {
+		x, labels := d.Batch(cfg.Minibatch)
+		inj.BeginStep(step)
+
+		var loss float64
+		var errs int
+		backoff := rc.BackoffBase
+		recovered := false
+		for attempt := 0; ; attempt++ {
+			var err error
+			loss, errs, err = e.TryStep(x, labels, cfg.LR)
+			if err == nil {
+				break
+			}
+			e.Restore(good)
+			if attempt >= rc.MaxRetries {
+				report.GaveUpStep = step
+				report.Robust = e.Robust
+				report.FaultCounts = countsOrNil(inj)
+				return records, report, fmt.Errorf("train: step %d failed after %d retries: %w",
+					step, rc.MaxRetries, err)
+			}
+			rc.Sleep(backoff)
+			report.BackoffTotal += backoff
+			if backoff *= 2; backoff > rc.BackoffMax {
+				backoff = rc.BackoffMax
+			}
+			report.Retries++
+			recovered = true
+		}
+		if recovered {
+			report.RecoveredSteps++
+		}
+		report.Steps = step
+		good = e.Snapshot()
+
+		windowErrs += errs
+		windowN += cfg.Minibatch
+		lastLoss = loss
+		if step%cfg.ProbeEvery == 0 {
+			rec := Record{
+				Minibatch:    step,
+				Loss:         lastLoss,
+				AccuracyLoss: float64(windowErrs) / float64(windowN),
+			}
+			if cfg.ProbeSparsity {
+				rec.ReLUSparsity = e.ReLUSparsities()
+			}
+			records = append(records, rec)
+			windowErrs, windowN = 0, 0
+		}
+		if rc.CheckpointPath != "" && step%rc.CheckpointEvery == 0 {
+			// Writes go through the injector's wrapper (a no-op when no
+			// checkpoint fault is configured) so torn/corrupt streams are
+			// exercised; the atomic save catches them before promotion.
+			if err := e.SaveCheckpointFileVia(rc.CheckpointPath, inj.WrapWriter); err != nil {
+				report.CheckpointFailures++
+			} else {
+				report.CheckpointSaves++
+			}
+		}
+	}
+	report.Robust = e.Robust
+	report.FaultCounts = countsOrNil(inj)
+	return records, report, nil
+}
+
+func countsOrNil(inj *faults.Injector) map[faults.Kind]int {
+	if inj == nil {
+		return nil
+	}
+	return inj.Counts()
+}
