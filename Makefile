@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz bench check
+.PHONY: build test vet race race-hot fuzz fuzz-stash bench bench-parallel check
 
 build:
 	$(GO) build ./...
@@ -17,11 +17,25 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Focused race pass over the packages that share the worker pool: the
+# chunked codec, the async-decode executor, and the pool itself. Runs with
+# -count=1 so the hammer tests actually execute every time.
+race-hot:
+	$(GO) test -race -count=1 ./internal/encoding/ ./internal/train/ ./internal/parallel/
+
 # Short fuzz pass over the checkpoint parser.
 fuzz:
 	$(GO) test ./internal/train/ -run FuzzReadCheckpoint -fuzz FuzzReadCheckpoint -fuzztime 20s
 
+# Short fuzz pass over the serialized-stash decode path.
+fuzz-stash:
+	$(GO) test ./internal/encoding/ -run FuzzDecodeEncodedStash -fuzz FuzzDecodeEncodedStash -fuzztime 20s
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run TestXXX .
 
-check: build vet test race
+# Worker-swept parallel codec benchmarks (compare w1 vs wN sub-benches).
+bench-parallel:
+	$(GO) test -bench Parallel -benchtime 2s -run TestXXX .
+
+check: build vet test race race-hot

@@ -7,6 +7,8 @@ package gist_test
 // dynamic allocation).
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"gist"
@@ -18,6 +20,7 @@ import (
 	"gist/internal/liveness"
 	"gist/internal/memplan"
 	"gist/internal/networks"
+	"gist/internal/parallel"
 	"gist/internal/race"
 	"gist/internal/sparse"
 	"gist/internal/tensor"
@@ -308,7 +311,8 @@ func BenchmarkScheduleBuilder(b *testing.B) {
 }
 
 // BenchmarkTrainStep measures one real minibatch step with and without
-// encodings round-tripping every stash.
+// encodings round-tripping every stash, and with the chunk-parallel codec
+// plus async backward decode on 4 workers.
 func BenchmarkTrainStep(b *testing.B) {
 	skipIfRace(b)
 	run := func(b *testing.B, withEnc bool) {
@@ -327,4 +331,161 @@ func BenchmarkTrainStep(b *testing.B) {
 	}
 	b.Run("baseline", func(b *testing.B) { run(b, false) })
 	b.Run("gist", func(b *testing.B) { run(b, true) })
+	b.Run("gist-parallel", func(b *testing.B) {
+		encoding.SetDefaultCodec(encoding.Codec{Pool: parallel.NewPool(4)})
+		defer encoding.SetDefaultCodec(encoding.Codec{})
+		run(b, true)
+	})
+}
+
+// --- parallel codec benchmarks ---
+//
+// Each kernel bench gains a Parallel variant swept over worker counts; the
+// w1 sub-bench is the serial baseline on the same chunked code path, so the
+// speedup at w>1 is directly attributable to the pool. Output of every
+// variant is byte-identical to the serial kernel (pinned by the encoding
+// property tests), so these measure pure scheduling gain.
+
+// benchWorkers returns the deduplicated worker counts the parallel bench
+// variants sweep.
+func benchWorkers() []int {
+	seen := map[int]bool{}
+	var ws []int
+	for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		if w >= 1 && !seen[w] {
+			seen[w] = true
+			ws = append(ws, w)
+		}
+	}
+	return ws
+}
+
+func wName(w int) string { return fmt.Sprintf("w%d", w) }
+
+func BenchmarkBinarizeEncodeParallel(b *testing.B) {
+	skipIfRace(b)
+	t := tensor.New(kernelElems)
+	copy(t.Data, sparseInput(0.5))
+	as := &encoding.Assignment{Tech: encoding.Binarize, Format: floatenc.FP32}
+	for _, w := range benchWorkers() {
+		b.Run(wName(w), func(b *testing.B) {
+			c := encoding.Codec{Pool: parallel.NewPool(w)}
+			b.SetBytes(kernelElems * 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.EncodeStash(as, t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSSDCEncodeCSRParallel(b *testing.B) {
+	skipIfRace(b)
+	xs := sparseInput(0.7)
+	chunkRows := encoding.DefaultChunkElems / sparse.NarrowCols
+	for _, w := range benchWorkers() {
+		b.Run(wName(w), func(b *testing.B) {
+			p := parallel.NewPool(w)
+			b.SetBytes(kernelElems * 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = sparse.EncodeCSRChunked(xs, p, chunkRows)
+			}
+		})
+	}
+}
+
+func BenchmarkSSDCDecodeCSRParallel(b *testing.B) {
+	skipIfRace(b)
+	c := sparse.EncodeCSR(sparseInput(0.7))
+	dst := make([]float32, kernelElems)
+	chunkRows := encoding.DefaultChunkElems / sparse.NarrowCols
+	for _, w := range benchWorkers() {
+		b.Run(wName(w), func(b *testing.B) {
+			p := parallel.NewPool(w)
+			b.SetBytes(kernelElems * 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.DecodeChunked(dst, p, chunkRows)
+			}
+		})
+	}
+}
+
+func BenchmarkDPRQuantizeParallel(b *testing.B) {
+	skipIfRace(b)
+	for _, f := range []floatenc.Format{floatenc.FP16, floatenc.FP10, floatenc.FP8} {
+		for _, w := range benchWorkers() {
+			b.Run(f.String()+"/"+wName(w), func(b *testing.B) {
+				p := parallel.NewPool(w)
+				xs := sparseInput(0)
+				b.SetBytes(kernelElems * 4)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					floatenc.QuantizeSliceChunked(f, xs, p, encoding.DefaultChunkElems)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkDPRPackUnpackParallel(b *testing.B) {
+	skipIfRace(b)
+	xs := sparseInput(0)
+	const chunk = encoding.DefaultChunkElems
+	nChunks := (kernelElems + chunk - 1) / chunk
+	span := func(c int) (int, int) {
+		lo := c * chunk
+		hi := lo + chunk
+		if hi > kernelElems {
+			hi = kernelElems
+		}
+		return lo, hi
+	}
+	for _, w := range benchWorkers() {
+		b.Run(wName(w), func(b *testing.B) {
+			p := parallel.NewPool(w)
+			b.SetBytes(kernelElems * 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pk := floatenc.NewPacked(floatenc.FP8, kernelElems)
+				p.ForEach(nChunks, func(c int) {
+					lo, hi := span(c)
+					pk.EncodeRange(xs, lo, hi)
+				})
+				p.ForEach(nChunks, func(c int) {
+					lo, hi := span(c)
+					pk.DecodeRange(xs, lo, hi)
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkSealVerifyParallel measures the chunked CRC roll-up against the
+// payload size (Seal hashes chunks on the pool; Verify re-hashes).
+func BenchmarkSealVerifyParallel(b *testing.B) {
+	skipIfRace(b)
+	t := tensor.New(kernelElems)
+	copy(t.Data, sparseInput(0))
+	as := &encoding.Assignment{Tech: encoding.DPR, Format: floatenc.FP16}
+	for _, w := range benchWorkers() {
+		b.Run(wName(w), func(b *testing.B) {
+			c := encoding.Codec{Pool: parallel.NewPool(w)}
+			enc, err := c.EncodeStash(as, t)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(kernelElems * 2) // FP16 payload bytes hashed twice
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Seal(enc)
+				if err := c.Verify(enc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

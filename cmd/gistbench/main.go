@@ -18,13 +18,20 @@ import (
 	"strings"
 
 	"gist/internal/experiments"
+	"gist/internal/parallel"
 )
 
 func main() {
 	experiment := flag.String("experiment", "", "experiment ID (fig1, fig3, table1, fig8..fig17, recompute, workspace, cdma); empty runs all")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
+	par := flag.Int("parallel", 0, "encode/decode worker count (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
+
+	// Applies to the training-based experiments, whose stash encode/decode
+	// runs through the shared worker pool; results are bit-identical at
+	// every worker count.
+	parallel.SetSharedWorkers(*par)
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"gist/internal/experiments"
+	"gist/internal/parallel"
 )
 
 func main() {
@@ -25,6 +26,7 @@ func main() {
 	probe := flag.Int("probe", 0, "probe interval in steps (fig14; 0 = default)")
 	minibatch := flag.Int("mb", 0, "minibatch size (0 = default)")
 	seed := flag.Uint64("seed", 0, "RNG seed (0 = default)")
+	par := flag.Int("parallel", 0, "encode/decode worker count (0 = GOMAXPROCS, 1 = serial)")
 
 	// Fault-injection flags (robust experiment).
 	bitflip := flag.Float64("bitflip", -1, "per-stash bit-flip probability (robust; <0 = default)")
@@ -37,6 +39,11 @@ func main() {
 	ckpt := flag.String("ckpt", "", "periodic atomic checkpoint path (robust; empty = off)")
 	ckptTruncate := flag.Int64("ckpt-truncate", 0, "tear checkpoint writes at this byte offset (robust; 0 = off)")
 	flag.Parse()
+
+	// Encode/decode parallelism is process-wide: the shared worker pool
+	// backs every codec chunk and the executor's decode overlap. Output is
+	// bit-identical at every worker count.
+	parallel.SetSharedWorkers(*par)
 
 	switch *experiment {
 	case "fig12":

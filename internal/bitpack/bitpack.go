@@ -24,12 +24,53 @@ func NewBitMask(n int) *BitMask {
 // xs[i] > 0, which is exactly the predicate the ReLU backward pass needs.
 func FromPositive(xs []float32) *BitMask {
 	m := NewBitMask(len(xs))
-	for i, v := range xs {
-		if v > 0 {
+	m.FillPositiveRange(xs, 0, len(xs))
+	return m
+}
+
+// MaskFromWords wraps packed backing words as a mask of n bits; words must
+// be exactly the (n+63)/64 words NewBitMask would allocate. The stash
+// deserializer uses this to rebuild a mask without re-packing.
+func MaskFromWords(n int, words []uint64) *BitMask {
+	if len(words) != (n+63)/64 {
+		panic(fmt.Sprintf("bitpack: %d words for %d bits, want %d", len(words), n, (n+63)/64))
+	}
+	return &BitMask{n: n, words: words}
+}
+
+// FillPositiveRange is the chunk-range Binarize kernel: it sets bit i for
+// every i in [start, end) where xs[i] > 0. The mask words touched must be
+// all-zero beforehand (as NewBitMask leaves them), and for parallel chunks
+// start must be a multiple of 64 — and end too, unless end == Len() — so
+// each chunk owns whole words and racing writers never share one.
+func (m *BitMask) FillPositiveRange(xs []float32, start, end int) {
+	m.checkRange(start, end)
+	for i := start; i < end; i++ {
+		if xs[i] > 0 {
 			m.words[i>>6] |= 1 << (uint(i) & 63)
 		}
 	}
-	return m
+}
+
+// ExpandRange is the chunk-range decode kernel: dst[i] = 1 where bit i is
+// set and 0 elsewhere, for every i in [start, end). dst must have length
+// Len(); chunks may cover any partition of [0, Len()) since each element is
+// written independently.
+func (m *BitMask) ExpandRange(dst []float32, start, end int) {
+	m.checkRange(start, end)
+	for i := start; i < end; i++ {
+		if m.words[i>>6]&(1<<(uint(i)&63)) != 0 {
+			dst[i] = 1
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+func (m *BitMask) checkRange(start, end int) {
+	if start < 0 || end < start || end > m.n {
+		panic(fmt.Sprintf("bitpack: range [%d,%d) outside [0,%d)", start, end, m.n))
+	}
 }
 
 // Len returns the number of bits in the mask.

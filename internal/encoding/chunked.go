@@ -1,0 +1,592 @@
+package encoding
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync/atomic"
+
+	"gist/internal/bitpack"
+	"gist/internal/floatenc"
+	"gist/internal/parallel"
+	"gist/internal/sparse"
+	"gist/internal/tensor"
+)
+
+// The parallel chunked codec layer. Every stash payload is split into
+// row-aligned chunks of ChunkElems elements; chunks encode, decode and hash
+// independently on a bounded worker pool, and the per-chunk CRCs roll up —
+// via crc32Combine — into exactly the checksum the serial whole-payload
+// pass computes. The layout depends only on the element count and chunk
+// size, never on the worker count, so parallel and serial runs produce
+// byte-identical sealed stashes.
+
+const (
+	// chunkAlign is the element granularity every chunk boundary sits on:
+	// the least common multiple of a 64-bit mask word (Binarize), a
+	// 256-column narrow-CSR row (SSDC) and the 2/3/4 values-per-word DPR
+	// packings. Alignment guarantees concurrent chunks never share a
+	// backing word or matrix row.
+	chunkAlign = 768
+
+	// DefaultChunkElems is the default chunk size: 128 aligned groups
+	// (98304 elements, 384 KiB of FP32), small enough that VGG-scale
+	// feature maps split across every core and large enough that the
+	// per-chunk dispatch cost disappears into the kernel work.
+	DefaultChunkElems = 128 * chunkAlign
+)
+
+// Codec binds the chunked kernels to a worker pool and chunk size. The
+// zero Codec is valid: it uses the process-wide parallel.Shared() pool and
+// DefaultChunkElems. A Codec is a value type safe for concurrent use.
+type Codec struct {
+	// Pool runs the chunk work; nil selects parallel.Shared(). A
+	// one-worker pool is the serial path.
+	Pool *parallel.Pool
+	// ChunkElems is the chunk size in elements; it is rounded up to a
+	// multiple of the 768-element alignment. 0 selects DefaultChunkElems.
+	ChunkElems int
+}
+
+// defaultCodec holds the process-wide codec override set by SetDefaultCodec.
+var defaultCodec atomic.Pointer[Codec]
+
+// DefaultCodec returns the codec used by the package-level EncodeStash /
+// Decode / Seal entry points: the zero Codec (shared pool, default chunk
+// size) unless SetDefaultCodec installed an override.
+func DefaultCodec() Codec {
+	if p := defaultCodec.Load(); p != nil {
+		return *p
+	}
+	return Codec{}
+}
+
+// SetDefaultCodec installs the codec behind the package-level entry points.
+// Safe to call concurrently; in-flight operations keep the codec they
+// started with.
+func SetDefaultCodec(c Codec) {
+	defaultCodec.Store(&c)
+}
+
+// Workers reports the codec's worker-pool size.
+func (cdc Codec) Workers() int { return cdc.pool().Workers() }
+
+func (cdc Codec) pool() *parallel.Pool {
+	if cdc.Pool != nil {
+		return cdc.Pool
+	}
+	return parallel.Shared()
+}
+
+// normalizeChunkElems applies the default and rounds up to alignment.
+func normalizeChunkElems(ce int) int {
+	if ce <= 0 {
+		return DefaultChunkElems
+	}
+	if r := ce % chunkAlign; r != 0 {
+		ce += chunkAlign - r
+	}
+	return ce
+}
+
+func (cdc Codec) chunkElems() int { return normalizeChunkElems(cdc.ChunkElems) }
+
+// forChunks partitions [0, n) into aligned chunks and runs fn over them on
+// the pool (inline when a single chunk suffices).
+func (cdc Codec) forChunks(n int, fn func(lo, hi int)) {
+	ce := cdc.chunkElems()
+	if n <= ce {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	nc := (n + ce - 1) / ce
+	cdc.pool().ForEach(nc, func(c int) {
+		fn(c*ce, min((c+1)*ce, n))
+	})
+}
+
+// EncodeStash encodes a feature map per the assignment, chunk-parallel on
+// the codec's pool. Output is byte-identical to the serial path for every
+// worker count. See the package-level EncodeStash for semantics.
+func (cdc Codec) EncodeStash(as *Assignment, t *tensor.Tensor) (*EncodedStash, error) {
+	e := &EncodedStash{Tech: as.Tech, Shape: t.Shape.Clone(), ChunkElems: cdc.chunkElems()}
+	switch as.Tech {
+	case Binarize:
+		e.Mask = cdc.fromPositive(t.Data)
+	case SSDC:
+		// Sparse storage; DPR layered on the value array when configured.
+		// Quantizing before CSR encoding preserves the zero pattern
+		// exactly (quantization maps 0 to 0).
+		data := t.Data
+		if as.Format != floatenc.FP32 {
+			data = cdc.quantizedCopy(as.Format, t.Data)
+		}
+		e.CSR = cdc.encodeCSR(data)
+		// Compare against the dense DPR alternative using the same cost
+		// model as the static analysis (ssdcBytes): when DPR is layered on
+		// SSDC the CSR value array would also shrink to the packed width, so
+		// credit that saving before declaring CSR uncompetitive.
+		effective := e.CSR.Bytes()
+		if as.Format != floatenc.FP32 {
+			nnz := int64(e.CSR.NNZ())
+			effective -= nnz*4 - as.Format.PackedBytes(int(nnz))
+		}
+		if dense := as.Format.PackedBytes(len(t.Data)); effective >= dense {
+			return nil, fmt.Errorf("%w: CSR %d bytes >= dense %s %d bytes (nnz %d/%d)",
+				ErrStashTooLarge, effective, as.Format, dense, e.CSR.NNZ(), len(t.Data))
+		}
+	case DPR:
+		e.Packed = cdc.encodePacked(as.Format, t.Data)
+	default:
+		return nil, fmt.Errorf("%w (technique %v)", ErrNoTechnique, as.Tech)
+	}
+	return e, nil
+}
+
+// EncodeDense builds the dense fallback stash chunk-parallel; see the
+// package-level EncodeDense.
+func (cdc Codec) EncodeDense(f floatenc.Format, t *tensor.Tensor) *EncodedStash {
+	return &EncodedStash{
+		Tech:       DPR,
+		Shape:      t.Shape.Clone(),
+		ChunkElems: cdc.chunkElems(),
+		Packed:     cdc.encodePacked(f, t.Data),
+	}
+}
+
+// EncodeStashAdaptive encodes per the assignment, degrading an oversized
+// SSDC stash to the dense encoding; see the package-level variant.
+func (cdc Codec) EncodeStashAdaptive(as *Assignment, t *tensor.Tensor) (e *EncodedStash, fellBack bool, err error) {
+	e, err = cdc.EncodeStash(as, t)
+	if errors.Is(err, ErrStashTooLarge) {
+		return cdc.EncodeDense(as.Format, t), true, nil
+	}
+	return e, false, err
+}
+
+// fromPositive builds the Binarize mask chunk-parallel: each chunk owns
+// whole 64-bit words (chunk boundaries are 768-aligned).
+func (cdc Codec) fromPositive(xs []float32) *bitpack.BitMask {
+	m := bitpack.NewBitMask(len(xs))
+	cdc.forChunks(len(xs), func(lo, hi int) {
+		m.FillPositiveRange(xs, lo, hi)
+	})
+	return m
+}
+
+// quantizedCopy copies and DPR-quantizes xs chunk-parallel, for the SSDC
+// value-array reduction.
+func (cdc Codec) quantizedCopy(f floatenc.Format, xs []float32) []float32 {
+	dst := make([]float32, len(xs))
+	cdc.forChunks(len(xs), func(lo, hi int) {
+		copy(dst[lo:hi], xs[lo:hi])
+		floatenc.QuantizeSlice(f, dst[lo:hi])
+	})
+	return dst
+}
+
+// encodeCSR builds the narrow CSR chunk-parallel over row ranges.
+func (cdc Codec) encodeCSR(xs []float32) *sparse.CSR {
+	return sparse.EncodeCSRChunked(xs, cdc.pool(), cdc.chunkElems()/sparse.NarrowCols)
+}
+
+// encodePacked packs xs at the DPR format chunk-parallel: each chunk owns
+// whole storage words (chunk boundaries are 768-aligned, a multiple of
+// every values-per-word packing).
+func (cdc Codec) encodePacked(f floatenc.Format, xs []float32) *floatenc.Packed {
+	p := floatenc.NewPacked(f, len(xs))
+	cdc.forChunks(len(xs), func(lo, hi int) {
+		p.EncodeRange(xs, lo, hi)
+	})
+	return p
+}
+
+// Decode materializes the FP32 staging tensor chunk-parallel; see the
+// package-level EncodedStash.Decode for semantics. A sealed stash is
+// verified (per chunk) first, and structurally damaged payloads surface as
+// typed errors rather than index panics, so Decode never panics on
+// corrupted or deserialized input.
+func (cdc Codec) Decode(e *EncodedStash) (*tensor.Tensor, error) {
+	if err := cdc.Verify(e); err != nil {
+		return nil, err
+	}
+	out := tensor.New(e.Shape...)
+	switch e.Tech {
+	case Binarize:
+		if e.Mask == nil || e.Mask.Len() != len(out.Data) {
+			return nil, fmt.Errorf("%w: mask %d bits, shape %v", ErrShapeMismatch, maskBits(e.Mask), e.Shape)
+		}
+		cdc.forChunks(len(out.Data), func(lo, hi int) {
+			e.Mask.ExpandRange(out.Data, lo, hi)
+		})
+	case SSDC:
+		if e.CSR == nil || e.CSR.N != len(out.Data) {
+			return nil, fmt.Errorf("%w: CSR over %d elements, shape %v", ErrShapeMismatch, csrN(e.CSR), e.Shape)
+		}
+		if err := e.CSR.Validate(); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorruptStash, err)
+		}
+		e.CSR.DecodeChunked(out.Data, cdc.pool(), cdc.chunkElems()/e.CSR.Cols)
+	case DPR:
+		if e.Packed == nil || e.Packed.N != len(out.Data) {
+			return nil, fmt.Errorf("%w: packed %d elements, shape %v", ErrShapeMismatch, packedN(e.Packed), e.Shape)
+		}
+		vpw, ok := packedValuesPerWord(e.Packed.Format)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown packed format %d", ErrCorruptStash, int(e.Packed.Format))
+		}
+		if len(e.Packed.Words) != (e.Packed.N+vpw-1)/vpw {
+			return nil, fmt.Errorf("%w: %d packed words for %d %s values",
+				ErrCorruptStash, len(e.Packed.Words), e.Packed.N, e.Packed.Format)
+		}
+		cdc.forChunks(len(out.Data), func(lo, hi int) {
+			e.Packed.DecodeRange(out.Data, lo, hi)
+		})
+	default:
+		return nil, fmt.Errorf("%w (technique %v)", ErrNoTechnique, e.Tech)
+	}
+	return out, nil
+}
+
+// nil-tolerant accessors for error messages on malformed stashes.
+func maskBits(m *bitpack.BitMask) int {
+	if m == nil {
+		return 0
+	}
+	return m.Len()
+}
+
+func csrN(c *sparse.CSR) int {
+	if c == nil {
+		return 0
+	}
+	return c.N
+}
+
+func packedN(p *floatenc.Packed) int {
+	if p == nil {
+		return 0
+	}
+	return p.N
+}
+
+// packedValuesPerWord is ValuesPerWord without the panic on garbage
+// formats (possible after deserialization of hostile bytes).
+func packedValuesPerWord(f floatenc.Format) (int, bool) {
+	switch f {
+	case floatenc.FP32, floatenc.FP16, floatenc.FP10, floatenc.FP8:
+		return f.ValuesPerWord(), true
+	}
+	return 0, false
+}
+
+// Seal computes per-chunk CRCs on the pool and rolls them up into the
+// stash checksum — the exact value the serial whole-payload checksum()
+// produces, by crc32Combine's construction. The chunk layout (ChunkElems)
+// is fixed on the stash at encode time so Verify localizes corruption to
+// the same chunks regardless of the verifying codec's configuration.
+// Payloads whose structure does not fit the chunk layout (hand-built or
+// deserialized oddities) seal with the serial checksum and no chunk CRCs.
+func (cdc Codec) Seal(e *EncodedStash) {
+	if e.ChunkElems <= 0 {
+		e.ChunkElems = cdc.chunkElems()
+	}
+	full, chunks, ok := cdc.chunkChecksums(e)
+	if !ok {
+		e.Checksum = e.checksum()
+		e.ChunkCRCs = nil
+		e.sealed = true
+		return
+	}
+	e.Checksum = full
+	e.ChunkCRCs = chunks
+	e.sealed = true
+}
+
+// Verify re-hashes a sealed stash chunk-parallel. A mismatch in a chunked
+// stash returns a *ChunkError naming exactly the corrupted chunk (wrapping
+// ErrCorruptStash); stashes sealed without chunk CRCs fall back to the
+// whole-payload comparison.
+func (cdc Codec) Verify(e *EncodedStash) error {
+	if !e.sealed {
+		return nil
+	}
+	full, chunks, ok := cdc.chunkChecksums(e)
+	if !ok || len(chunks) != len(e.ChunkCRCs) {
+		if got := e.checksum(); got != e.Checksum {
+			return fmt.Errorf("%w: %v stash of shape %v: crc %#x, sealed %#x",
+				ErrCorruptStash, e.Tech, e.Shape, got, e.Checksum)
+		}
+		return nil
+	}
+	for c := range chunks {
+		if chunks[c] != e.ChunkCRCs[c] {
+			return &ChunkError{
+				Chunk: c, Chunks: len(chunks),
+				Tech: e.Tech, Shape: e.Shape.Clone(),
+				Got: chunks[c], Want: e.ChunkCRCs[c],
+			}
+		}
+	}
+	if full != e.Checksum {
+		// Every chunk matches but the roll-up does not: the header
+		// (technique or shape) or the sealed checksum itself was altered.
+		return fmt.Errorf("%w: %v stash of shape %v: rolled-up crc %#x, sealed %#x",
+			ErrCorruptStash, e.Tech, e.Shape, full, e.Checksum)
+	}
+	return nil
+}
+
+// ChunkError reports a chunk-level CRC mismatch from Verify: exactly chunk
+// Chunk (of Chunks) of the held payload was altered. It wraps
+// ErrCorruptStash so existing errors.Is recovery paths are unaffected.
+type ChunkError struct {
+	Chunk, Chunks int
+	Tech          Technique
+	Shape         tensor.Shape
+	Got, Want     uint32
+}
+
+func (c *ChunkError) Error() string {
+	return fmt.Sprintf("encoding: corrupt stash (checksum mismatch): %v stash of shape %v: chunk %d/%d crc %#x, sealed %#x",
+		c.Tech, c.Shape, c.Chunk, c.Chunks, c.Got, c.Want)
+}
+
+// Unwrap makes errors.Is(err, ErrCorruptStash) hold for chunk errors.
+func (c *ChunkError) Unwrap() error { return ErrCorruptStash }
+
+// CorruptedChunk extracts the failing chunk index from a Verify or Decode
+// error, reporting ok = false when the error carries no chunk localization.
+func CorruptedChunk(err error) (chunk int, ok bool) {
+	var ce *ChunkError
+	if errors.As(err, &ce) {
+		return ce.Chunk, true
+	}
+	return 0, false
+}
+
+// payloadElems returns the element count the chunk layout spans for each
+// technique (mask bits, CSR logical elements, packed values).
+func (e *EncodedStash) payloadElems() int {
+	switch e.Tech {
+	case Binarize:
+		if e.Mask != nil {
+			return e.Mask.Len()
+		}
+	case SSDC:
+		if e.CSR != nil {
+			return e.CSR.N
+		}
+	case DPR:
+		if e.Packed != nil {
+			return e.Packed.N
+		}
+	}
+	return 0
+}
+
+// NumChunks returns how many chunks the stash's payload layout has.
+func (e *EncodedStash) NumChunks() int {
+	ce := normalizeChunkElems(e.ChunkElems)
+	n := e.payloadElems()
+	return (n + ce - 1) / ce
+}
+
+// ChunkOfBit maps a payload bit index (as addressed by FlipBit, in
+// [0, PayloadBits())) to the chunk whose CRC detects a flip of that bit.
+// The mapping is pinned by regression tests: fault injection flips a bit,
+// and Verify must report exactly this chunk.
+func (e *EncodedStash) ChunkOfBit(i int) int {
+	if i < 0 || i >= e.PayloadBits() {
+		panic(fmt.Sprintf("encoding: ChunkOfBit index %d out of range [0,%d)", i, e.PayloadBits()))
+	}
+	ce := normalizeChunkElems(e.ChunkElems)
+	nc := e.NumChunks()
+	clamp := func(c int) int {
+		if c >= nc {
+			return nc - 1
+		}
+		return c
+	}
+	switch e.Tech {
+	case Binarize:
+		// Bit i is element i; padding bits of the last word clamp into the
+		// final chunk.
+		n := e.Mask.Len()
+		return clamp(min(i, n-1) / ce)
+	case SSDC:
+		if n := len(e.CSR.RowPtr) * 32; i < n {
+			// RowPtr[p] is written when row p-1 is encoded; entry 0 is the
+			// constant leading zero owned by chunk 0.
+			r := i/32 - 1
+			if r < 0 {
+				r = 0
+			}
+			return clamp(r * e.CSR.Cols / ce)
+		} else {
+			i -= n
+		}
+		if n := len(e.CSR.ColIdx) * 8; i < n {
+			return spanOf(i/8, len(e.CSR.ColIdx), nc)
+		} else {
+			i -= n
+		}
+		return spanOf(i/32, len(e.CSR.Values), nc)
+	case DPR:
+		vpw := e.Packed.Format.ValuesPerWord()
+		elem := (i / 32) * vpw
+		n := e.Packed.N
+		return clamp(min(elem, n-1) / ce)
+	}
+	return 0
+}
+
+// spanOf inverts the proportional span partition spanBounds: the chunk c
+// with spanBounds(c).lo <= k < spanBounds(c).hi.
+func spanOf(k, length, nc int) int {
+	return sort.Search(nc, func(c int) bool { return k < length*(c+1)/nc })
+}
+
+// spanBounds splits an array of the given length into nc contiguous,
+// near-equal spans; span c is [lo, hi). The SSDC ColIdx/Values arrays are
+// chunked this way — by index, not by row — so the chunk layout never
+// depends on (possibly corrupted) RowPtr values.
+func spanBounds(c, length, nc int) (lo, hi int) {
+	return length * c / nc, length * (c + 1) / nc
+}
+
+// chunkChecksums hashes every chunk's payload pieces on the pool and
+// returns the per-chunk CRCs plus their roll-up (which equals the serial
+// checksum()). ok = false means the payload's structure does not fit the
+// chunk layout — wrong backing-array lengths for the element count — and
+// the caller must fall back to the serial whole-payload checksum.
+func (cdc Codec) chunkChecksums(e *EncodedStash) (full uint32, chunks []uint32, ok bool) {
+	ce := normalizeChunkElems(e.ChunkElems)
+	hcrc := e.headerCRC()
+	switch e.Tech {
+	case Binarize:
+		if e.Mask == nil {
+			return 0, nil, false
+		}
+		n := e.Mask.Len()
+		words := e.Mask.Words()
+		if len(words) != (n+63)/64 {
+			return 0, nil, false
+		}
+		if n == 0 {
+			return hcrc, nil, true
+		}
+		nc := (n + ce - 1) / ce
+		crcs := make([]uint32, nc)
+		lens := make([]int64, nc)
+		cdc.pool().ForEach(nc, func(c int) {
+			w0 := c * ce / 64
+			w1 := (min((c+1)*ce, n) + 63) / 64
+			crcs[c] = crcUint64s(words[w0:w1])
+			lens[c] = int64(w1-w0) * 8
+		})
+		full = hcrc
+		for c := range crcs {
+			full = crc32Combine(full, crcs[c], lens[c])
+		}
+		return full, crcs, true
+
+	case SSDC:
+		csr := e.CSR
+		if csr == nil {
+			return 0, nil, false
+		}
+		cols, n := csr.Cols, csr.N
+		if cols <= 0 || ce%cols != 0 || n <= 0 {
+			return 0, nil, false
+		}
+		rows := (n + cols - 1) / cols
+		if csr.Rows != rows || len(csr.RowPtr) != rows+1 || len(csr.ColIdx) != len(csr.Values) {
+			return 0, nil, false
+		}
+		nc := (n + ce - 1) / ce
+		rowsPer := ce / cols
+		// Three piece arrays per chunk: its RowPtr slice (by row range,
+		// chunk 0 owning the constant leading zero), and proportional
+		// index spans of ColIdx and Values.
+		rp := make([]uint32, nc)
+		rpLen := make([]int64, nc)
+		ci := make([]uint32, nc)
+		ciLen := make([]int64, nc)
+		va := make([]uint32, nc)
+		vaLen := make([]int64, nc)
+		cdc.pool().ForEach(3*nc, func(t int) {
+			c := t % nc
+			switch t / nc {
+			case 0:
+				r0 := c * rowsPer
+				r1 := min(r0+rowsPer, rows)
+				lo := r0 + 1
+				if c == 0 {
+					lo = 0
+				}
+				rp[c] = crcInt32s(csr.RowPtr[lo : r1+1])
+				rpLen[c] = int64(r1+1-lo) * 4
+			case 1:
+				lo, hi := spanBounds(c, len(csr.ColIdx), nc)
+				ci[c] = crc32.Update(0, crcTable, csr.ColIdx[lo:hi])
+				ciLen[c] = int64(hi - lo)
+			case 2:
+				lo, hi := spanBounds(c, len(csr.Values), nc)
+				va[c] = crcFloat32s(csr.Values[lo:hi])
+				vaLen[c] = int64(hi-lo) * 4
+			}
+		})
+		full = hcrc
+		for c := 0; c < nc; c++ {
+			full = crc32Combine(full, rp[c], rpLen[c])
+		}
+		for c := 0; c < nc; c++ {
+			full = crc32Combine(full, ci[c], ciLen[c])
+		}
+		for c := 0; c < nc; c++ {
+			full = crc32Combine(full, va[c], vaLen[c])
+		}
+		chunks = make([]uint32, nc)
+		for c := 0; c < nc; c++ {
+			crc := crc32Combine(rp[c], ci[c], ciLen[c])
+			chunks[c] = crc32Combine(crc, va[c], vaLen[c])
+		}
+		return full, chunks, true
+
+	case DPR:
+		p := e.Packed
+		if p == nil {
+			return 0, nil, false
+		}
+		vpw, okFmt := packedValuesPerWord(p.Format)
+		if !okFmt {
+			return 0, nil, false
+		}
+		n := p.N
+		if len(p.Words) != (n+vpw-1)/vpw {
+			return 0, nil, false
+		}
+		if n == 0 {
+			return hcrc, nil, true
+		}
+		nc := (n + ce - 1) / ce
+		crcs := make([]uint32, nc)
+		lens := make([]int64, nc)
+		cdc.pool().ForEach(nc, func(c int) {
+			w0 := c * ce / vpw
+			w1 := (min((c+1)*ce, n) + vpw - 1) / vpw
+			crcs[c] = crcUint32s(p.Words[w0:w1])
+			lens[c] = int64(w1-w0) * 4
+		})
+		full = hcrc
+		for c := range crcs {
+			full = crc32Combine(full, crcs[c], lens[c])
+		}
+		return full, crcs, true
+	}
+	return 0, nil, false
+}

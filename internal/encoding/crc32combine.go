@@ -1,0 +1,77 @@
+package encoding
+
+// crc32Combine computes the CRC32-C of the concatenation A||B given only
+// crc(A), crc(B) and len(B) — the classic zlib crc32_combine construction
+// over the reflected Castagnoli polynomial. CRC is linear over GF(2), so
+// appending len2 zero bytes to A transforms crc(A) by a fixed 32x32 bit
+// matrix per zero byte; squaring that matrix log2(len2) times applies all
+// of them, and xoring crc(B) accounts for B's actual bytes.
+//
+// This is what lets the chunked codec hash chunks independently (and in
+// parallel) yet roll the pieces up into the exact checksum the serial
+// whole-payload pass produces: Seal's combined value is bit-identical to
+// checksum(), which the property tests pin.
+
+// castagnoliReflected is the reflected form of the Castagnoli polynomial,
+// matching crc32.MakeTable(crc32.Castagnoli)'s bit order.
+const castagnoliReflected = 0x82f63b78
+
+// gf2MatrixTimes multiplies the 32x32 GF(2) matrix by the bit vector vec.
+func gf2MatrixTimes(mat *[32]uint32, vec uint32) uint32 {
+	var sum uint32
+	for i := 0; vec != 0; i++ {
+		if vec&1 != 0 {
+			sum ^= mat[i]
+		}
+		vec >>= 1
+	}
+	return sum
+}
+
+// gf2MatrixSquare sets square = mat * mat.
+func gf2MatrixSquare(square, mat *[32]uint32) {
+	for n := 0; n < 32; n++ {
+		square[n] = gf2MatrixTimes(mat, mat[n])
+	}
+}
+
+// crc32Combine returns the CRC of A||B from crc1 = CRC(A), crc2 = CRC(B)
+// and len2 = len(B). Combining with an empty B (or an empty A via crc1 = 0)
+// is the identity on the other operand.
+func crc32Combine(crc1, crc2 uint32, len2 int64) uint32 {
+	if len2 <= 0 {
+		return crc1
+	}
+	var even, odd [32]uint32
+
+	// odd = the matrix for one zero bit.
+	odd[0] = castagnoliReflected
+	row := uint32(1)
+	for n := 1; n < 32; n++ {
+		odd[n] = row
+		row <<= 1
+	}
+	gf2MatrixSquare(&even, &odd) // two zero bits
+	gf2MatrixSquare(&odd, &even) // four zero bits (one nibble short of a byte^2)
+
+	// Apply len2 zero bytes by binary decomposition, squaring as we go.
+	for {
+		gf2MatrixSquare(&even, &odd)
+		if len2&1 != 0 {
+			crc1 = gf2MatrixTimes(&even, crc1)
+		}
+		len2 >>= 1
+		if len2 == 0 {
+			break
+		}
+		gf2MatrixSquare(&odd, &even)
+		if len2&1 != 0 {
+			crc1 = gf2MatrixTimes(&odd, crc1)
+		}
+		len2 >>= 1
+		if len2 == 0 {
+			break
+		}
+	}
+	return crc1 ^ crc2
+}

@@ -1,0 +1,263 @@
+package encoding
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"gist/internal/bitpack"
+	"gist/internal/floatenc"
+	"gist/internal/sparse"
+	"gist/internal/tensor"
+)
+
+// Binary serialization of an EncodedStash — the wire format the crash-safe
+// recovery path and the decode fuzzer exercise. The format is little-endian
+// throughout and self-describing enough that UnmarshalStash can rebuild the
+// exact in-memory structures (including the seal) or reject the bytes with
+// a typed error; it never panics, whatever the input.
+
+// stashMagic leads every serialized stash.
+var stashMagic = [4]byte{'G', 'S', 'T', 'S'}
+
+const (
+	// maxStashDims bounds the serialized shape rank.
+	maxStashDims = 8
+	// maxStashElems bounds the element count a deserialized stash may claim,
+	// capping what Decode would allocate for hostile inputs (16Mi elements
+	// = 64 MiB of FP32, comfortably above any benchmark shape).
+	maxStashElems = 1 << 24
+)
+
+// MarshalBinary serializes the stash: magic, technique, seal state, chunk
+// layout, shape, technique-specific payload, and (when sealed) the checksum
+// plus per-chunk CRCs.
+func (e *EncodedStash) MarshalBinary() ([]byte, error) {
+	var out []byte
+	u32 := func(v uint32) { out = binary.LittleEndian.AppendUint32(out, v) }
+	out = append(out, stashMagic[:]...)
+	u32(uint32(e.Tech))
+	sealed := uint32(0)
+	if e.sealed {
+		sealed = 1
+	}
+	u32(sealed)
+	u32(uint32(e.ChunkElems))
+	u32(uint32(len(e.Shape)))
+	for _, d := range e.Shape {
+		u32(uint32(d))
+	}
+	switch e.Tech {
+	case Binarize:
+		if e.Mask == nil {
+			return nil, fmt.Errorf("encoding: marshal: Binarize stash without mask")
+		}
+		u32(uint32(e.Mask.Len()))
+		for _, w := range e.Mask.Words() {
+			out = binary.LittleEndian.AppendUint64(out, w)
+		}
+	case SSDC:
+		if e.CSR == nil {
+			return nil, fmt.Errorf("encoding: marshal: SSDC stash without CSR")
+		}
+		u32(uint32(e.CSR.N))
+		u32(uint32(e.CSR.Cols))
+		u32(uint32(len(e.CSR.Values)))
+		for _, p := range e.CSR.RowPtr {
+			u32(uint32(p))
+		}
+		out = append(out, e.CSR.ColIdx...)
+		for _, v := range e.CSR.Values {
+			u32(math.Float32bits(v))
+		}
+	case DPR:
+		if e.Packed == nil {
+			return nil, fmt.Errorf("encoding: marshal: DPR stash without payload")
+		}
+		u32(uint32(e.Packed.Format))
+		u32(uint32(e.Packed.N))
+		for _, w := range e.Packed.Words {
+			u32(w)
+		}
+	default:
+		return nil, fmt.Errorf("%w (technique %v)", ErrNoTechnique, e.Tech)
+	}
+	if e.sealed {
+		u32(e.Checksum)
+		u32(uint32(len(e.ChunkCRCs)))
+		for _, c := range e.ChunkCRCs {
+			u32(c)
+		}
+	}
+	return out, nil
+}
+
+// stashReader is a bounds-checked little-endian cursor over serialized
+// bytes; every read either succeeds or records an ErrCorruptStash-wrapped
+// error, so parsing code never indexes past the buffer.
+type stashReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *stashReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: unmarshal: %s", ErrCorruptStash, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *stashReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.data)-r.off {
+		r.fail("need %d bytes at offset %d, have %d", n, r.off, len(r.data)-r.off)
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *stashReader) u32() uint32 {
+	if b := r.bytes(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+func (r *stashReader) u64() uint64 {
+	if b := r.bytes(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+// count reads a u32 element count and validates it against the cap and the
+// bytes remaining at elemBytes each, so slice allocations stay bounded by
+// the input size.
+func (r *stashReader) count(what string, cap, elemBytes int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if n > cap {
+		r.fail("%s count %d exceeds cap %d", what, n, cap)
+		return 0
+	}
+	if n*elemBytes > len(r.data)-r.off {
+		r.fail("%s count %d needs %d bytes, have %d", what, n, n*elemBytes, len(r.data)-r.off)
+		return 0
+	}
+	return n
+}
+
+// UnmarshalStash parses a serialized stash. Malformed or truncated input
+// returns an error wrapping ErrCorruptStash (ErrNoTechnique for an unknown
+// technique tag); the function never panics. A successfully parsed stash is
+// structurally safe to Verify and Decode — those may still reject it with
+// their own typed errors (bad checksum, shape mismatch, invalid CSR).
+func UnmarshalStash(data []byte) (*EncodedStash, error) {
+	r := &stashReader{data: data}
+	if m := r.bytes(4); r.err == nil && [4]byte(m) != stashMagic {
+		r.fail("bad magic %q", m)
+	}
+	tech := Technique(r.u32())
+	sealed := r.u32()
+	chunkElems := int(r.u32())
+	if r.err == nil && (chunkElems < 0 || chunkElems > maxStashElems) {
+		r.fail("chunk size %d outside [0,%d]", chunkElems, maxStashElems)
+	}
+	rank := r.count("shape dim", maxStashDims, 4)
+	shape := make(tensor.Shape, 0, rank)
+	elems := 1
+	for i := 0; i < rank; i++ {
+		d := int(r.u32())
+		if r.err != nil {
+			break
+		}
+		if d < 0 || d > maxStashElems || elems*max(d, 1) > maxStashElems {
+			r.fail("shape dim %d overflows element cap %d", d, maxStashElems)
+			break
+		}
+		elems *= max(d, 1)
+		shape = append(shape, d)
+	}
+	e := &EncodedStash{Tech: tech, Shape: shape, ChunkElems: chunkElems}
+	switch tech {
+	case Binarize:
+		n := r.count("mask bit", maxStashElems, 0)
+		words := make([]uint64, 0, (n+63)/64)
+		for i := 0; i < (n+63)/64; i++ {
+			words = append(words, r.u64())
+		}
+		if r.err == nil {
+			e.Mask = bitpack.MaskFromWords(n, words)
+		}
+	case SSDC:
+		n := r.count("element", maxStashElems, 0)
+		cols := int(r.u32())
+		if r.err == nil && (cols <= 0 || cols > 256) {
+			r.fail("CSR cols %d outside (0,256]", cols)
+		}
+		nnz := r.count("non-zero", maxStashElems, 5)
+		rows := 0
+		if r.err == nil {
+			rows = (n + cols - 1) / cols
+			if (rows+1)*4 > len(r.data)-r.off {
+				r.fail("row pointers for %d rows exceed remaining bytes", rows)
+			}
+		}
+		csr := &sparse.CSR{Rows: rows, Cols: cols, N: n}
+		for i := 0; i < rows+1 && r.err == nil; i++ {
+			csr.RowPtr = append(csr.RowPtr, int32(r.u32()))
+		}
+		csr.ColIdx = append([]uint8(nil), r.bytes(nnz)...)
+		for i := 0; i < nnz && r.err == nil; i++ {
+			csr.Values = append(csr.Values, math.Float32frombits(r.u32()))
+		}
+		if r.err == nil {
+			e.CSR = csr
+		}
+	case DPR:
+		f := floatenc.Format(r.u32())
+		vpw, okFmt := packedValuesPerWord(f)
+		if r.err == nil && !okFmt {
+			r.fail("unknown packed format %d", int(f))
+		}
+		n := r.count("packed value", maxStashElems, 0)
+		p := &floatenc.Packed{Format: f, N: n}
+		if r.err == nil {
+			if nw := (n + vpw - 1) / vpw; nw*4 > len(r.data)-r.off {
+				r.fail("%d packed words exceed remaining bytes", nw)
+			} else {
+				for i := 0; i < nw; i++ {
+					p.Words = append(p.Words, r.u32())
+				}
+			}
+		}
+		if r.err == nil {
+			e.Packed = p
+		}
+	default:
+		if r.err == nil {
+			return nil, fmt.Errorf("%w (technique %v)", ErrNoTechnique, tech)
+		}
+	}
+	if sealed != 0 && r.err == nil {
+		e.Checksum = r.u32()
+		nCRCs := r.count("chunk crc", maxStashElems, 4)
+		for i := 0; i < nCRCs; i++ {
+			e.ChunkCRCs = append(e.ChunkCRCs, r.u32())
+		}
+		e.sealed = true
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.data) {
+		return nil, fmt.Errorf("%w: unmarshal: %d trailing bytes", ErrCorruptStash, len(r.data)-r.off)
+	}
+	return e, nil
+}

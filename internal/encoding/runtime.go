@@ -45,9 +45,20 @@ type EncodedStash struct {
 	CSR    *sparse.CSR      // SSDC (values possibly DPR-quantized)
 	Packed *floatenc.Packed // DPR (also the dense-fallback container)
 
-	// Checksum is the CRC32-C of the payload, valid only after Seal.
+	// Checksum is the CRC32-C of the payload, valid only after Seal. For
+	// stashes sealed with chunk CRCs it is their crc32Combine roll-up —
+	// bit-identical to the serial whole-payload hash.
 	Checksum uint32
-	sealed   bool
+	// ChunkElems is the chunk size (in elements) of the parallel codec
+	// layout this stash was encoded under; 0 means the default. It is fixed
+	// at encode (or first Seal) so chunk-level corruption attribution does
+	// not depend on the verifying codec's configuration.
+	ChunkElems int
+	// ChunkCRCs holds the per-chunk payload CRCs recorded by Seal, letting
+	// Verify localize corruption to a single chunk. Nil when the stash was
+	// sealed without a chunkable layout (whole-payload checksum only).
+	ChunkCRCs []uint32
+	sealed    bool
 }
 
 // EncodeStash encodes a feature map per the assignment. The input tensor is
@@ -59,40 +70,11 @@ type EncodedStash struct {
 // the dense DPR stash it competes with, and EncodeStash returns
 // ErrStashTooLarge. Callers that prefer graceful degradation over a hard
 // error use EncodeStashAdaptive.
+//
+// Encoding runs through DefaultCodec(): chunk-parallel on the shared
+// worker pool, with output byte-identical to a serial encode.
 func EncodeStash(as *Assignment, t *tensor.Tensor) (*EncodedStash, error) {
-	e := &EncodedStash{Tech: as.Tech, Shape: t.Shape.Clone()}
-	switch as.Tech {
-	case Binarize:
-		e.Mask = bitpack.FromPositive(t.Data)
-	case SSDC:
-		// Sparse storage; DPR layered on the value array when configured.
-		// Quantizing before CSR encoding preserves the zero pattern
-		// exactly (quantization maps 0 to 0).
-		data := t.Data
-		if as.Format != floatenc.FP32 {
-			data = append([]float32(nil), t.Data...)
-			floatenc.QuantizeSlice(as.Format, data)
-		}
-		e.CSR = sparse.EncodeCSR(data)
-		// Compare against the dense DPR alternative using the same cost
-		// model as the static analysis (ssdcBytes): when DPR is layered on
-		// SSDC the CSR value array would also shrink to the packed width, so
-		// credit that saving before declaring CSR uncompetitive.
-		effective := e.CSR.Bytes()
-		if as.Format != floatenc.FP32 {
-			nnz := int64(e.CSR.NNZ())
-			effective -= nnz*4 - as.Format.PackedBytes(int(nnz))
-		}
-		if dense := as.Format.PackedBytes(len(t.Data)); effective >= dense {
-			return nil, fmt.Errorf("%w: CSR %d bytes >= dense %s %d bytes (nnz %d/%d)",
-				ErrStashTooLarge, effective, as.Format, dense, e.CSR.NNZ(), len(t.Data))
-		}
-	case DPR:
-		e.Packed = floatenc.EncodeSlice(as.Format, t.Data)
-	default:
-		return nil, fmt.Errorf("%w (technique %v)", ErrNoTechnique, as.Tech)
-	}
-	return e, nil
+	return DefaultCodec().EncodeStash(as, t)
 }
 
 // EncodeDense builds the dense fallback stash: the feature map packed at
@@ -100,11 +82,7 @@ func EncodeStash(as *Assignment, t *tensor.Tensor) (*EncodedStash, error) {
 // This is the representation the executor degrades to when SSDC's runtime
 // sparsity makes CSR uncompetitive.
 func EncodeDense(f floatenc.Format, t *tensor.Tensor) *EncodedStash {
-	return &EncodedStash{
-		Tech:   DPR,
-		Shape:  t.Shape.Clone(),
-		Packed: floatenc.EncodeSlice(f, t.Data),
-	}
+	return DefaultCodec().EncodeDense(f, t)
 }
 
 // EncodeStashAdaptive encodes per the assignment but degrades an SSDC
@@ -112,35 +90,30 @@ func EncodeDense(f floatenc.Format, t *tensor.Tensor) *EncodedStash {
 // the dense encoding instead of failing. It reports whether the fallback
 // fired so the executor can count degradations.
 func EncodeStashAdaptive(as *Assignment, t *tensor.Tensor) (e *EncodedStash, fellBack bool, err error) {
-	e, err = EncodeStash(as, t)
-	if errors.Is(err, ErrStashTooLarge) {
-		return EncodeDense(as.Format, t), true, nil
-	}
-	return e, false, err
+	return DefaultCodec().EncodeStashAdaptive(as, t)
 }
 
 // Seal computes and records the payload checksum, arming Verify and Decode
 // to detect any later corruption of the held representation. Integrity is
 // opt-in: unsealed stashes skip all checksum work (the zero-overhead path).
+//
+// Sealing runs through DefaultCodec(): per-chunk CRCs are computed in
+// parallel and rolled up (via crc32Combine) into Checksum — the identical
+// value the serial whole-payload hash produces — while ChunkCRCs records
+// the pieces so Verify can localize corruption to a single chunk.
 func (e *EncodedStash) Seal() {
-	e.Checksum = e.checksum()
-	e.sealed = true
+	DefaultCodec().Seal(e)
 }
 
 // Sealed reports whether the stash carries a checksum.
 func (e *EncodedStash) Sealed() bool { return e.sealed }
 
-// Verify re-hashes the payload of a sealed stash and returns ErrCorruptStash
-// on mismatch. Unsealed stashes verify trivially.
+// Verify re-hashes the payload of a sealed stash and returns an error
+// wrapping ErrCorruptStash on mismatch — a *ChunkError naming the corrupted
+// chunk when the stash carries chunk CRCs. Unsealed stashes verify
+// trivially.
 func (e *EncodedStash) Verify() error {
-	if !e.sealed {
-		return nil
-	}
-	if got := e.checksum(); got != e.Checksum {
-		return fmt.Errorf("%w: %v stash of shape %v: crc %#x, sealed %#x",
-			ErrCorruptStash, e.Tech, e.Shape, got, e.Checksum)
-	}
-	return nil
+	return DefaultCodec().Verify(e)
 }
 
 // crcTable is the Castagnoli polynomial table (hardware-accelerated on
@@ -180,6 +153,67 @@ func (e *EncodedStash) checksum() uint32 {
 		}
 	}
 	return h.Sum32()
+}
+
+// headerCRC hashes the header prefix of checksum() — technique, shape rank,
+// dims — as the leading piece of the chunked roll-up.
+func (e *EncodedStash) headerCRC() uint32 {
+	var buf [4]byte
+	crc := uint32(0)
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(buf[:], v)
+		crc = crc32.Update(crc, crcTable, buf[:])
+	}
+	put(uint32(e.Tech))
+	put(uint32(len(e.Shape)))
+	for _, d := range e.Shape {
+		put(uint32(d))
+	}
+	return crc
+}
+
+// Piece hashers for the chunked checksum: each serializes its array segment
+// exactly as checksum() does (little-endian words), so combining piece CRCs
+// reproduces the serial whole-payload value.
+
+func crcUint64s(ws []uint64) uint32 {
+	var buf [8]byte
+	crc := uint32(0)
+	for _, w := range ws {
+		binary.LittleEndian.PutUint64(buf[:], w)
+		crc = crc32.Update(crc, crcTable, buf[:])
+	}
+	return crc
+}
+
+func crcUint32s(ws []uint32) uint32 {
+	var buf [4]byte
+	crc := uint32(0)
+	for _, w := range ws {
+		binary.LittleEndian.PutUint32(buf[:], w)
+		crc = crc32.Update(crc, crcTable, buf[:])
+	}
+	return crc
+}
+
+func crcInt32s(ps []int32) uint32 {
+	var buf [4]byte
+	crc := uint32(0)
+	for _, p := range ps {
+		binary.LittleEndian.PutUint32(buf[:], uint32(p))
+		crc = crc32.Update(crc, crcTable, buf[:])
+	}
+	return crc
+}
+
+func crcFloat32s(vs []float32) uint32 {
+	var buf [4]byte
+	crc := uint32(0)
+	for _, v := range vs {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		crc = crc32.Update(crc, crcTable, buf[:])
+	}
+	return crc
 }
 
 // PayloadBits returns the number of addressable payload bits — the fault
@@ -233,37 +267,14 @@ func (e *EncodedStash) FlipBit(i int) {
 //
 // A sealed stash is verified first; corruption surfaces as ErrCorruptStash
 // before any decoding touches the damaged payload. Payload/shape
-// disagreements (possible on unsealed stashes) surface as ErrShapeMismatch
-// rather than an index panic.
+// disagreements (possible on unsealed stashes) surface as ErrShapeMismatch,
+// and structurally damaged payloads (possible after deserialization) as
+// ErrCorruptStash, rather than an index panic.
+//
+// Decoding runs through DefaultCodec(): chunk-parallel on the shared
+// worker pool, with output identical to a serial decode.
 func (e *EncodedStash) Decode() (*tensor.Tensor, error) {
-	if err := e.Verify(); err != nil {
-		return nil, err
-	}
-	out := tensor.New(e.Shape...)
-	switch e.Tech {
-	case Binarize:
-		if e.Mask.Len() != len(out.Data) {
-			return nil, fmt.Errorf("%w: mask %d bits, shape %v", ErrShapeMismatch, e.Mask.Len(), e.Shape)
-		}
-		for i := range out.Data {
-			if e.Mask.Get(i) {
-				out.Data[i] = 1
-			}
-		}
-	case SSDC:
-		if e.CSR.N != len(out.Data) {
-			return nil, fmt.Errorf("%w: CSR over %d elements, shape %v", ErrShapeMismatch, e.CSR.N, e.Shape)
-		}
-		e.CSR.Decode(out.Data)
-	case DPR:
-		if e.Packed.N != len(out.Data) {
-			return nil, fmt.Errorf("%w: packed %d elements, shape %v", ErrShapeMismatch, e.Packed.N, e.Shape)
-		}
-		e.Packed.DecodeSlice(out.Data)
-	default:
-		return nil, fmt.Errorf("%w (technique %v)", ErrNoTechnique, e.Tech)
-	}
-	return out, nil
+	return DefaultCodec().Decode(e)
 }
 
 // Bytes returns the encoded representation's storage footprint.

@@ -1,5 +1,11 @@
 package floatenc
 
+import (
+	"fmt"
+
+	"gist/internal/parallel"
+)
+
 // Packed is a reduced-precision encoding of a float32 slice, stored as
 // 32-bit words with the format's value packing (2, 3 or 4 values per word).
 // This mirrors the DPR encoded data structure that Gist stashes between a
@@ -10,19 +16,33 @@ type Packed struct {
 	Words  []uint32
 }
 
+// NewPacked allocates a zeroed packed container for n values, ready for
+// EncodeRange chunks to fill.
+func NewPacked(f Format, n int) *Packed {
+	vpw := f.ValuesPerWord()
+	return &Packed{Format: f, N: n, Words: make([]uint32, (n+vpw-1)/vpw)}
+}
+
 // EncodeSlice packs src into a reduced-precision buffer.
 func EncodeSlice(f Format, src []float32) *Packed {
-	vpw := f.ValuesPerWord()
-	words := make([]uint32, (len(src)+vpw-1)/vpw)
-	bits := uint(f.Bits())
-	if f == FP10 {
-		bits = 10
-	}
-	for i, v := range src {
+	p := NewPacked(f, len(src))
+	p.EncodeRange(src, 0, len(src))
+	return p
+}
+
+// EncodeRange is the chunk-range DPR pack kernel: it encodes src[start:end)
+// into the matching words of p. The words touched must be zero beforehand
+// (as NewPacked leaves them), and for parallel chunks start must be a
+// multiple of ValuesPerWord() — and end too, unless end == N — so each
+// chunk owns whole words and racing writers never share one.
+func (p *Packed) EncodeRange(src []float32, start, end int) {
+	p.checkRange(start, end)
+	vpw := p.Format.ValuesPerWord()
+	bits := uint(p.Format.Bits())
+	for i := start; i < end; i++ {
 		w, slot := i/vpw, uint(i%vpw)
-		words[w] |= f.Encode(v) << (slot * bits)
+		p.Words[w] |= p.Format.Encode(src[i]) << (slot * bits)
 	}
-	return &Packed{Format: f, N: len(src), Words: words}
 }
 
 // DecodeSlice unpacks the buffer back to float32 values. dst must have
@@ -34,17 +54,28 @@ func (p *Packed) DecodeSlice(dst []float32) []float32 {
 	if len(dst) != p.N {
 		panic("floatenc: DecodeSlice length mismatch")
 	}
+	p.DecodeRange(dst, 0, p.N)
+	return dst
+}
+
+// DecodeRange is the chunk-range DPR unpack kernel: dst[start:end) receives
+// the decoded values. Each element is written independently, so chunks may
+// cover any partition of [0, N).
+func (p *Packed) DecodeRange(dst []float32, start, end int) {
+	p.checkRange(start, end)
 	vpw := p.Format.ValuesPerWord()
 	bits := uint(p.Format.Bits())
-	if p.Format == FP10 {
-		bits = 10
-	}
 	mask := uint32(1)<<bits - 1
-	for i := range dst {
+	for i := start; i < end; i++ {
 		w, slot := i/vpw, uint(i%vpw)
 		dst[i] = p.Format.Decode((p.Words[w] >> (slot * bits)) & mask)
 	}
-	return dst
+}
+
+func (p *Packed) checkRange(start, end int) {
+	if start < 0 || end < start || end > p.N {
+		panic(fmt.Sprintf("floatenc: range [%d,%d) outside [0,%d)", start, end, p.N))
+	}
 }
 
 // Bytes returns the packed storage size in bytes.
@@ -63,5 +94,24 @@ func QuantizeSlice(f Format, xs []float32) []float32 {
 	for i, v := range xs {
 		xs[i] = f.Quantize(v)
 	}
+	return xs
+}
+
+// QuantizeSliceChunked rounds xs through the format in place, splitting the
+// slice into chunkElems-sized chunks run on the pool. Quantization is
+// elementwise, so any chunking yields output identical to QuantizeSlice.
+func QuantizeSliceChunked(f Format, xs []float32, p *parallel.Pool, chunkElems int) []float32 {
+	if f == FP32 {
+		return xs
+	}
+	if chunkElems <= 0 || p.Workers() <= 1 || len(xs) <= chunkElems {
+		return QuantizeSlice(f, xs)
+	}
+	nc := (len(xs) + chunkElems - 1) / chunkElems
+	p.ForEach(nc, func(c int) {
+		lo := c * chunkElems
+		hi := min(lo+chunkElems, len(xs))
+		QuantizeSlice(f, xs[lo:hi])
+	})
 	return xs
 }

@@ -1,0 +1,159 @@
+// Package parallel provides the bounded, reusable worker pool behind the
+// chunked codec layer. Gist's premium is that encoding a stashed feature map
+// is cheap relative to the memory it frees, which only holds while the
+// encoder keeps up with the producer; the pool lets every hot kernel
+// (bitpack masks, narrow-CSR build/scatter, DPR pack/unpack) split its work
+// into chunks and run them across cores without spawning unbounded
+// goroutines.
+//
+// The design is deliberately deadlock-proof under nesting: ForEach always
+// runs work on the calling goroutine and only recruits helpers when pool
+// slots are free, so a task already running on the pool can fan out again
+// without waiting on slots it transitively occupies. A nil *Pool is valid
+// and runs everything serially.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool bounds how many goroutines the chunked kernels may occupy at once.
+// The zero worker count is remapped to GOMAXPROCS. Pools are safe for
+// concurrent use by any number of goroutines; a single process-wide pool
+// (see Shared) is the intended deployment so concurrent executors contend
+// for one CPU budget instead of oversubscribing.
+type Pool struct {
+	workers int
+	sem     chan struct{}
+}
+
+// NewPool returns a pool that admits at most workers concurrent helpers.
+// workers <= 0 selects runtime.GOMAXPROCS(0). A one-worker pool runs
+// everything on the calling goroutine (the serial path).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, sem: make(chan struct{}, workers)}
+}
+
+// Workers returns the pool's concurrency bound. A nil pool reports 1.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// ForEach runs fn(i) for every i in [0, n) and returns when all calls have
+// completed. The calling goroutine always participates, and up to
+// Workers()-1 helper goroutines join while pool slots are free — slot
+// acquisition never blocks, so nested ForEach calls from tasks already on
+// the pool degrade to serial instead of deadlocking. Iteration order across
+// goroutines is unspecified; callers must make fn(i) touch disjoint state
+// (the chunked kernels write disjoint word/row ranges). A panic in fn is
+// re-raised on the caller after the remaining work drains.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	helpers := p.workers - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+spawn:
+	for h := 0; h < helpers; h++ {
+		select {
+		case p.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-p.sem }()
+				defer func() {
+					if r := recover(); r != nil {
+						panicMu.Lock()
+						if panicked == nil {
+							panicked = r
+						}
+						panicMu.Unlock()
+					}
+				}()
+				work()
+			}()
+		default:
+			break spawn // pool saturated: the caller works alone
+		}
+	}
+	work()
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+}
+
+// Go runs fn asynchronously on its own goroutine, gated by the pool's
+// worker budget: at most Workers() submitted tasks execute at once, the
+// rest queue on the semaphore. Unlike ForEach, Go returns immediately; the
+// training executor uses it to overlap backward-pass stash decodes with
+// layer compute. fn must not panic (decode futures convert failures to
+// errors). A nil pool runs fn synchronously.
+func (p *Pool) Go(fn func()) {
+	if p == nil {
+		fn()
+		return
+	}
+	go func() {
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		fn()
+	}()
+}
+
+// shared is the process-wide pool every codec call sites default to.
+var shared atomic.Pointer[Pool]
+
+// Shared returns the process-wide pool, creating a GOMAXPROCS-sized one on
+// first use. All default codec paths (and concurrent executors) route
+// through this single pool so total codec concurrency stays bounded by one
+// budget.
+func Shared() *Pool {
+	if p := shared.Load(); p != nil {
+		return p
+	}
+	p := NewPool(0)
+	if shared.CompareAndSwap(nil, p) {
+		return p
+	}
+	return shared.Load()
+}
+
+// SetSharedWorkers replaces the shared pool with one of the given size
+// (0 = GOMAXPROCS, 1 = serial). The -parallel CLI flag and benchmarks use
+// this; in-flight ForEach/Go calls on the previous pool finish unaffected.
+func SetSharedWorkers(n int) {
+	shared.Store(NewPool(n))
+}

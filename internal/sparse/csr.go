@@ -69,6 +69,98 @@ func EncodeCSRCols(xs []float32, cols int) *CSR {
 // NNZ returns the number of stored non-zeros.
 func (c *CSR) NNZ() int { return len(c.Values) }
 
+// Validate checks the structural invariants every encoder-produced CSR
+// holds: consistent dimensions, a monotone row-pointer array bracketing the
+// index/value arrays exactly, and in-range column indices. Decoding a CSR
+// that fails Validate would index out of bounds, so the runtime decoder
+// (which may be handed a corrupted or deserialized stash) calls this first
+// and surfaces a typed error instead of a panic.
+func (c *CSR) Validate() error {
+	if c.Cols <= 0 || c.Cols > 256 {
+		return fmt.Errorf("sparse: cols %d outside (0,256]", c.Cols)
+	}
+	if c.N < 0 || c.Rows != (c.N+c.Cols-1)/c.Cols {
+		return fmt.Errorf("sparse: %d rows of %d cols cannot cover %d elements", c.Rows, c.Cols, c.N)
+	}
+	if len(c.RowPtr) != c.Rows+1 {
+		return fmt.Errorf("sparse: %d row pointers for %d rows", len(c.RowPtr), c.Rows)
+	}
+	if len(c.ColIdx) != len(c.Values) {
+		return fmt.Errorf("sparse: %d column indices vs %d values", len(c.ColIdx), len(c.Values))
+	}
+	if c.RowPtr[0] != 0 || int(c.RowPtr[c.Rows]) != len(c.Values) {
+		return fmt.Errorf("sparse: row pointers span [%d,%d], want [0,%d]",
+			c.RowPtr[0], c.RowPtr[c.Rows], len(c.Values))
+	}
+	for r := 0; r < c.Rows; r++ {
+		if c.RowPtr[r] > c.RowPtr[r+1] {
+			return fmt.Errorf("sparse: row pointer %d decreases (%d > %d)", r, c.RowPtr[r], c.RowPtr[r+1])
+		}
+		base, limit := r*c.Cols, c.Cols
+		if last := c.N - base; last < limit {
+			limit = last // partial final row
+		}
+		for k := c.RowPtr[r]; k < c.RowPtr[r+1]; k++ {
+			if int(c.ColIdx[k]) >= limit {
+				return fmt.Errorf("sparse: column index %d in row %d exceeds row width %d",
+					c.ColIdx[k], r, limit)
+			}
+		}
+	}
+	return nil
+}
+
+// CountRowNNZ is the chunk-range count kernel of the parallel CSR builder:
+// counts[j] receives the non-zero count of row r0+j of xs viewed as a
+// matrix with the given column count. Chunks own disjoint row ranges.
+func CountRowNNZ(xs []float32, cols, r0, r1 int, counts []int32) {
+	for r := r0; r < r1; r++ {
+		base := r * cols
+		end := min(base+cols, len(xs))
+		n := int32(0)
+		for i := base; i < end; i++ {
+			if xs[i] != 0 {
+				n++
+			}
+		}
+		counts[r-r0] = n
+	}
+}
+
+// FillRows is the chunk-range fill kernel of the parallel CSR builder: it
+// writes the ColIdx/Values segments of rows [r0, r1), whose destination
+// offsets c.RowPtr must already hold (after the builder's prefix sum).
+// Chunks own disjoint row ranges and therefore disjoint array segments.
+func (c *CSR) FillRows(xs []float32, r0, r1 int) {
+	for r := r0; r < r1; r++ {
+		base := r * c.Cols
+		end := min(base+c.Cols, len(xs))
+		k := c.RowPtr[r]
+		for i := base; i < end; i++ {
+			if xs[i] != 0 {
+				c.ColIdx[k] = uint8(i - base)
+				c.Values[k] = xs[i]
+				k++
+			}
+		}
+	}
+}
+
+// DecodeRows is the chunk-range scatter kernel: it zeroes the dense span
+// covered by rows [r0, r1) and scatters those rows' non-zeros into it.
+// Chunks own disjoint row ranges and therefore disjoint dst spans.
+func (c *CSR) DecodeRows(dst []float32, r0, r1 int) {
+	lo := r0 * c.Cols
+	hi := min(r1*c.Cols, c.N)
+	clear(dst[lo:hi])
+	for r := r0; r < r1; r++ {
+		base := r * c.Cols
+		for k := c.RowPtr[r]; k < c.RowPtr[r+1]; k++ {
+			dst[base+int(c.ColIdx[k])] = c.Values[k]
+		}
+	}
+}
+
 // Decode expands the CSR back to its dense form. dst must have length N; if
 // nil, a new slice is allocated. Decoding is exact: SSDC is lossless.
 func (c *CSR) Decode(dst []float32) []float32 {

@@ -13,12 +13,14 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"gist/internal/encoding"
 	"gist/internal/faults"
 	"gist/internal/floatenc"
 	"gist/internal/graph"
 	"gist/internal/layers"
+	"gist/internal/parallel"
 	"gist/internal/tensor"
 )
 
@@ -99,10 +101,13 @@ type Executor struct {
 	rng    *tensor.RNG
 
 	// outs holds each node's forward output for the current step; stash
-	// holds the (possibly reduced) view backward readers see.
-	outs  map[int]*tensor.Tensor
-	stash map[int]*tensor.Tensor
-	aux   map[int]map[string]any
+	// holds the (possibly reduced) view backward readers see. When async
+	// decode is active, encoded stashes live in futures until the backward
+	// pass resolves them (stash then caches the decoded tensor).
+	outs    map[int]*tensor.Tensor
+	stash   map[int]*tensor.Tensor
+	futures map[int]*stashFuture
+	aux     map[int]map[string]any
 
 	// StashBytes records, per step, the total bytes of the stashed
 	// representations the backward pass actually read (encoded when
@@ -166,6 +171,7 @@ func (e *Executor) Output(n *graph.Node) *tensor.Tensor { return e.outs[n.ID] }
 func (e *Executor) Forward(input *tensor.Tensor, labels []int, training bool) {
 	e.outs = map[int]*tensor.Tensor{}
 	e.stash = map[int]*tensor.Tensor{}
+	e.futures = map[int]*stashFuture{}
 	e.aux = map[int]map[string]any{}
 	for _, n := range e.G.Nodes {
 		out := tensor.New(n.OutShape...)
@@ -207,6 +213,66 @@ func (e *Executor) integrity() bool {
 	return e.opts.Integrity || e.opts.Faults.Enabled()
 }
 
+// stashFuture is an in-flight asynchronous decode of one encoded stash.
+// The backward pass starts a future one layer ahead of its consumer, so
+// layer l-1's decode overlaps layer l's backward kernels on the shared
+// worker pool. Start is lazy and idempotent: a consumer that arrives before
+// its prefetch simply starts the decode itself and waits.
+type stashFuture struct {
+	enc     *encoding.EncodedStash
+	node    string
+	started atomic.Bool
+	done    chan struct{}
+	out     *tensor.Tensor
+	err     error
+}
+
+func newStashFuture(enc *encoding.EncodedStash, node string) *stashFuture {
+	return &stashFuture{enc: enc, node: node, done: make(chan struct{})}
+}
+
+// start launches the decode on the pool; only the first call fires.
+func (f *stashFuture) start(p *parallel.Pool) {
+	if f.started.CompareAndSwap(false, true) {
+		p.Go(func() {
+			defer close(f.done)
+			defer func() {
+				// Decode converts corruption to errors, but a panic on a
+				// pool goroutine would kill the process; surface it as the
+				// future's error instead.
+				if r := recover(); r != nil {
+					f.err = fmt.Errorf("stash decode panicked: %v", r)
+				}
+			}()
+			f.out, f.err = f.enc.Decode()
+		})
+	}
+}
+
+// wait starts the decode if needed and blocks for its result.
+func (f *stashFuture) wait(p *parallel.Pool) (*tensor.Tensor, error) {
+	f.start(p)
+	<-f.done
+	return f.out, f.err
+}
+
+// asyncDecode reports whether encoded stashes decode asynchronously on the
+// worker pool. Fault-injected runs keep the synchronous path: the injector's
+// corrupt-then-decode sequencing attributes each detection to its injection
+// site, which deferred decode would smear across layers.
+func (e *Executor) asyncDecode() bool {
+	return e.opts.Encodings != nil && !e.opts.Faults.Enabled() && decodePool().Workers() > 1
+}
+
+// decodePool is the pool backing stash futures — the codec's own pool, so
+// decode chunks and future goroutines share one bounded set of workers.
+func decodePool() *parallel.Pool {
+	if p := encoding.DefaultCodec().Pool; p != nil {
+		return p
+	}
+	return parallel.Shared()
+}
+
 // prepareStashes builds the backward-pass view of every feature map after
 // the forward pass completes — the executor's equivalent of Gist inserting
 // encode functions after each stash's last forward use.
@@ -246,6 +312,13 @@ func (e *Executor) prepareStashes() error {
 					enc.Seal()
 				}
 				inj.CorruptStash(n.Name, enc)
+				e.StashBytes += enc.Bytes()
+				if e.asyncDecode() {
+					// Defer the decode: the backward pass starts it one
+					// layer before the consumer needs it.
+					e.futures[n.ID] = newStashFuture(enc, n.Name)
+					continue
+				}
 				dec, err := enc.Decode()
 				if err != nil {
 					if errors.Is(err, encoding.ErrCorruptStash) {
@@ -253,7 +326,6 @@ func (e *Executor) prepareStashes() error {
 					}
 					return fmt.Errorf("train: stash %q: %w", n.Name, err)
 				}
-				e.StashBytes += enc.Bytes()
 				e.stash[n.ID] = dec
 				continue
 			}
@@ -286,10 +358,19 @@ func stashedForBackward(e *Executor, n *graph.Node) bool {
 // only failures are stash-pipeline ones (injected faults, detected
 // corruption); without an injector and with well-formed encodings it
 // always returns nil.
+//
+// With async decode active, each layer's backward kernels overlap the
+// decode of the next layer's stashes: the loop prefetches layer l-1's
+// futures onto the worker pool before running layer l's compute, then
+// blocks only when a consumer actually needs a tensor still in flight.
+// Gradients are identical to the synchronous pass — decode is bit-exact
+// regardless of scheduling — which the parallel executor tests pin.
 func (e *Executor) Backward() error {
 	if err := e.prepareStashes(); err != nil {
 		return err
 	}
+	pool := decodePool()
+	defer e.drainFutures()
 	gradOf := map[int]*tensor.Tensor{}
 	nodes := e.G.Nodes
 	for i := len(nodes) - 1; i >= 0; i-- {
@@ -307,21 +388,35 @@ func (e *Executor) Backward() error {
 				continue
 			}
 		}
+		if i > 0 {
+			e.prefetch(pool, nodes[i-1])
+		}
+		needs := n.Op.Needs()
 		ins := make([]*tensor.Tensor, len(n.Inputs))
 		dIns := make([]*tensor.Tensor, len(n.Inputs))
 		for j, in := range n.Inputs {
-			ins[j] = e.stash[in.ID]
 			dIns[j] = tensor.New(in.OutShape...)
+			if needs.X {
+				t, err := e.stashOf(pool, in.ID)
+				if err != nil {
+					return e.failBackward(err)
+				}
+				ins[j] = t
+			}
 		}
 		ctx := &layers.BwdCtx{
 			Params: e.params[n.ID], DOut: dOut,
 			DIn: dIns, DParams: e.grads[n.ID], Aux: e.aux[n.ID],
 		}
-		if n.Op.Needs().X {
+		if needs.X {
 			ctx.In = ins
 		}
-		if n.Op.Needs().Y {
-			ctx.Out = e.stash[n.ID]
+		if needs.Y {
+			t, err := e.stashOf(pool, n.ID)
+			if err != nil {
+				return e.failBackward(err)
+			}
+			ctx.Out = t
 		}
 		n.Op.Backward(ctx)
 		for j, in := range n.Inputs {
@@ -333,6 +428,67 @@ func (e *Executor) Backward() error {
 		}
 	}
 	return nil
+}
+
+// prefetch starts the async decodes node n's backward will need, without
+// waiting on them.
+func (e *Executor) prefetch(p *parallel.Pool, n *graph.Node) {
+	if n.Kind() == layers.Input || len(e.futures) == 0 {
+		return
+	}
+	needs := n.Op.Needs()
+	if needs.X {
+		for _, in := range n.Inputs {
+			if f := e.futures[in.ID]; f != nil {
+				f.start(p)
+			}
+		}
+	}
+	if needs.Y {
+		if f := e.futures[n.ID]; f != nil {
+			f.start(p)
+		}
+	}
+}
+
+// stashOf resolves the backward view of a node's output, waiting on (and
+// caching) the async decode when one is in flight.
+func (e *Executor) stashOf(p *parallel.Pool, id int) (*tensor.Tensor, error) {
+	if f := e.futures[id]; f != nil {
+		out, err := f.wait(p)
+		if err != nil {
+			return nil, fmt.Errorf("train: stash %q: %w", f.node, err)
+		}
+		e.stash[id] = out
+		return out, nil
+	}
+	return e.stash[id], nil
+}
+
+// failBackward preserves TryStep's no-partial-update contract when a stash
+// failure surfaces mid-pass: backward kernels accumulate into e.grads
+// directly, so every gradient is zeroed before the error propagates.
+func (e *Executor) failBackward(err error) error {
+	if errors.Is(err, encoding.ErrCorruptStash) {
+		e.Robust.CRCFailures++
+	}
+	for _, gs := range e.grads {
+		for _, g := range gs {
+			g.Zero()
+		}
+	}
+	return err
+}
+
+// drainFutures blocks until every started decode has finished, so no
+// goroutine from this pass outlives Backward (un-started futures never
+// spawned one).
+func (e *Executor) drainFutures() {
+	for _, f := range e.futures {
+		if f.started.Load() {
+			<-f.done
+		}
+	}
 }
 
 // ClipGradNorm rescales all parameter gradients so their global L2 norm is
@@ -388,10 +544,12 @@ func (e *Executor) lossNode() *graph.Node {
 
 // TryStep runs forward, backward and an SGD update on one minibatch,
 // returning the minibatch loss, top-1 error count and any stash-pipeline
-// error. On error no parameter update has been applied (failures occur in
-// stash preparation, before gradients accumulate), but batch-norm running
-// statistics and the dropout RNG have advanced — restore a Snapshot before
-// retrying for a bit-exact replay. Fault-injected runs must use TryStep
+// error. On error no parameter update has been applied: failures surface in
+// stash preparation (before gradients accumulate) or, under async decode,
+// mid-backward — where every partially accumulated gradient is zeroed
+// before the error returns. Batch-norm running statistics and the dropout
+// RNG have still advanced — restore a Snapshot before retrying for a
+// bit-exact replay. Fault-injected runs must use TryStep
 // (or RunRecoverable, which wraps it with snapshot/retry/backoff).
 func (e *Executor) TryStep(input *tensor.Tensor, labels []int, lr float32) (loss float64, errs int, err error) {
 	e.Forward(input, labels, true)

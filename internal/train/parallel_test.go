@@ -1,0 +1,192 @@
+package train
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"gist/internal/encoding"
+	"gist/internal/faults"
+	"gist/internal/floatenc"
+	"gist/internal/parallel"
+)
+
+// withCodec installs a default codec for the duration of a test.
+func withCodec(t *testing.T, c encoding.Codec) {
+	t.Helper()
+	encoding.SetDefaultCodec(c)
+	t.Cleanup(func() { encoding.SetDefaultCodec(encoding.Codec{}) })
+}
+
+// TestParallelBackwardMatchesSerial is the executor-level determinism
+// property: encoded training with async decode and chunk-parallel codecs
+// produces step-for-step identical losses and bit-identical parameters to
+// the serial pipeline, for every worker count.
+func TestParallelBackwardMatchesSerial(t *testing.T) {
+	const steps, mb = 6, 8
+	run := func(workers int) (losses []float64, exec *Executor) {
+		// Small chunks so the tiny net's 2048-element feature maps really
+		// split into multiple chunks.
+		encoding.SetDefaultCodec(encoding.Codec{Pool: parallel.NewPool(workers), ChunkElems: 768})
+		g := smallNet(mb)
+		a := encoding.Analyze(g, encoding.LossyLossless(floatenc.FP16))
+		e := NewExecutor(g, Options{Seed: 33, Encodings: a, Integrity: true})
+		d := NewDataset(4, 2, 8, 0.3, 34)
+		for i := 0; i < steps; i++ {
+			x, l := d.Batch(mb)
+			loss, _ := e.Step(x, l, 0.05)
+			losses = append(losses, loss)
+		}
+		return losses, e
+	}
+	t.Cleanup(func() { encoding.SetDefaultCodec(encoding.Codec{}) })
+
+	serialLosses, serialExec := run(1)
+	for _, w := range []int{2, 4} {
+		losses, exec := run(w)
+		for i := range serialLosses {
+			if losses[i] != serialLosses[i] {
+				t.Fatalf("workers=%d: step %d loss %v, serial %v", w, i, losses[i], serialLosses[i])
+			}
+		}
+		for _, n := range serialExec.G.Nodes {
+			ps, qs := serialExec.params[n.ID], exec.params[n.ID]
+			for j := range ps {
+				if !ps[j].Equal(qs[j]) {
+					t.Fatalf("workers=%d: %s param %d diverged from serial", w, n.Name, j)
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentExecutorsShareOnePool trains several executors at once on
+// the shared worker pool — the -race workload for the decode futures, the
+// pool semaphore and the codec kernels — and checks same-seed executors
+// stay bit-identical despite contending for the same workers.
+func TestConcurrentExecutorsShareOnePool(t *testing.T) {
+	parallel.SetSharedWorkers(4)
+	t.Cleanup(func() { parallel.SetSharedWorkers(0) })
+	withCodec(t, encoding.Codec{ChunkElems: 768}) // nil Pool → shared
+
+	const replicas, steps, mb = 4, 4, 8
+	execs := make([]*Executor, replicas)
+	var wg sync.WaitGroup
+	errs := make(chan error, replicas)
+	for r := 0; r < replicas; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			g := smallNet(mb)
+			a := encoding.Analyze(g, encoding.Lossless())
+			e := NewExecutor(g, Options{Seed: 55, Encodings: a, Integrity: true})
+			d := NewDataset(4, 2, 8, 0.3, 56)
+			for i := 0; i < steps; i++ {
+				x, l := d.Batch(mb)
+				if _, _, err := e.TryStep(x, l, 0.05); err != nil {
+					errs <- fmt.Errorf("replica %d step %d: %w", r, i, err)
+					return
+				}
+			}
+			execs[r] = e
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for r := 1; r < replicas; r++ {
+		for _, n := range execs[0].G.Nodes {
+			ps, qs := execs[0].params[n.ID], execs[r].params[n.ID]
+			for j := range ps {
+				if !ps[j].Equal(qs[j]) {
+					t.Fatalf("replica %d: %s param %d diverged from replica 0", r, n.Name, j)
+				}
+			}
+		}
+	}
+}
+
+// TestAsyncDecodeGating pins when the overlap path may engage: never with
+// fault injection active (the injector's corrupt-then-decode attribution
+// needs the synchronous order), never without encodings, never on a
+// one-worker codec.
+func TestAsyncDecodeGating(t *testing.T) {
+	g := smallNet(2)
+	a := encoding.Analyze(g, encoding.Lossless())
+
+	withCodec(t, encoding.Codec{Pool: parallel.NewPool(4)})
+	if e := NewExecutor(g, Options{Seed: 1, Encodings: a}); !e.asyncDecode() {
+		t.Fatal("async decode off with encodings and a 4-worker codec")
+	}
+	if e := NewExecutor(g, Options{Seed: 1}); e.asyncDecode() {
+		t.Fatal("async decode on without encodings")
+	}
+	inj := faults.New(faults.Config{Seed: 2, BitFlipRate: 0.5})
+	if e := NewExecutor(g, Options{Seed: 1, Encodings: a, Faults: inj}); e.asyncDecode() {
+		t.Fatal("async decode on under fault injection")
+	}
+
+	encoding.SetDefaultCodec(encoding.Codec{Pool: parallel.NewPool(1)})
+	if e := NewExecutor(g, Options{Seed: 1, Encodings: a}); e.asyncDecode() {
+		t.Fatal("async decode on with a serial codec")
+	}
+}
+
+// TestFailBackwardZeroesGradients pins the TryStep contract for
+// mid-backward stash failures: every accumulated gradient is zeroed and
+// corruption is counted before the error surfaces.
+func TestFailBackwardZeroesGradients(t *testing.T) {
+	e := NewExecutor(smallNet(2), Options{Seed: 3})
+	for _, gs := range e.grads {
+		for _, g := range gs {
+			g.Fill(1)
+		}
+	}
+	wrapped := fmt.Errorf("train: stash %q: %w", "conv1", encoding.ErrCorruptStash)
+	if err := e.failBackward(wrapped); !errors.Is(err, encoding.ErrCorruptStash) {
+		t.Fatalf("failBackward did not propagate the error: %v", err)
+	}
+	if e.Robust.CRCFailures != 1 {
+		t.Fatalf("CRCFailures = %d, want 1", e.Robust.CRCFailures)
+	}
+	for _, gs := range e.grads {
+		for _, g := range gs {
+			for _, v := range g.Data {
+				if v != 0 {
+					t.Fatal("gradient not zeroed after mid-backward failure")
+				}
+			}
+		}
+	}
+}
+
+// TestFaultInjectionStillDetectedWithParallelCodec re-runs a PR 1-style
+// corruption scenario on top of the chunked codec: the injector flips a
+// bit, the (synchronous, attribution-preserving) decode path catches it,
+// and the step reports a CRC failure without applying an update.
+func TestFaultInjectionStillDetectedWithParallelCodec(t *testing.T) {
+	withCodec(t, encoding.Codec{Pool: parallel.NewPool(4), ChunkElems: 768})
+	g := smallNet(4)
+	a := encoding.Analyze(g, encoding.Lossless())
+	inj := faults.New(faults.Config{Seed: 5, BitFlipRate: 1})
+	e := NewExecutor(g, Options{Seed: 6, Encodings: a, Faults: inj})
+	d := NewDataset(4, 2, 8, 0.3, 7)
+	x, l := d.Batch(4)
+	_, _, err := e.TryStep(x, l, 0.05)
+	if err == nil {
+		t.Fatal("injected corruption went undetected")
+	}
+	if !errors.Is(err, encoding.ErrCorruptStash) {
+		t.Fatalf("error %v does not wrap ErrCorruptStash", err)
+	}
+	if e.Robust.CRCFailures == 0 {
+		t.Fatal("CRC failure not counted")
+	}
+	// The chunked seal should also localize which chunk the flip hit.
+	if _, ok := encoding.CorruptedChunk(err); !ok {
+		t.Fatalf("no chunk localization in %v", err)
+	}
+}
