@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-hot fuzz fuzz-stash bench bench-parallel check
+.PHONY: build test vet race race-hot fuzz fuzz-stash bench bench-parallel metrics-bench check
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,11 @@ race:
 	$(GO) test -race ./...
 
 # Focused race pass over the packages that share the worker pool: the
-# chunked codec, the async-decode executor, and the pool itself. Runs with
-# -count=1 so the hammer tests actually execute every time.
+# chunked codec, the async-decode executor, the pool itself, and the
+# telemetry sink every one of them reports into. Runs with -count=1 so the
+# hammer tests actually execute every time.
 race-hot:
-	$(GO) test -race -count=1 ./internal/encoding/ ./internal/train/ ./internal/parallel/
+	$(GO) test -race -count=1 ./internal/encoding/ ./internal/train/ ./internal/parallel/ ./internal/telemetry/
 
 # Short fuzz pass over the checkpoint parser.
 fuzz:
@@ -37,5 +38,13 @@ bench:
 # Worker-swept parallel codec benchmarks (compare w1 vs wN sub-benches).
 bench-parallel:
 	$(GO) test -bench Parallel -benchtime 2s -run TestXXX .
+
+# Telemetry overhead check: the nil-sink no-op path next to the live one,
+# then the train step with and without a sink attached (the gist vs
+# gist-telemetry sub-benches; gist-telemetry also reports stash-B/step and
+# the compression ratio straight from the sink's counters).
+metrics-bench:
+	$(GO) test ./internal/telemetry/ -bench BenchmarkTelemetry -benchtime 2s -run TestXXX
+	$(GO) test -bench BenchmarkTrainStep -benchtime 2s -run TestXXX .
 
 check: build vet test race race-hot

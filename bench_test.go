@@ -9,6 +9,7 @@ package gist_test
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 
 	"gist"
@@ -23,6 +24,7 @@ import (
 	"gist/internal/parallel"
 	"gist/internal/race"
 	"gist/internal/sparse"
+	"gist/internal/telemetry"
 	"gist/internal/tensor"
 	"gist/internal/train"
 )
@@ -335,6 +337,41 @@ func BenchmarkTrainStep(b *testing.B) {
 		encoding.SetDefaultCodec(encoding.Codec{Pool: parallel.NewPool(4)})
 		defer encoding.SetDefaultCodec(encoding.Codec{})
 		run(b, true)
+	})
+	// gist-telemetry runs the same encoded step with a live sink attached and
+	// reports the memory story alongside ns/op: stash bytes held per step and
+	// the compression ratio, both pulled from the sink's own counters. The
+	// "gist" sub-bench above stays uninstrumented so the nil-sink overhead
+	// comparison against the baseline remains honest.
+	b.Run("gist-telemetry", func(b *testing.B) {
+		g := networks.TinyCNN(8, 4)
+		sink := telemetry.New()
+		e := train.NewExecutor(g, train.Options{
+			Seed:      1,
+			Encodings: encoding.Analyze(g, encoding.LossyLossless(floatenc.FP16)),
+			Telemetry: sink,
+		})
+		d := train.NewDataset(4, 3, 16, 0.4, 2)
+		x, labels := d.Batch(8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Step(x, labels, 0.01)
+		}
+		b.StopTimer()
+		v := sink.Values()
+		var raw, held int64
+		for name, val := range v {
+			switch {
+			case strings.HasPrefix(name, "stash.") && strings.HasSuffix(name, ".raw_bytes"):
+				raw += val
+			case strings.HasPrefix(name, "stash.") && strings.HasSuffix(name, ".held_bytes"):
+				held += val
+			}
+		}
+		if steps := v["train.steps"]; steps > 0 && held > 0 {
+			b.ReportMetric(float64(held)/float64(steps), "stash-B/step")
+			b.ReportMetric(float64(raw)/float64(held), "ratio")
+		}
 	})
 }
 

@@ -14,11 +14,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"gist/internal/encoding"
 	"gist/internal/experiments"
 	"gist/internal/parallel"
+	"gist/internal/telemetry"
 )
 
 func main() {
@@ -26,12 +29,49 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 	par := flag.Int("parallel", 0, "encode/decode worker count (0 = GOMAXPROCS, 1 = serial)")
+	traceOut := flag.String("trace-out", "", "write Chrome trace_event JSON here at exit (codec + worker-pool activity of the training-based experiments)")
+	metricsOut := flag.String("metrics-out", "", "write a text telemetry snapshot here at exit")
 	flag.Parse()
 
 	// Applies to the training-based experiments, whose stash encode/decode
 	// runs through the shared worker pool; results are bit-identical at
 	// every worker count.
 	parallel.SetSharedWorkers(*par)
+
+	// Either telemetry flag instruments the process-wide worker pool and
+	// codec; the default stays the zero-overhead nil sink.
+	var sink *telemetry.Sink
+	if *traceOut != "" || *metricsOut != "" {
+		sink = telemetry.New()
+		if *traceOut != "" {
+			sink.EnableTracing(0)
+		}
+		parallel.SetTelemetry(sink)
+		encoding.SetDefaultCodec(encoding.Codec{Tel: sink})
+	}
+	defer func() {
+		if sink == nil {
+			return
+		}
+		writeTo := func(path string, write func(w io.Writer) error) {
+			f, err := os.Create(path)
+			if err == nil {
+				err = write(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gistbench:", err)
+			}
+		}
+		if *metricsOut != "" {
+			writeTo(*metricsOut, sink.WriteSnapshot)
+		}
+		if *traceOut != "" {
+			writeTo(*traceOut, sink.WriteTrace)
+		}
+	}()
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))

@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"os"
 
+	"gist/internal/encoding"
 	"gist/internal/experiments"
 	"gist/internal/parallel"
+	"gist/internal/telemetry"
 )
 
 func main() {
@@ -38,12 +40,66 @@ func main() {
 	retries := flag.Int("retries", 0, "per-step retry budget (robust; 0 = default)")
 	ckpt := flag.String("ckpt", "", "periodic atomic checkpoint path (robust; empty = off)")
 	ckptTruncate := flag.Int64("ckpt-truncate", 0, "tear checkpoint writes at this byte offset (robust; 0 = off)")
+
+	// Telemetry flags. Either output flag arms a sink wired through the
+	// whole pipeline (worker pool, codec, and — for robust — the executor
+	// and fault injector); the default is the zero-overhead nil sink.
+	traceOut := flag.String("trace-out", "", "write Chrome trace_event JSON here at exit (load in chrome://tracing or ui.perfetto.dev)")
+	metricsOut := flag.String("metrics-out", "", "write a text telemetry snapshot here at exit")
+	metricsEvery := flag.Int("metrics-every", 0, "also append a snapshot to -metrics-out every N steps (robust; 0 = exit only)")
 	flag.Parse()
 
 	// Encode/decode parallelism is process-wide: the shared worker pool
 	// backs every codec chunk and the executor's decode overlap. Output is
 	// bit-identical at every worker count.
 	parallel.SetSharedWorkers(*par)
+
+	var sink *telemetry.Sink
+	var metricsFile *os.File
+	if *traceOut != "" || *metricsOut != "" {
+		sink = telemetry.New()
+		if *traceOut != "" {
+			sink.EnableTracing(0)
+		}
+		parallel.SetTelemetry(sink)
+		encoding.SetDefaultCodec(encoding.Codec{Tel: sink})
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gisttrain:", err)
+				os.Exit(1)
+			}
+			metricsFile = f
+		}
+	}
+	flush := func() {
+		if sink == nil {
+			return
+		}
+		if metricsFile != nil {
+			if err := sink.WriteSnapshot(metricsFile); err == nil {
+				err = metricsFile.Close()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "gisttrain:", err)
+				}
+			} else {
+				fmt.Fprintln(os.Stderr, "gisttrain:", err)
+			}
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err == nil {
+				err = sink.WriteTrace(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "gisttrain:", err)
+			}
+		}
+	}
+	defer flush()
 
 	switch *experiment {
 	case "fig12":
@@ -110,6 +166,11 @@ func main() {
 		}
 		if *ckptTruncate > 0 {
 			s.Faults.CheckpointTruncateAt = *ckptTruncate
+		}
+		s.Tel = sink
+		if metricsFile != nil && *metricsEvery > 0 {
+			s.MetricsEvery = *metricsEvery
+			s.MetricsOut = metricsFile
 		}
 		fmt.Println(experiments.Robust(s))
 	default:

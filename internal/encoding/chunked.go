@@ -6,11 +6,13 @@ import (
 	"hash/crc32"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"gist/internal/bitpack"
 	"gist/internal/floatenc"
 	"gist/internal/parallel"
 	"gist/internal/sparse"
+	"gist/internal/telemetry"
 	"gist/internal/tensor"
 )
 
@@ -47,6 +49,12 @@ type Codec struct {
 	// ChunkElems is the chunk size in elements; it is rounded up to a
 	// multiple of the 768-element alignment. 0 selects DefaultChunkElems.
 	ChunkElems int
+	// Tel, when non-nil, receives per-technique encode/decode latency
+	// histograms, byte counters, chunk counts and CRC-failure events —
+	// and, when the sink has tracing enabled, complete trace events per
+	// codec call plus per-chunk worker spans. The nil default adds only a
+	// nil check per call.
+	Tel *telemetry.Sink
 }
 
 // defaultCodec holds the process-wide codec override set by SetDefaultCodec.
@@ -98,11 +106,24 @@ func (cdc Codec) forChunks(n int, fn func(lo, hi int)) {
 	ce := cdc.chunkElems()
 	if n <= ce {
 		if n > 0 {
+			cdc.Tel.Counter("codec.chunks").Inc()
 			fn(0, n)
 		}
 		return
 	}
 	nc := (n + ce - 1) / ce
+	cdc.Tel.Counter("codec.chunks").Add(int64(nc))
+	if cdc.Tel.TracingEnabled() {
+		// Per-chunk worker spans: each lands on its own track exactly
+		// while chunks overlap, so the trace shows pool utilization.
+		inner := fn
+		fn = func(lo, hi int) {
+			sp := cdc.Tel.Begin("codec", "chunk",
+				telemetry.Int("lo", int64(lo)), telemetry.Int("hi", int64(hi)))
+			inner(lo, hi)
+			sp.End()
+		}
+	}
 	cdc.pool().ForEach(nc, func(c int) {
 		fn(c*ce, min((c+1)*ce, n))
 	})
@@ -112,6 +133,20 @@ func (cdc Codec) forChunks(n int, fn func(lo, hi int)) {
 // the codec's pool. Output is byte-identical to the serial path for every
 // worker count. See the package-level EncodeStash for semantics.
 func (cdc Codec) EncodeStash(as *Assignment, t *tensor.Tensor) (*EncodedStash, error) {
+	if cdc.Tel == nil {
+		return cdc.encodeStash(as, t)
+	}
+	start := time.Now()
+	e, err := cdc.encodeStash(as, t)
+	var held int64
+	if e != nil {
+		held = e.Bytes()
+	}
+	cdc.observe("encode", as.Tech, start, held, err)
+	return e, err
+}
+
+func (cdc Codec) encodeStash(as *Assignment, t *tensor.Tensor) (*EncodedStash, error) {
 	e := &EncodedStash{Tech: as.Tech, Shape: t.Shape.Clone(), ChunkElems: cdc.chunkElems()}
 	switch as.Tech {
 	case Binarize:
@@ -149,12 +184,36 @@ func (cdc Codec) EncodeStash(as *Assignment, t *tensor.Tensor) (*EncodedStash, e
 // EncodeDense builds the dense fallback stash chunk-parallel; see the
 // package-level EncodeDense.
 func (cdc Codec) EncodeDense(f floatenc.Format, t *tensor.Tensor) *EncodedStash {
-	return &EncodedStash{
+	var start time.Time
+	if cdc.Tel != nil {
+		start = time.Now()
+	}
+	e := &EncodedStash{
 		Tech:       DPR,
 		Shape:      t.Shape.Clone(),
 		ChunkElems: cdc.chunkElems(),
 		Packed:     cdc.encodePacked(f, t.Data),
 	}
+	if cdc.Tel != nil {
+		cdc.observe("encode", DPR, start, e.Bytes(), nil)
+	}
+	return e
+}
+
+// observe records one codec operation: latency histogram, call and byte
+// counters (all keyed by technique), an error counter, and — when the
+// sink has tracing armed — a complete trace event covering the call.
+func (cdc Codec) observe(op string, tech Technique, start time.Time, bytes int64, err error) {
+	name := op + "." + tech.String()
+	cdc.Tel.Histogram("codec." + name + ".ns").Observe(time.Since(start).Nanoseconds())
+	cdc.Tel.Counter("codec." + name + ".calls").Inc()
+	if bytes > 0 {
+		cdc.Tel.Counter("codec." + name + ".bytes").Add(bytes)
+	}
+	if err != nil {
+		cdc.Tel.Counter("codec." + op + ".errors").Inc()
+	}
+	cdc.Tel.Complete("codec", name, start)
 }
 
 // EncodeStashAdaptive encodes per the assignment, degrading an oversized
@@ -162,6 +221,7 @@ func (cdc Codec) EncodeDense(f floatenc.Format, t *tensor.Tensor) *EncodedStash 
 func (cdc Codec) EncodeStashAdaptive(as *Assignment, t *tensor.Tensor) (e *EncodedStash, fellBack bool, err error) {
 	e, err = cdc.EncodeStash(as, t)
 	if errors.Is(err, ErrStashTooLarge) {
+		cdc.Tel.Counter("codec.encode.fallbacks").Inc()
 		return cdc.EncodeDense(as.Format, t), true, nil
 	}
 	return e, false, err
@@ -210,6 +270,20 @@ func (cdc Codec) encodePacked(f floatenc.Format, xs []float32) *floatenc.Packed 
 // typed errors rather than index panics, so Decode never panics on
 // corrupted or deserialized input.
 func (cdc Codec) Decode(e *EncodedStash) (*tensor.Tensor, error) {
+	if cdc.Tel == nil {
+		return cdc.decode(e)
+	}
+	start := time.Now()
+	out, err := cdc.decode(e)
+	var raw int64
+	if out != nil {
+		raw = out.Bytes()
+	}
+	cdc.observe("decode", e.Tech, start, raw, err)
+	return out, err
+}
+
+func (cdc Codec) decode(e *EncodedStash) (*tensor.Tensor, error) {
 	if err := cdc.Verify(e); err != nil {
 		return nil, err
 	}
@@ -311,6 +385,23 @@ func (cdc Codec) Seal(e *EncodedStash) {
 // ErrCorruptStash); stashes sealed without chunk CRCs fall back to the
 // whole-payload comparison.
 func (cdc Codec) Verify(e *EncodedStash) error {
+	err := cdc.verify(e)
+	if err != nil && cdc.Tel != nil {
+		cdc.Tel.Counter("codec.crc.failures").Inc()
+		args := []telemetry.Arg{telemetry.Str("tech", e.Tech.String())}
+		var ce *ChunkError
+		if errors.As(err, &ce) {
+			args = append(args,
+				telemetry.Int("chunk", int64(ce.Chunk)),
+				telemetry.Int("elem_lo", int64(ce.ElemLo)),
+				telemetry.Int("elem_hi", int64(ce.ElemHi)))
+		}
+		cdc.Tel.Instant("codec", "crc-failure", args...)
+	}
+	return err
+}
+
+func (cdc Codec) verify(e *EncodedStash) error {
 	if !e.sealed {
 		return nil
 	}
@@ -324,10 +415,13 @@ func (cdc Codec) Verify(e *EncodedStash) error {
 	}
 	for c := range chunks {
 		if chunks[c] != e.ChunkCRCs[c] {
+			elemLo, elemHi, byteLo, byteHi := e.ChunkSpan(c)
 			return &ChunkError{
 				Chunk: c, Chunks: len(chunks),
 				Tech: e.Tech, Shape: e.Shape.Clone(),
 				Got: chunks[c], Want: e.ChunkCRCs[c],
+				ElemLo: elemLo, ElemHi: elemHi,
+				ByteLo: byteLo, ByteHi: byteHi,
 			}
 		}
 	}
@@ -348,11 +442,26 @@ type ChunkError struct {
 	Tech          Technique
 	Shape         tensor.Shape
 	Got, Want     uint32
+	// ElemLo/ElemHi is the payload element range the chunk covers, and
+	// ByteLo/ByteHi its byte offsets within the payload word array — the
+	// self-describing location trace and metric labels carry. Byte
+	// offsets are -1 for SSDC, whose chunks span three backing arrays
+	// (see ChunkSpan).
+	ElemLo, ElemHi int
+	ByteLo, ByteHi int64
 }
 
 func (c *ChunkError) Error() string {
-	return fmt.Sprintf("encoding: corrupt stash (checksum mismatch): %v stash of shape %v: chunk %d/%d crc %#x, sealed %#x",
-		c.Tech, c.Shape, c.Chunk, c.Chunks, c.Got, c.Want)
+	loc := ""
+	if c.ElemHi > c.ElemLo {
+		loc = fmt.Sprintf(" (elements %d-%d", c.ElemLo, c.ElemHi)
+		if c.ByteHi > c.ByteLo && c.ByteLo >= 0 {
+			loc += fmt.Sprintf(", payload bytes %d-%d", c.ByteLo, c.ByteHi)
+		}
+		loc += ")"
+	}
+	return fmt.Sprintf("encoding: corrupt stash (checksum mismatch): %v stash of shape %v: chunk %d/%d%s crc %#x, sealed %#x",
+		c.Tech, c.Shape, c.Chunk, c.Chunks, loc, c.Got, c.Want)
 }
 
 // Unwrap makes errors.Is(err, ErrCorruptStash) hold for chunk errors.
@@ -393,6 +502,38 @@ func (e *EncodedStash) NumChunks() int {
 	ce := normalizeChunkElems(e.ChunkElems)
 	n := e.payloadElems()
 	return (n + ce - 1) / ce
+}
+
+// ChunkSpan returns the payload element range [elemLo, elemHi) chunk c
+// covers and, when the technique keeps its payload in a single word array
+// (Binarize mask words, DPR packed words), the byte offsets [byteLo, byteHi)
+// of that range within the array — the word-aligned region whose CRC the
+// chunk seals. SSDC chunks span three backing arrays (RowPtr, ColIdx,
+// Values), so their byte offsets are reported as -1.
+func (e *EncodedStash) ChunkSpan(c int) (elemLo, elemHi int, byteLo, byteHi int64) {
+	ce := normalizeChunkElems(e.ChunkElems)
+	n := e.payloadElems()
+	elemLo = min(c*ce, n)
+	elemHi = min(elemLo+ce, n)
+	byteLo, byteHi = -1, -1
+	if elemHi <= elemLo {
+		return elemLo, elemHi, byteLo, byteHi
+	}
+	switch e.Tech {
+	case Binarize:
+		w0 := elemLo / 64
+		w1 := (elemHi + 63) / 64
+		return elemLo, elemHi, int64(w0) * 8, int64(w1) * 8
+	case DPR:
+		vpw, ok := packedValuesPerWord(e.Packed.Format)
+		if !ok {
+			return elemLo, elemHi, byteLo, byteHi
+		}
+		w0 := elemLo / vpw
+		w1 := (elemHi + vpw - 1) / vpw
+		return elemLo, elemHi, int64(w0) * 4, int64(w1) * 4
+	}
+	return elemLo, elemHi, byteLo, byteHi
 }
 
 // ChunkOfBit maps a payload bit index (as addressed by FlipBit, in

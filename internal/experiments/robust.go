@@ -10,12 +10,17 @@ package experiments
 // scale with a printable report.
 
 import (
+	"io"
 	"time"
 
 	"gist/internal/encoding"
 	"gist/internal/faults"
 	"gist/internal/floatenc"
+	"gist/internal/graph"
+	"gist/internal/liveness"
+	"gist/internal/memplan"
 	"gist/internal/networks"
+	"gist/internal/telemetry"
 	"gist/internal/train"
 )
 
@@ -35,6 +40,15 @@ type RobustScale struct {
 	// checkpoints (through the injector's writer wrapper, so checkpoint
 	// faults are exercised too).
 	CheckpointPath string
+	// Tel, when non-nil, instruments the run end to end: executor step
+	// spans, injector event mirroring, per-step memory samples and the
+	// planner's predicted footprint (plan.static.* gauges vs the observed
+	// mem.peak_held_bytes).
+	Tel *telemetry.Sink
+	// MetricsEvery/MetricsOut, when set alongside Tel, write a telemetry
+	// snapshot to MetricsOut every N steps during the run.
+	MetricsEvery int
+	MetricsOut   io.Writer
 }
 
 // DefaultRobustScale injects a fault roughly every other step and finishes
@@ -61,12 +75,21 @@ func Robust(s RobustScale) *Result {
 	g := networks.TinyCNN(s.Minibatch, s.Classes)
 	a := encoding.Analyze(g, encoding.LossyLossless(floatenc.FP16))
 	inj := faults.New(s.Faults)
-	e := train.NewExecutor(g, train.Options{Seed: s.Seed, Encodings: a, Faults: inj})
+	e := train.NewExecutor(g, train.Options{Seed: s.Seed, Encodings: a, Faults: inj, Telemetry: s.Tel})
 	d := train.NewDataset(s.Classes, 3, 16, s.NoiseStd, s.Seed+1)
+
+	if s.Tel != nil {
+		// Publish the planner's static prediction so the snapshot sets it
+		// against the peak the executor actually observes.
+		tl := graph.BuildTimeline(g)
+		plan := memplan.PlanStatic(liveness.Analyze(g, tl, liveness.Options{Analysis: a}))
+		plan.RecordTelemetry(s.Tel, "static")
+	}
 
 	start := time.Now()
 	recs, report, err := train.RunRecoverable(e, d,
-		train.RunConfig{Minibatch: s.Minibatch, Steps: s.Steps, LR: s.LR, ProbeEvery: 20},
+		train.RunConfig{Minibatch: s.Minibatch, Steps: s.Steps, LR: s.LR, ProbeEvery: 20,
+			MetricsEvery: s.MetricsEvery, MetricsOut: s.MetricsOut},
 		train.RecoveryConfig{MaxRetries: s.MaxRetries, CheckpointPath: s.CheckpointPath})
 	elapsed := time.Since(start)
 

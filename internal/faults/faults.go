@@ -23,6 +23,7 @@ import (
 	"sync"
 
 	"gist/internal/encoding"
+	"gist/internal/telemetry"
 	"gist/internal/tensor"
 )
 
@@ -122,6 +123,21 @@ type Injector struct {
 	stepBytes      int64
 	allocFailsLeft int
 	events         []Event
+	tel            *telemetry.Sink
+}
+
+// SetTelemetry mirrors every subsequently recorded fault into the sink: a
+// faults.injected.<kind> counter plus an instant trace event carrying the
+// step, node and detail string. The counters agree with Counts() by
+// construction, which the recovery tests cross-check. Nil receiver and nil
+// sink are both valid.
+func (in *Injector) SetTelemetry(s *telemetry.Sink) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.tel = s
+	in.mu.Unlock()
 }
 
 // New returns an injector for the config. New(Config{}) and nil both inject
@@ -157,9 +173,17 @@ func (in *Injector) BeginStep(step int) {
 	in.stepBytes = 0
 }
 
-// record appends an event; callers hold the lock.
+// record appends an event and mirrors it into the telemetry sink; callers
+// hold the lock.
 func (in *Injector) record(k Kind, node, detail string) {
 	in.events = append(in.events, Event{Kind: k, Step: in.step, Node: node, Detail: detail})
+	if in.tel != nil {
+		in.tel.Counter("faults.injected." + k.String()).Inc()
+		in.tel.Instant("faults", k.String(),
+			telemetry.Int("step", int64(in.step)),
+			telemetry.Str("node", node),
+			telemetry.Str("detail", detail))
+	}
 }
 
 // FailEncode rolls the encode-failure die for one stash, returning

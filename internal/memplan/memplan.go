@@ -9,9 +9,11 @@ package memplan
 
 import (
 	"sort"
+	"strings"
 
 	"gist/internal/graph"
 	"gist/internal/liveness"
+	"gist/internal/telemetry"
 )
 
 // Group is one shared memory region of the static plan: a set of buffers
@@ -188,6 +190,22 @@ func (p *Plan) Validate() (a, b *liveness.Buffer, ok bool) {
 		}
 	}
 	return nil, nil, true
+}
+
+// RecordTelemetry publishes the plan's predicted footprint into the sink as
+// plan.<prefix>.* gauges (total bytes, group count, per-class bytes), so a
+// run's snapshot can set the planner's static prediction against the
+// executor's observed peak (mem.peak_held_bytes). Nil plan or sink no-ops.
+func (p *Plan) RecordTelemetry(s *telemetry.Sink, prefix string) {
+	if p == nil || s == nil {
+		return
+	}
+	s.Gauge("plan."+prefix+".total_bytes").Set(p.TotalBytes)
+	s.Gauge("plan."+prefix+".groups").Set(int64(len(p.Groups)))
+	for cls, b := range p.ByClass {
+		name := strings.ReplaceAll(cls.String(), " ", "_")
+		s.Gauge("plan." + prefix + "." + name + "_bytes").Set(b)
+	}
 }
 
 // MFR is the paper's comparison metric: baseline footprint over encoded

@@ -17,7 +17,46 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"gist/internal/telemetry"
 )
+
+// poolMetrics caches the pool instruments so the hot path pays one atomic
+// pointer load and nil check per ForEach/Go call, never a name lookup.
+type poolMetrics struct {
+	forEach   *telemetry.Counter   // ForEach invocations
+	tasks     *telemetry.Counter   // individual fn(i) executions
+	helpers   *telemetry.Counter   // helper goroutines actually spawned
+	saturated *telemetry.Counter   // ForEach calls that found the pool full
+	busyNS    *telemetry.Histogram // per-participant busy time inside ForEach
+	goQueued  *telemetry.Gauge     // Go tasks waiting on a pool slot
+	goActive  *telemetry.Gauge     // Go tasks currently running
+}
+
+// metrics is the process-wide pool telemetry; nil (the default) is the
+// zero-overhead path.
+var metrics atomic.Pointer[poolMetrics]
+
+// SetTelemetry wires every pool in the process (shared or private) to the
+// sink: queue depth, worker spawns/saturation and per-participant busy
+// time. Passing nil disconnects. Telemetry is process-wide because the
+// pools themselves are a process-wide budget.
+func SetTelemetry(s *telemetry.Sink) {
+	if s == nil {
+		metrics.Store(nil)
+		return
+	}
+	metrics.Store(&poolMetrics{
+		forEach:   s.Counter("pool.foreach.calls"),
+		tasks:     s.Counter("pool.tasks"),
+		helpers:   s.Counter("pool.helpers_spawned"),
+		saturated: s.Counter("pool.saturated"),
+		busyNS:    s.Histogram("pool.busy.ns"),
+		goQueued:  s.Gauge("pool.go.queued"),
+		goActive:  s.Gauge("pool.go.active"),
+	})
+}
 
 // Pool bounds how many goroutines the chunked kernels may occupy at once.
 // The zero worker count is remapped to GOMAXPROCS. Pools are safe for
@@ -59,7 +98,20 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	pm := metrics.Load()
+	if pm != nil {
+		pm.forEach.Inc()
+		pm.tasks.Add(int64(n))
+	}
 	if p == nil || p.workers <= 1 || n == 1 {
+		if pm != nil {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				fn(i)
+			}
+			pm.busyNS.Observe(time.Since(start).Nanoseconds())
+			return
+		}
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
@@ -81,6 +133,14 @@ func (p *Pool) ForEach(n int, fn func(i int)) {
 			fn(i)
 		}
 	}
+	if pm != nil {
+		inner := work
+		work = func() {
+			start := time.Now()
+			inner()
+			pm.busyNS.Observe(time.Since(start).Nanoseconds())
+		}
+	}
 	helpers := p.workers - 1
 	if helpers > n-1 {
 		helpers = n - 1
@@ -89,6 +149,9 @@ spawn:
 	for h := 0; h < helpers; h++ {
 		select {
 		case p.sem <- struct{}{}:
+			if pm != nil {
+				pm.helpers.Inc()
+			}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -105,6 +168,9 @@ spawn:
 				work()
 			}()
 		default:
+			if pm != nil {
+				pm.saturated.Inc()
+			}
 			break spawn // pool saturated: the caller works alone
 		}
 	}
@@ -126,9 +192,18 @@ func (p *Pool) Go(fn func()) {
 		fn()
 		return
 	}
+	pm := metrics.Load()
+	if pm != nil {
+		pm.goQueued.Add(1)
+	}
 	go func() {
 		p.sem <- struct{}{}
 		defer func() { <-p.sem }()
+		if pm != nil {
+			pm.goQueued.Add(-1)
+			pm.goActive.Add(1)
+			defer pm.goActive.Add(-1)
+		}
 		fn()
 	}()
 }

@@ -1,0 +1,172 @@
+package telemetry
+
+// The text snapshot exporter: an expvar-style sorted dump of every
+// instrument, plus derived sections — per-technique compression ratios
+// (from the stash.<tech>.raw_bytes / .held_bytes counters the memory
+// timeline maintains) and the tail of the memory timeline itself. One
+// value per line, `kind name value...`, so shell tools and tests can grep
+// a single metric without a parser.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// WriteSnapshot writes the sink's current state as sorted text. No-op on
+// a nil sink.
+func (s *Sink) WriteSnapshot(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+
+	s.mu.Lock()
+	counters := make(map[string]int64, len(s.counters))
+	for name, c := range s.counters {
+		counters[name] = c.Value()
+	}
+	gauges := make(map[string]int64, len(s.gauges))
+	for name, g := range s.gauges {
+		gauges[name] = g.Value()
+	}
+	hists := make(map[string]*Histogram, len(s.hists))
+	for name, h := range s.hists {
+		hists[name] = h
+	}
+	s.mu.Unlock()
+
+	if _, err := fmt.Fprintf(w, "# gist telemetry snapshot (uptime %v)\n",
+		time.Since(s.epoch).Round(time.Millisecond)); err != nil {
+		return err
+	}
+	for _, name := range sortedKeys(counters) {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", name, counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		if _, err := fmt.Fprintf(w, "gauge %s %d\n", name, gauges[name]); err != nil {
+			return err
+		}
+	}
+	histNames := make([]string, 0, len(hists))
+	for name := range hists {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := hists[name]
+		if _, err := fmt.Fprintf(w, "hist %s count %d sum %d mean %.1f p50 %d p99 %d max %d\n",
+			name, h.Count(), h.Sum(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max()); err != nil {
+			return err
+		}
+	}
+	if d := s.TraceDropped(); d > 0 {
+		if _, err := fmt.Fprintf(w, "counter trace.dropped_events %d\n", d); err != nil {
+			return err
+		}
+	}
+
+	if err := s.writeRatios(w, counters); err != nil {
+		return err
+	}
+	return s.writeMemTimeline(w)
+}
+
+// writeRatios derives per-technique compression ratios from the
+// cumulative stash byte counters — the measured counterpart of the
+// planner's EncodedBytes predictions (2x for DPR-FP16, up to 32x for
+// binarized ReLU outputs).
+func (s *Sink) writeRatios(w io.Writer, counters map[string]int64) error {
+	type pair struct{ raw, held int64 }
+	byTech := map[string]pair{}
+	for name, v := range counters {
+		if !strings.HasPrefix(name, "stash.") {
+			continue
+		}
+		rest := strings.TrimPrefix(name, "stash.")
+		switch {
+		case strings.HasSuffix(rest, ".raw_bytes"):
+			tech := strings.TrimSuffix(rest, ".raw_bytes")
+			p := byTech[tech]
+			p.raw = v
+			byTech[tech] = p
+		case strings.HasSuffix(rest, ".held_bytes"):
+			tech := strings.TrimSuffix(rest, ".held_bytes")
+			p := byTech[tech]
+			p.held = v
+			byTech[tech] = p
+		}
+	}
+	if len(byTech) == 0 {
+		return nil
+	}
+	techs := make([]string, 0, len(byTech))
+	var totRaw, totHeld int64
+	for tech := range byTech {
+		techs = append(techs, tech)
+	}
+	sort.Strings(techs)
+	if _, err := fmt.Fprintln(w, "# per-technique compression (cumulative over all samples)"); err != nil {
+		return err
+	}
+	for _, tech := range techs {
+		p := byTech[tech]
+		totRaw += p.raw
+		totHeld += p.held
+		if p.held == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "ratio %s %.2f (raw %d B -> held %d B)\n",
+			tech, float64(p.raw)/float64(p.held), p.raw, p.held); err != nil {
+			return err
+		}
+	}
+	if totHeld > 0 {
+		if _, err := fmt.Fprintf(w, "ratio total %.2f (raw %d B -> held %d B)\n",
+			float64(totRaw)/float64(totHeld), totRaw, totHeld); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// memTimelineTail is how many trailing samples the snapshot prints.
+const memTimelineTail = 8
+
+// writeMemTimeline prints the tail of the per-step memory timeline.
+func (s *Sink) writeMemTimeline(w io.Writer) error {
+	samples, total := s.MemSamples()
+	if total == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "# memory timeline (last %d of %d samples; peak raw %d B, peak held %d B)\n",
+		min(memTimelineTail, len(samples)), total,
+		s.Gauge("mem.peak_raw_bytes").Value(), s.Gauge("mem.peak_held_bytes").Value()); err != nil {
+		return err
+	}
+	if len(samples) > memTimelineTail {
+		samples = samples[len(samples)-memTimelineTail:]
+	}
+	for _, sm := range samples {
+		line := fmt.Sprintf("mem step %d raw %d held %d", sm.Step, sm.RawBytes, sm.HeldBytes)
+		for _, tb := range sm.ByTech {
+			line += fmt.Sprintf(" %s %d", tb.Tech, tb.HeldBytes)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

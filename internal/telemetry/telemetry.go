@@ -1,0 +1,365 @@
+// Package telemetry is the runtime measurement layer for the Gist pipeline:
+// atomic counters and gauges, fixed-bucket histograms for nanosecond
+// latencies and byte sizes, span tracing with a Chrome trace_event JSON
+// exporter, and a per-step memory timeline that turns the planner's static
+// footprint predictions into measured data.
+//
+// The design premium is the zero-cost default: every instrument is safe on
+// a nil receiver, so uninstrumented runs pay exactly one nil check per
+// call site (guarded by a benchmark). A non-nil Sink is safe for concurrent
+// use from any number of goroutines — the chunked codec workers, the
+// executor's async decode futures and the recovery loop all feed one sink.
+//
+// Metric names are dotted paths ("codec.encode.DPR.ns"); the snapshot
+// exporter sorts them, and a handful of well-known prefixes (see
+// snapshot.go) drive derived output like per-technique compression ratios.
+package telemetry
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The nil Counter is
+// valid and discards all updates, so call sites cache the pointer once and
+// never branch.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d to the counter. No-op on a nil receiver.
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. The nil Gauge discards updates.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by d (negative to decrement).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// SetMax raises the gauge to v if v is larger — the lock-free running
+// maximum used for peak-footprint tracking.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the bucket count of every histogram: bucket i counts
+// observations v with bits.Len64(v) == i, i.e. v in [2^(i-1), 2^i), with
+// bucket 0 holding v <= 0. Power-of-two buckets cover the full int64 range
+// (1 ns .. ~292 years; 1 B .. 8 EiB) with no configuration.
+const histBuckets = 65
+
+// Histogram is a fixed-bucket power-of-two histogram with atomic buckets,
+// suitable for nanosecond latencies and byte sizes. The nil Histogram
+// discards observations.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+	}
+	h.buckets[i].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.max.Load()
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile returns an upper bound on the q-quantile (0 <= q <= 1): the top
+// of the bucket where the cumulative count crosses q. Within a factor of 2
+// of the true value, which is all a power-of-two histogram promises.
+func (h *Histogram) Quantile(q float64) int64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	target := int64(q*float64(n) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			hi := int64(1) << uint(i) // exclusive top of bucket i
+			if m := h.Max(); m < hi {
+				return m
+			}
+			return hi
+		}
+	}
+	return h.Max()
+}
+
+// Sink is a registry of named instruments plus the trace buffer and the
+// memory timeline. The nil Sink is valid: every method no-ops or returns a
+// nil instrument, so a fully uninstrumented run costs only nil checks.
+type Sink struct {
+	epoch time.Time
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	trace atomic.Pointer[traceBuf]
+
+	memMu sync.Mutex
+	mem   memTimeline
+}
+
+// New returns an empty sink. Tracing is off until EnableTracing.
+func New() *Sink {
+	return &Sink{
+		epoch:    time.Now(),
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// (a valid no-op counter) on a nil sink. Hot paths should look the counter
+// up once and cache the pointer; the lookup itself takes the sink mutex.
+func (s *Sink) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.counters[name]
+	if c == nil {
+		c = &Counter{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use (nil on a nil
+// sink).
+func (s *Sink) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	g := s.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		s.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use (nil on
+// a nil sink).
+func (s *Sink) Histogram(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		s.hists[name] = h
+	}
+	return h
+}
+
+// Values returns a point-in-time copy of every counter and gauge value,
+// keyed by name — the programmatic face of the snapshot, used by tests to
+// cross-check telemetry against independently kept reports.
+func (s *Sink) Values() map[string]int64 {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := make(map[string]int64, len(s.counters)+len(s.gauges))
+	for name, c := range s.counters {
+		m[name] = c.Value()
+	}
+	for name, g := range s.gauges {
+		m[name] = g.Value()
+	}
+	return m
+}
+
+// now returns nanoseconds since the sink's epoch (trace timestamps).
+func (s *Sink) now() int64 { return time.Since(s.epoch).Nanoseconds() }
+
+// since returns the epoch-relative nanosecond timestamp of t.
+func (s *Sink) since(t time.Time) int64 { return t.Sub(s.epoch).Nanoseconds() }
+
+// --- memory timeline ---
+
+// TechBytes is one technique's share of a memory sample: the FP32 bytes
+// the stashed maps would occupy raw, and the bytes actually held encoded.
+type TechBytes struct {
+	Tech      string
+	RawBytes  int64
+	HeldBytes int64
+}
+
+// MemSample is one training step's stash-memory measurement: what the
+// backward pass's working set would cost raw versus what the encoded
+// representations actually hold, split per technique. This is the measured
+// counterpart of the paper's Figure 2 lifetime argument.
+type MemSample struct {
+	Step      int
+	RawBytes  int64 // FP32 bytes of all stashed feature maps
+	HeldBytes int64 // bytes actually held across the forward→backward gap
+	ByTech    []TechBytes
+}
+
+// memTimelineCap bounds the retained sample ring; aggregates (peaks,
+// cumulative per-technique bytes) cover the whole run regardless.
+const memTimelineCap = 4096
+
+type memTimeline struct {
+	samples []MemSample // ring, newest at end
+	total   int         // samples ever recorded
+}
+
+// RecordMemSample appends one step's memory measurement: the sample ring,
+// the peak gauges (mem.peak_raw_bytes, mem.peak_held_bytes), cumulative
+// per-technique counters (stash.<tech>.raw_bytes / .held_bytes — the
+// source of the snapshot's compression ratios), and, when tracing, Chrome
+// counter events that render the timeline as a stacked area in Perfetto.
+func (s *Sink) RecordMemSample(sm MemSample) {
+	if s == nil {
+		return
+	}
+	s.Gauge("mem.peak_raw_bytes").SetMax(sm.RawBytes)
+	s.Gauge("mem.peak_held_bytes").SetMax(sm.HeldBytes)
+	s.Counter("stash.samples").Inc()
+	for _, tb := range sm.ByTech {
+		s.Counter("stash." + tb.Tech + ".raw_bytes").Add(tb.RawBytes)
+		s.Counter("stash." + tb.Tech + ".held_bytes").Add(tb.HeldBytes)
+	}
+
+	s.memMu.Lock()
+	s.mem.total++
+	if len(s.mem.samples) >= memTimelineCap {
+		copy(s.mem.samples, s.mem.samples[1:])
+		s.mem.samples[len(s.mem.samples)-1] = sm
+	} else {
+		s.mem.samples = append(s.mem.samples, sm)
+	}
+	s.memMu.Unlock()
+
+	if s.TracingEnabled() {
+		s.CounterEvent("stash bytes",
+			Int("raw", sm.RawBytes), Int("held", sm.HeldBytes))
+		if len(sm.ByTech) > 0 {
+			args := make([]Arg, 0, len(sm.ByTech))
+			for _, tb := range sm.ByTech {
+				args = append(args, Int(tb.Tech, tb.HeldBytes))
+			}
+			s.CounterEvent("stash bytes by technique", args...)
+		}
+	}
+}
+
+// MemSamples returns a copy of the retained sample ring (newest last) and
+// the total number of samples ever recorded.
+func (s *Sink) MemSamples() ([]MemSample, int) {
+	if s == nil {
+		return nil, 0
+	}
+	s.memMu.Lock()
+	defer s.memMu.Unlock()
+	return append([]MemSample(nil), s.mem.samples...), s.mem.total
+}

@@ -1,0 +1,314 @@
+package telemetry
+
+// Span tracing and the Chrome trace_event exporter. Spans are recorded as
+// complete ("X") events — one event carrying begin timestamp and duration,
+// which cannot un-pair — plus instant ("i") events for point occurrences
+// (injected faults, CRC detections, gradient zeroing) and counter ("C")
+// events for the memory timeline. The output loads directly into
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Tracks: Chrome lays events out by (pid, tid). Sinks run one logical
+// process (pid 1) and allocate track ids from a free list — a root span
+// takes the lowest free track and its children share it (so nesting
+// renders as a flame), and the track is recycled when the root ends.
+// Concurrent roots (worker-pool chunks, async decode futures) therefore
+// land on separate tracks exactly while they overlap.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultTraceEvents is the default trace-buffer capacity. At ~80 bytes an
+// event this bounds the buffer around 40 MB; past it events are dropped
+// and counted rather than growing without bound.
+const DefaultTraceEvents = 1 << 19
+
+// Arg is one key/value attachment on a trace event.
+type Arg struct {
+	Key   string
+	str   string
+	num   int64
+	isStr bool
+}
+
+// Int makes an integer-valued trace argument.
+func Int(key string, v int64) Arg { return Arg{Key: key, num: v} }
+
+// Str makes a string-valued trace argument.
+func Str(key, v string) Arg { return Arg{Key: key, str: v, isStr: true} }
+
+// event is one recorded trace event (timestamps in ns since the sink
+// epoch; exported as microseconds, the trace_event unit).
+type event struct {
+	name string
+	cat  string
+	ph   byte // 'X', 'i', 'C'
+	ts   int64
+	dur  int64
+	tid  int
+	args []Arg
+}
+
+// traceBuf is the bounded, mutex-protected event log plus the track-id
+// free list. One mutex covers both: appends are tens of nanoseconds, and
+// only instrumented (measurement-mode) runs ever take it.
+type traceBuf struct {
+	mu      sync.Mutex
+	cap     int
+	events  []event
+	dropped int64
+	tids    []bool // tids[i] != false => track i+1 in use
+}
+
+// EnableTracing arms the sink's trace buffer. capEvents <= 0 selects
+// DefaultTraceEvents. Calling it again resets the buffer. No-op on a nil
+// sink; without it, Begin returns nil spans and costs one atomic load.
+func (s *Sink) EnableTracing(capEvents int) {
+	if s == nil {
+		return
+	}
+	if capEvents <= 0 {
+		capEvents = DefaultTraceEvents
+	}
+	s.trace.Store(&traceBuf{cap: capEvents})
+}
+
+// TracingEnabled reports whether the sink records trace events.
+func (s *Sink) TracingEnabled() bool {
+	return s != nil && s.trace.Load() != nil
+}
+
+// acquireTid hands out the lowest free track id (1-based); callers hold mu.
+func (tb *traceBuf) acquireTid() int {
+	for i, used := range tb.tids {
+		if !used {
+			tb.tids[i] = true
+			return i + 1
+		}
+	}
+	tb.tids = append(tb.tids, true)
+	return len(tb.tids)
+}
+
+// releaseTid returns a track id to the free list; callers hold mu.
+func (tb *traceBuf) releaseTid(tid int) {
+	if tid >= 1 && tid <= len(tb.tids) {
+		tb.tids[tid-1] = false
+	}
+}
+
+// append records ev, counting instead of growing past the cap; callers
+// hold mu.
+func (tb *traceBuf) append(ev event) {
+	if len(tb.events) >= tb.cap {
+		tb.dropped++
+		return
+	}
+	tb.events = append(tb.events, ev)
+}
+
+// Span is one in-flight traced operation. The nil Span is valid and
+// no-ops, so call sites never branch on whether tracing is live.
+type Span struct {
+	s     *Sink
+	tb    *traceBuf
+	name  string
+	cat   string
+	start int64
+	tid   int
+	root  bool
+	args  []Arg
+}
+
+// Begin opens a root span on its own track. Returns nil (valid, no-op)
+// when the sink is nil or tracing is off.
+func (s *Sink) Begin(cat, name string, args ...Arg) *Span {
+	if s == nil {
+		return nil
+	}
+	tb := s.trace.Load()
+	if tb == nil {
+		return nil
+	}
+	tb.mu.Lock()
+	tid := tb.acquireTid()
+	tb.mu.Unlock()
+	return &Span{s: s, tb: tb, name: name, cat: cat, start: s.now(), tid: tid, root: true, args: args}
+}
+
+// Begin opens a child span on the parent's track, so the pair renders as
+// a flame. Children must end before their parent (stack discipline).
+func (sp *Span) Begin(cat, name string, args ...Arg) *Span {
+	if sp == nil {
+		return nil
+	}
+	return &Span{s: sp.s, tb: sp.tb, name: name, cat: cat, start: sp.s.now(), tid: sp.tid, args: args}
+}
+
+// End closes the span, recording one complete event. Root spans release
+// their track. Safe on nil.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	end := sp.s.now()
+	sp.tb.mu.Lock()
+	sp.tb.append(event{name: sp.name, cat: sp.cat, ph: 'X', ts: sp.start, dur: end - sp.start, tid: sp.tid, args: sp.args})
+	if sp.root {
+		sp.tb.releaseTid(sp.tid)
+	}
+	sp.tb.mu.Unlock()
+}
+
+// Complete records an already-finished operation as one complete event on
+// a transient track: begin time t, duration time.Since(t). The codec uses
+// this for encode/decode timing, where the duration is measured anyway
+// for the latency histogram.
+func (s *Sink) Complete(cat, name string, start time.Time, args ...Arg) {
+	if s == nil {
+		return
+	}
+	tb := s.trace.Load()
+	if tb == nil {
+		return
+	}
+	ts := s.since(start)
+	dur := s.now() - ts
+	tb.mu.Lock()
+	tid := tb.acquireTid()
+	tb.append(event{name: name, cat: cat, ph: 'X', ts: ts, dur: dur, tid: tid, args: args})
+	tb.releaseTid(tid)
+	tb.mu.Unlock()
+}
+
+// Instant records a point event (rendered as a flagpole in the viewer).
+func (s *Sink) Instant(cat, name string, args ...Arg) {
+	if s == nil {
+		return
+	}
+	tb := s.trace.Load()
+	if tb == nil {
+		return
+	}
+	tb.mu.Lock()
+	tb.append(event{name: name, cat: cat, ph: 'i', ts: s.now(), args: args})
+	tb.mu.Unlock()
+}
+
+// CounterEvent records a counter sample; Chrome renders successive samples
+// of one name as a stacked area chart, one series per argument.
+func (s *Sink) CounterEvent(name string, args ...Arg) {
+	if s == nil {
+		return
+	}
+	tb := s.trace.Load()
+	if tb == nil {
+		return
+	}
+	tb.mu.Lock()
+	tb.append(event{name: name, ph: 'C', ts: s.now(), args: args})
+	tb.mu.Unlock()
+}
+
+// TraceDropped returns how many events the bounded buffer discarded.
+func (s *Sink) TraceDropped() int64 {
+	if s == nil {
+		return 0
+	}
+	tb := s.trace.Load()
+	if tb == nil {
+		return 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.dropped
+}
+
+// jsonEvent is the trace_event wire form. Timestamps and durations are
+// microseconds (fractional, so ns precision survives).
+type jsonEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteTrace exports the recorded events as Chrome trace_event JSON
+// (object form, with displayTimeUnit), loadable in chrome://tracing and
+// Perfetto. Events sort by timestamp; metadata events name the process
+// and every used track. Export drains nothing — it snapshots, so a live
+// run can be dumped repeatedly.
+func (s *Sink) WriteTrace(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	tb := s.trace.Load()
+	if tb == nil {
+		return fmt.Errorf("telemetry: tracing was not enabled")
+	}
+	tb.mu.Lock()
+	events := append([]event(nil), tb.events...)
+	dropped := tb.dropped
+	tb.mu.Unlock()
+
+	sort.SliceStable(events, func(i, j int) bool { return events[i].ts < events[j].ts })
+
+	out := make([]jsonEvent, 0, len(events)+8)
+	out = append(out, jsonEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": "gist"},
+	})
+	maxTid := 0
+	for _, ev := range events {
+		if ev.tid > maxTid {
+			maxTid = ev.tid
+		}
+	}
+	for tid := 1; tid <= maxTid; tid++ {
+		out = append(out, jsonEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": fmt.Sprintf("track-%d", tid)},
+		})
+	}
+	for _, ev := range events {
+		je := jsonEvent{
+			Name: ev.name, Cat: ev.cat, Ph: string(ev.ph),
+			TS: float64(ev.ts) / 1e3, PID: 1, TID: ev.tid,
+		}
+		if ev.ph == 'X' {
+			dur := float64(ev.dur) / 1e3
+			je.Dur = &dur
+		}
+		if ev.ph == 'i' {
+			je.S = "g"
+		}
+		if len(ev.args) > 0 {
+			je.Args = map[string]any{}
+			for _, a := range ev.args {
+				if a.isStr {
+					je.Args[a.Key] = a.str
+				} else {
+					je.Args[a.Key] = a.num
+				}
+			}
+		}
+		out = append(out, je)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"displayTimeUnit": "ms",
+		"otherData":       map[string]any{"droppedEvents": dropped},
+		"traceEvents":     out,
+	})
+}

@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// traceDoc mirrors the exported object form for test decoding.
+type traceDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	OtherData       struct {
+		DroppedEvents int64 `json:"droppedEvents"`
+	} `json:"otherData"`
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  *float64       `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func exportTrace(t *testing.T, s *Sink) *traceDoc {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.WriteTrace(&buf); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	return &doc
+}
+
+func TestWriteTraceShape(t *testing.T) {
+	s := New()
+	s.EnableTracing(0)
+
+	root := s.Begin("train", "step", Int("step", 1))
+	child := root.Begin("train", "forward")
+	time.Sleep(time.Millisecond)
+	child.End()
+	root.End()
+	s.Instant("train", "fault", Str("node", "relu1"))
+	s.CounterEvent("stash bytes", Int("raw", 100), Int("held", 25))
+	s.Complete("codec", "encode.DPR", time.Now().Add(-time.Millisecond))
+
+	doc := exportTrace(t, s)
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", doc.DisplayTimeUnit)
+	}
+	if doc.OtherData.DroppedEvents != 0 {
+		t.Fatalf("dropped %d", doc.OtherData.DroppedEvents)
+	}
+	counts := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		counts[ev.Ph]++
+		if ev.PID != 1 {
+			t.Fatalf("event %q pid %d, want 1", ev.Name, ev.PID)
+		}
+		// Every complete event must carry a duration — the paired-span
+		// property: an X event cannot un-pair.
+		if ev.Ph == "X" && ev.Dur == nil {
+			t.Fatalf("complete event %q has no dur", ev.Name)
+		}
+		if ev.Ph == "X" && *ev.Dur < 0 {
+			t.Fatalf("complete event %q negative dur %f", ev.Name, *ev.Dur)
+		}
+	}
+	if counts["X"] != 3 || counts["i"] != 1 || counts["C"] != 1 {
+		t.Fatalf("event mix %v, want 3 X / 1 i / 1 C", counts)
+	}
+	if counts["M"] == 0 {
+		t.Fatal("missing metadata events")
+	}
+
+	// Nesting: the child span shares its root's track and lies inside it.
+	var rootEv, childEv *struct {
+		ts, end float64
+		tid     int
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		e := &struct {
+			ts, end float64
+			tid     int
+		}{ev.TS, ev.TS + *ev.Dur, ev.TID}
+		switch ev.Name {
+		case "step":
+			rootEv = e
+		case "forward":
+			childEv = e
+		}
+	}
+	if rootEv == nil || childEv == nil {
+		t.Fatal("missing step/forward spans")
+	}
+	if childEv.tid != rootEv.tid {
+		t.Fatalf("child on track %d, root on %d", childEv.tid, rootEv.tid)
+	}
+	if childEv.ts < rootEv.ts || childEv.end > rootEv.end {
+		t.Fatalf("child [%f,%f] escapes root [%f,%f]",
+			childEv.ts, childEv.end, rootEv.ts, rootEv.end)
+	}
+}
+
+func TestTraceTrackReuse(t *testing.T) {
+	s := New()
+	s.EnableTracing(0)
+	// Sequential roots must reuse track 1; concurrent roots must not share.
+	a := s.Begin("t", "a")
+	a.End()
+	b := s.Begin("t", "b")
+	c := s.Begin("t", "c") // overlaps b
+	b.End()
+	c.End()
+	tids := map[string]int{}
+	for _, ev := range exportTrace(t, s).TraceEvents {
+		if ev.Ph == "X" {
+			tids[ev.Name] = ev.TID
+		}
+	}
+	if tids["a"] != 1 || tids["b"] != 1 {
+		t.Fatalf("sequential roots a=%d b=%d, want both on track 1", tids["a"], tids["b"])
+	}
+	if tids["c"] == tids["b"] {
+		t.Fatalf("concurrent roots share track %d", tids["c"])
+	}
+}
+
+func TestTraceDropCap(t *testing.T) {
+	s := New()
+	s.EnableTracing(8)
+	for i := 0; i < 20; i++ {
+		s.Instant("t", fmt.Sprintf("e%d", i))
+	}
+	if got := s.TraceDropped(); got != 12 {
+		t.Fatalf("dropped %d, want 12", got)
+	}
+	doc := exportTrace(t, s)
+	if doc.OtherData.DroppedEvents != 12 {
+		t.Fatalf("exported dropped %d", doc.OtherData.DroppedEvents)
+	}
+	var sb bytes.Buffer
+	if err := s.WriteSnapshot(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(sb.Bytes(), []byte("trace.dropped_events 12")) {
+		t.Fatalf("snapshot missing drop counter:\n%s", sb.String())
+	}
+}
+
+func TestTraceDisabledBeginIsNil(t *testing.T) {
+	s := New()
+	if sp := s.Begin("t", "x"); sp != nil {
+		t.Fatal("Begin must return nil with tracing off")
+	}
+	s.Instant("t", "x")   // must not panic or record
+	s.Complete("t", "x", time.Now())
+	if err := s.WriteTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("WriteTrace must error when tracing was never enabled")
+	}
+}
+
+// TestTraceConcurrent hammers every emitter from many goroutines; run under
+// -race this pins the exporter's concurrency safety, and the decoded output
+// must still be well-formed with every span paired (ph=X with dur) and
+// every concurrent root on its own track at any instant.
+func TestTraceConcurrent(t *testing.T) {
+	s := New()
+	s.EnableTracing(0)
+	const workers, spansPer = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < spansPer; i++ {
+				root := s.Begin("worker", fmt.Sprintf("task-%d", w), Int("i", int64(i)))
+				child := root.Begin("worker", "inner")
+				s.Instant("worker", "tick")
+				child.End()
+				s.CounterEvent("load", Int("w", int64(w)))
+				root.End()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	doc := exportTrace(t, s)
+	wantX := workers * spansPer * 2
+	var gotX int
+	type span struct{ start, end float64 }
+	byTid := map[int][]span{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		gotX++
+		if ev.Dur == nil {
+			t.Fatalf("unpaired span %q", ev.Name)
+		}
+		if ev.Name != "inner" { // roots only: children share the root's track
+			byTid[ev.TID] = append(byTid[ev.TID], span{ev.TS, ev.TS + *ev.Dur})
+		}
+	}
+	if gotX != wantX {
+		t.Fatalf("%d complete events, want %d", gotX, wantX)
+	}
+	// Root spans on one track never overlap (the free-list guarantees a
+	// track is reused only after its root ended).
+	for tid, spans := range byTid {
+		for i := 0; i < len(spans); i++ {
+			for j := i + 1; j < len(spans); j++ {
+				a, b := spans[i], spans[j]
+				if a.start < b.end && b.start < a.end {
+					t.Fatalf("track %d: roots overlap [%f,%f] vs [%f,%f]",
+						tid, a.start, a.end, b.start, b.end)
+				}
+			}
+		}
+	}
+}

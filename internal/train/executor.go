@@ -13,7 +13,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync/atomic"
+	"time"
 
 	"gist/internal/encoding"
 	"gist/internal/faults"
@@ -21,6 +23,7 @@ import (
 	"gist/internal/graph"
 	"gist/internal/layers"
 	"gist/internal/parallel"
+	"gist/internal/telemetry"
 	"gist/internal/tensor"
 )
 
@@ -72,6 +75,61 @@ type Options struct {
 	// injection must drive the executor through TryStep or RunRecoverable,
 	// which surface the injected failures as errors.
 	Faults *faults.Injector
+	// Telemetry, when non-nil, receives per-step phase spans
+	// (forward/encode/backward/SGD), overlap hit/miss counters, robustness
+	// counters mirroring RobustnessStats, and a per-step memory sample
+	// (raw vs held stash bytes, split by technique). The nil default costs
+	// only nil checks on the step path.
+	Telemetry *telemetry.Sink
+}
+
+// execMetrics caches the executor's instruments so the step path never does
+// a name lookup. All fields are nil (valid no-op instruments) when the
+// executor has no sink.
+type execMetrics struct {
+	steps        *telemetry.Counter   // successful + failed step attempts
+	stepFailures *telemetry.Counter   // attempts that returned an error
+	stepNS       *telemetry.Histogram // whole-step latency
+	forwardNS    *telemetry.Histogram
+	encodeNS     *telemetry.Histogram // prepareStashes (encode + seal + sync decode)
+	backwardNS   *telemetry.Histogram
+	sgdNS        *telemetry.Histogram
+	stashHeld    *telemetry.Histogram // per-step held stash bytes
+
+	overlapHits *telemetry.Counter // decode future already resolved at use
+	overlapMiss *telemetry.Counter // consumer had to wait on (or start) the decode
+	gradZero    *telemetry.Counter // mid-backward failures that zeroed gradients
+
+	// Mirrors of RobustnessStats, so the snapshot and the RecoveryReport
+	// agree by construction.
+	ssdcFallbacks *telemetry.Counter
+	crcDetected   *telemetry.Counter
+	chunkLocated  *telemetry.Counter // CRC detections localized to one chunk
+	injEncode     *telemetry.Counter
+	injDecode     *telemetry.Counter
+	injAlloc      *telemetry.Counter
+}
+
+func newExecMetrics(s *telemetry.Sink) execMetrics {
+	return execMetrics{
+		steps:         s.Counter("train.steps"),
+		stepFailures:  s.Counter("train.step.failures"),
+		stepNS:        s.Histogram("train.step.ns"),
+		forwardNS:     s.Histogram("train.forward.ns"),
+		encodeNS:      s.Histogram("train.encode.ns"),
+		backwardNS:    s.Histogram("train.backward.ns"),
+		sgdNS:         s.Histogram("train.sgd.ns"),
+		stashHeld:     s.Histogram("train.stash.held_bytes"),
+		overlapHits:   s.Counter("train.overlap.hits"),
+		overlapMiss:   s.Counter("train.overlap.misses"),
+		gradZero:      s.Counter("train.grad_zeroing"),
+		ssdcFallbacks: s.Counter("train.ssdc_fallbacks"),
+		crcDetected:   s.Counter("train.crc_detected"),
+		chunkLocated:  s.Counter("train.crc.chunk_located"),
+		injEncode:     s.Counter("train.injected.encode_failures"),
+		injDecode:     s.Counter("train.injected.decode_failures"),
+		injAlloc:      s.Counter("train.injected.alloc_failures"),
+	}
 }
 
 // RobustnessStats counts the degradation and corruption events one
@@ -117,6 +175,11 @@ type Executor struct {
 	// Robust accumulates degradation and corruption counters over the
 	// executor's lifetime.
 	Robust RobustnessStats
+
+	tel       *telemetry.Sink
+	met       execMetrics
+	stepCount int             // steps attempted, numbers spans and memory samples
+	stepSpan  *telemetry.Span // root span of the in-flight TryStep (nil otherwise)
 }
 
 // NewExecutor initializes parameters (He init for conv/FC weights, ones and
@@ -131,7 +194,10 @@ func NewExecutor(g *graph.Graph, opts Options) *Executor {
 		grads:  map[int][]*tensor.Tensor{},
 		moms:   map[int][]*tensor.Tensor{},
 		rng:    tensor.NewRNG(opts.Seed),
+		tel:    opts.Telemetry,
+		met:    newExecMetrics(opts.Telemetry),
 	}
+	opts.Faults.SetTelemetry(opts.Telemetry)
 	for _, n := range g.Nodes {
 		if len(n.ParamShapes) == 0 {
 			continue
@@ -221,14 +287,15 @@ func (e *Executor) integrity() bool {
 type stashFuture struct {
 	enc     *encoding.EncodedStash
 	node    string
+	tel     *telemetry.Sink
 	started atomic.Bool
 	done    chan struct{}
 	out     *tensor.Tensor
 	err     error
 }
 
-func newStashFuture(enc *encoding.EncodedStash, node string) *stashFuture {
-	return &stashFuture{enc: enc, node: node, done: make(chan struct{})}
+func newStashFuture(enc *encoding.EncodedStash, node string, tel *telemetry.Sink) *stashFuture {
+	return &stashFuture{enc: enc, node: node, tel: tel, done: make(chan struct{})}
 }
 
 // start launches the decode on the pool; only the first call fires.
@@ -244,6 +311,10 @@ func (f *stashFuture) start(p *parallel.Pool) {
 					f.err = fmt.Errorf("stash decode panicked: %v", r)
 				}
 			}()
+			// Root span on its own track: concurrent futures land on
+			// separate tracks, so the trace shows the decode overlap.
+			sp := f.tel.Begin("train", "async-decode", telemetry.Str("stash", f.node))
+			defer sp.End()
 			f.out, f.err = f.enc.Decode()
 		})
 	}
@@ -285,12 +356,17 @@ func decodePool() *parallel.Pool {
 func (e *Executor) prepareStashes() error {
 	e.StashBytes = 0
 	inj := e.opts.Faults
+	var mem *memAccum
+	if e.tel != nil {
+		mem = &memAccum{byTech: map[string]*telemetry.TechBytes{}}
+	}
 	for _, n := range e.G.Nodes {
 		out := e.outs[n.ID]
 		if e.opts.Encodings != nil {
 			if as := e.opts.Encodings.ByNode[n.ID]; as != nil {
 				if err := inj.FailEncode(n.Name); err != nil {
 					e.Robust.EncodeFailures++
+					e.met.injEncode.Inc()
 					return err
 				}
 				enc, fellBack, err := encoding.EncodeStashAdaptive(as, out)
@@ -299,13 +375,16 @@ func (e *Executor) prepareStashes() error {
 				}
 				if fellBack {
 					e.Robust.SSDCFallbacks++
+					e.met.ssdcFallbacks.Inc()
 				}
 				if err := inj.Alloc(n.Name, enc.Bytes()); err != nil {
 					e.Robust.AllocFailures++
+					e.met.injAlloc.Inc()
 					return err
 				}
 				if err := inj.FailDecode(n.Name); err != nil {
 					e.Robust.DecodeFailures++
+					e.met.injDecode.Inc()
 					return err
 				}
 				if e.integrity() {
@@ -313,16 +392,18 @@ func (e *Executor) prepareStashes() error {
 				}
 				inj.CorruptStash(n.Name, enc)
 				e.StashBytes += enc.Bytes()
+				mem.add(enc.Tech.String(), out.Bytes(), enc.Bytes())
 				if e.asyncDecode() {
 					// Defer the decode: the backward pass starts it one
 					// layer before the consumer needs it.
-					e.futures[n.ID] = newStashFuture(enc, n.Name)
+					e.futures[n.ID] = newStashFuture(enc, n.Name, e.tel)
 					continue
 				}
 				dec, err := enc.Decode()
 				if err != nil {
 					if errors.Is(err, encoding.ErrCorruptStash) {
 						e.Robust.CRCFailures++
+						e.noteCorrupt(err)
 					}
 					return fmt.Errorf("train: stash %q: %w", n.Name, err)
 				}
@@ -333,16 +414,70 @@ func (e *Executor) prepareStashes() error {
 		if e.opts.Mode == DelayedReduced && stashedForBackward(e, n) {
 			q := out.Clone()
 			floatenc.QuantizeSlice(e.opts.Format, q.Data)
-			e.StashBytes += e.opts.Format.PackedBytes(len(q.Data))
+			held := e.opts.Format.PackedBytes(len(q.Data))
+			e.StashBytes += held
+			mem.add("DPR", out.Bytes(), held)
 			e.stash[n.ID] = q
 			continue
 		}
 		if stashedForBackward(e, n) {
 			e.StashBytes += out.Bytes()
+			mem.add("FP32", out.Bytes(), out.Bytes())
 		}
 		e.stash[n.ID] = out
 	}
+	if mem != nil {
+		e.tel.RecordMemSample(mem.sample(e.stepCount))
+		e.met.stashHeld.Observe(mem.held)
+	}
 	return nil
+}
+
+// memAccum accumulates one step's stash-memory sample while stashes build.
+// The nil accumulator (uninstrumented run) discards everything.
+type memAccum struct {
+	raw, held int64
+	byTech    map[string]*telemetry.TechBytes
+}
+
+func (m *memAccum) add(tech string, raw, held int64) {
+	if m == nil {
+		return
+	}
+	m.raw += raw
+	m.held += held
+	tb := m.byTech[tech]
+	if tb == nil {
+		tb = &telemetry.TechBytes{Tech: tech}
+		m.byTech[tech] = tb
+	}
+	tb.RawBytes += raw
+	tb.HeldBytes += held
+}
+
+// sample freezes the accumulator into a MemSample with deterministically
+// ordered technique rows.
+func (m *memAccum) sample(step int) telemetry.MemSample {
+	sm := telemetry.MemSample{Step: step, RawBytes: m.raw, HeldBytes: m.held}
+	techs := make([]string, 0, len(m.byTech))
+	for t := range m.byTech {
+		techs = append(techs, t)
+	}
+	sort.Strings(techs)
+	for _, t := range techs {
+		sm.ByTech = append(sm.ByTech, *m.byTech[t])
+	}
+	return sm
+}
+
+// noteCorrupt mirrors one CRC detection into the sink, recording whether
+// the error localized the corruption to a chunk.
+func (e *Executor) noteCorrupt(err error) {
+	e.met.crcDetected.Inc()
+	if chunk, ok := encoding.CorruptedChunk(err); ok {
+		e.met.chunkLocated.Inc()
+		e.tel.Instant("train", "crc-chunk-located", telemetry.Int("chunk", int64(chunk)))
+	}
 }
 
 // stashedForBackward reports whether n's output has a backward reader,
@@ -366,7 +501,17 @@ func stashedForBackward(e *Executor, n *graph.Node) bool {
 // Gradients are identical to the synchronous pass — decode is bit-exact
 // regardless of scheduling — which the parallel executor tests pin.
 func (e *Executor) Backward() error {
-	if err := e.prepareStashes(); err != nil {
+	encSpan := e.stepSpan.Begin("train", "encode-stashes")
+	var t0 time.Time
+	if e.tel != nil {
+		t0 = time.Now()
+	}
+	err := e.prepareStashes()
+	if e.tel != nil {
+		e.met.encodeNS.Observe(time.Since(t0).Nanoseconds())
+	}
+	encSpan.End()
+	if err != nil {
 		return err
 	}
 	pool := decodePool()
@@ -455,6 +600,24 @@ func (e *Executor) prefetch(p *parallel.Pool, n *graph.Node) {
 // caching) the async decode when one is in flight.
 func (e *Executor) stashOf(p *parallel.Pool, id int) (*tensor.Tensor, error) {
 	if f := e.futures[id]; f != nil {
+		if e.tel != nil {
+			// Overlap accounting: a hit means the prefetched decode already
+			// resolved when its consumer arrived; a miss means the consumer
+			// had to wait on (or itself start) the decode.
+			resolved := false
+			if f.started.Load() {
+				select {
+				case <-f.done:
+					resolved = true
+				default:
+				}
+			}
+			if resolved {
+				e.met.overlapHits.Inc()
+			} else {
+				e.met.overlapMiss.Inc()
+			}
+		}
 		out, err := f.wait(p)
 		if err != nil {
 			return nil, fmt.Errorf("train: stash %q: %w", f.node, err)
@@ -471,7 +634,10 @@ func (e *Executor) stashOf(p *parallel.Pool, id int) (*tensor.Tensor, error) {
 func (e *Executor) failBackward(err error) error {
 	if errors.Is(err, encoding.ErrCorruptStash) {
 		e.Robust.CRCFailures++
+		e.noteCorrupt(err)
 	}
+	e.met.gradZero.Inc()
+	e.tel.Instant("train", "grad-zeroing", telemetry.Str("cause", err.Error()))
 	for _, gs := range e.grads {
 		for _, g := range gs {
 			g.Zero()
@@ -552,15 +718,64 @@ func (e *Executor) lossNode() *graph.Node {
 // bit-exact replay. Fault-injected runs must use TryStep
 // (or RunRecoverable, which wraps it with snapshot/retry/backoff).
 func (e *Executor) TryStep(input *tensor.Tensor, labels []int, lr float32) (loss float64, errs int, err error) {
+	e.stepCount++
+	instrumented := e.tel != nil
+	var start time.Time
+	if instrumented {
+		start = time.Now()
+		e.stepSpan = e.tel.Begin("train", "step", telemetry.Int("step", int64(e.stepCount)))
+		defer func() {
+			e.met.steps.Inc()
+			if err != nil {
+				e.met.stepFailures.Inc()
+			}
+			e.met.stepNS.Observe(time.Since(start).Nanoseconds())
+			e.stepSpan.End()
+			e.stepSpan = nil
+		}()
+	}
+
+	fwd := e.stepSpan.Begin("train", "forward")
+	var t time.Time
+	if instrumented {
+		t = time.Now()
+	}
 	e.Forward(input, labels, true)
+	if instrumented {
+		e.met.forwardNS.Observe(time.Since(t).Nanoseconds())
+	}
+	fwd.End()
 	loss, errs = e.lossOf(labels)
-	if err := e.Backward(); err != nil {
-		return loss, errs, err
+
+	bwd := e.stepSpan.Begin("train", "backward")
+	if instrumented {
+		t = time.Now()
+	}
+	berr := e.Backward()
+	if instrumented {
+		e.met.backwardNS.Observe(time.Since(t).Nanoseconds())
+	}
+	bwd.End()
+	if berr != nil {
+		return loss, errs, berr
+	}
+
+	sgd := e.stepSpan.Begin("train", "sgd")
+	if instrumented {
+		t = time.Now()
 	}
 	e.ClipGradNorm(5)
 	e.SGD(lr, 0.9, 1e-4)
+	if instrumented {
+		e.met.sgdNS.Observe(time.Since(t).Nanoseconds())
+	}
+	sgd.End()
 	return loss, errs, nil
 }
+
+// Telemetry returns the sink the executor reports to (nil when
+// uninstrumented).
+func (e *Executor) Telemetry() *telemetry.Sink { return e.tel }
 
 // Step runs forward, backward and an SGD update on one minibatch and
 // returns the minibatch loss and top-1 error count. Without fault

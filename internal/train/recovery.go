@@ -188,6 +188,14 @@ func RunRecoverable(e *Executor, d *Dataset, cfg RunConfig, rcfg RecoveryConfig)
 	report := &RecoveryReport{}
 	inj := e.opts.Faults
 
+	// Recovery-loop instruments (nil, hence free, when the executor carries
+	// no sink). They mirror the report's counters one-for-one, which the
+	// telemetry cross-check test pins.
+	retriesC := e.tel.Counter("train.retries")
+	recoveredC := e.tel.Counter("train.recovered_steps")
+	ckptSaves := e.tel.Counter("train.checkpoint.saves")
+	ckptFails := e.tel.Counter("train.checkpoint.failures")
+
 	var records []Record
 	windowErrs, windowN := 0, 0
 	var lastLoss float64
@@ -212,6 +220,7 @@ func RunRecoverable(e *Executor, d *Dataset, cfg RunConfig, rcfg RecoveryConfig)
 				report.GaveUpStep = step
 				report.Robust = e.Robust
 				report.FaultCounts = countsOrNil(inj)
+				e.tel.Gauge("train.gave_up_step").Set(int64(step))
 				return records, report, fmt.Errorf("train: step %d failed after %d retries: %w",
 					step, rc.MaxRetries, err)
 			}
@@ -221,10 +230,12 @@ func RunRecoverable(e *Executor, d *Dataset, cfg RunConfig, rcfg RecoveryConfig)
 				backoff = rc.BackoffMax
 			}
 			report.Retries++
+			retriesC.Inc()
 			recovered = true
 		}
 		if recovered {
 			report.RecoveredSteps++
+			recoveredC.Inc()
 		}
 		report.Steps = step
 		good = e.Snapshot()
@@ -250,10 +261,13 @@ func RunRecoverable(e *Executor, d *Dataset, cfg RunConfig, rcfg RecoveryConfig)
 			// exercised; the atomic save catches them before promotion.
 			if err := e.SaveCheckpointFileVia(rc.CheckpointPath, inj.WrapWriter); err != nil {
 				report.CheckpointFailures++
+				ckptFails.Inc()
 			} else {
 				report.CheckpointSaves++
+				ckptSaves.Inc()
 			}
 		}
+		maybeSnapshot(e, cfg, step)
 	}
 	report.Robust = e.Robust
 	report.FaultCounts = countsOrNil(inj)

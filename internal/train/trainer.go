@@ -5,6 +5,8 @@ package train
 // of Figure 14.
 
 import (
+	"io"
+
 	"gist/internal/graph"
 	"gist/internal/tensor"
 )
@@ -32,6 +34,19 @@ type RunConfig struct {
 	ProbeSparsity bool
 	// Seed controls the data stream (weights are seeded by the executor).
 	DataSeed uint64
+	// MetricsEvery, when positive and the executor carries a telemetry
+	// sink, writes a text snapshot to MetricsOut every N steps — a live
+	// view of a long run without waiting for the final dump.
+	MetricsEvery int
+	MetricsOut   io.Writer
+}
+
+// maybeSnapshot writes the executor's telemetry snapshot when the config's
+// periodic dump is due at this step.
+func maybeSnapshot(e *Executor, cfg RunConfig, step int) {
+	if cfg.MetricsEvery > 0 && cfg.MetricsOut != nil && step%cfg.MetricsEvery == 0 {
+		_ = e.tel.WriteSnapshot(cfg.MetricsOut)
+	}
 }
 
 // Run trains the executor's graph on the dataset and returns the probe
@@ -63,6 +78,7 @@ func Run(e *Executor, d *Dataset, cfg RunConfig) []Record {
 			records = append(records, rec)
 			windowErrs, windowN = 0, 0
 		}
+		maybeSnapshot(e, cfg, step)
 	}
 	return records
 }
