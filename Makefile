@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-hot fuzz fuzz-stash bench bench-parallel metrics-bench check
+.PHONY: build test vet race race-hot fuzz fuzz-stash bench bench-parallel metrics-bench allocs check
 
 build:
 	$(GO) build ./...
@@ -47,4 +47,18 @@ metrics-bench:
 	$(GO) test ./internal/telemetry/ -bench BenchmarkTelemetry -benchtime 2s -run TestXXX
 	$(GO) test -bench BenchmarkTrainStep -benchtime 2s -run TestXXX .
 
-check: build vet test race race-hot
+# Allocation gate: the pooled training step must stay within ALLOC_BUDGET
+# allocs/op at steady state (currently 0; the budget leaves headroom for
+# runtime-internal noise). Catches any regression that puts an allocation
+# back on the pooled hot path.
+ALLOC_BUDGET ?= 4
+allocs:
+	@out=$$($(GO) test -run TestXXX -bench 'BenchmarkTrainStep/^gist-pooled$$' -benchtime 50x -benchmem . | tee /dev/stderr); \
+	allocs=$$(printf '%s\n' "$$out" | awk '/gist-pooled/ {for (i=1; i<=NF; i++) if ($$i == "allocs/op") print $$(i-1)}'); \
+	if [ -z "$$allocs" ]; then echo "allocs: no gist-pooled benchmark output"; exit 1; fi; \
+	if [ "$$allocs" -gt "$(ALLOC_BUDGET)" ]; then \
+		echo "allocs: pooled train step allocates $$allocs/op, budget $(ALLOC_BUDGET)"; exit 1; \
+	fi; \
+	echo "allocs: $$allocs/op within budget $(ALLOC_BUDGET)"
+
+check: build vet test race race-hot allocs

@@ -14,6 +14,7 @@ import (
 
 	"gist"
 	"gist/internal/bitpack"
+	"gist/internal/bufpool"
 	"gist/internal/encoding"
 	"gist/internal/experiments"
 	"gist/internal/floatenc"
@@ -337,6 +338,33 @@ func BenchmarkTrainStep(b *testing.B) {
 		encoding.SetDefaultCodec(encoding.Codec{Pool: parallel.NewPool(4)})
 		defer encoding.SetDefaultCodec(encoding.Codec{})
 		run(b, true)
+	})
+	// gist-pooled is the same encoded step drawing every per-step tensor from
+	// a buffer pool. b.ReportAllocs makes the contrast with "gist" visible:
+	// steady state should run within the allocs/op budget enforced by `make
+	// allocs`, and the hit-rate metric should sit near 1.
+	b.Run("gist-pooled", func(b *testing.B) {
+		g := networks.TinyCNN(8, 4)
+		pool := bufpool.New()
+		e := train.NewExecutor(g, train.Options{
+			Seed:      1,
+			Encodings: encoding.Analyze(g, encoding.LossyLossless(floatenc.FP16)),
+			Pool:      pool,
+		})
+		d := train.NewDataset(4, 3, 16, 0.4, 2)
+		x, labels := d.Batch(8)
+		// Warm the free lists so b.N=1 runs don't report the first-step
+		// misses as the steady state.
+		for i := 0; i < 3; i++ {
+			e.Step(x, labels, 0.01)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Step(x, labels, 0.01)
+		}
+		b.StopTimer()
+		b.ReportMetric(pool.Stats().HitRate(), "pool-hit-rate")
 	})
 	// gist-telemetry runs the same encoded step with a live sink attached and
 	// reports the memory story alongside ns/op: stash bytes held per step and

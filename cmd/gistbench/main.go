@@ -18,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"gist/internal/bufpool"
 	"gist/internal/encoding"
 	"gist/internal/experiments"
 	"gist/internal/parallel"
@@ -29,6 +30,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 	par := flag.Int("parallel", 0, "encode/decode worker count (0 = GOMAXPROCS, 1 = serial)")
+	usePool := flag.Bool("pool", false, "recycle the training-based experiments' per-step tensors through the shared buffer pool (byte-identical results)")
 	traceOut := flag.String("trace-out", "", "write Chrome trace_event JSON here at exit (codec + worker-pool activity of the training-based experiments)")
 	metricsOut := flag.String("metrics-out", "", "write a text telemetry snapshot here at exit")
 	flag.Parse()
@@ -37,6 +39,9 @@ func main() {
 	// runs through the shared worker pool; results are bit-identical at
 	// every worker count.
 	parallel.SetSharedWorkers(*par)
+	if *usePool {
+		experiments.SetTrainingPool(bufpool.Shared())
+	}
 
 	// Either telemetry flag instruments the process-wide worker pool and
 	// codec; the default stays the zero-overhead nil sink.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"gist/internal/bufpool"
 	"gist/internal/encoding"
 	"gist/internal/experiments"
 	"gist/internal/parallel"
@@ -29,6 +30,7 @@ func main() {
 	minibatch := flag.Int("mb", 0, "minibatch size (0 = default)")
 	seed := flag.Uint64("seed", 0, "RNG seed (0 = default)")
 	par := flag.Int("parallel", 0, "encode/decode worker count (0 = GOMAXPROCS, 1 = serial)")
+	usePool := flag.Bool("pool", false, "recycle per-step tensors through the shared buffer pool (byte-identical results, near-zero steady-state allocation)")
 
 	// Fault-injection flags (robust experiment).
 	bitflip := flag.Float64("bitflip", -1, "per-stash bit-flip probability (robust; <0 = default)")
@@ -53,6 +55,9 @@ func main() {
 	// backs every codec chunk and the executor's decode overlap. Output is
 	// bit-identical at every worker count.
 	parallel.SetSharedWorkers(*par)
+	if *usePool {
+		experiments.SetTrainingPool(bufpool.Shared())
+	}
 
 	var sink *telemetry.Sink
 	var metricsFile *os.File

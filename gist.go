@@ -123,4 +123,9 @@ var (
 	ResNet50 = networks.ResNet50
 	// ResNetCIFAR builds the CIFAR residual network of depth ~6n+2.
 	ResNetCIFAR = networks.ResNetCIFAR
+	// TinyCNN builds a small conv net over 16x16 images that trains in
+	// seconds — the quickstart and benchmark workload.
+	TinyCNN = networks.TinyCNN
+	// TinyVGG builds a reduced VGG-shaped network over 32x32 images.
+	TinyVGG = networks.TinyVGG
 )

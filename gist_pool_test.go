@@ -1,0 +1,64 @@
+package gist_test
+
+import (
+	"sync"
+	"testing"
+
+	"gist"
+)
+
+// TestConcurrentPooledTrainers runs two pooled trainers concurrently on the
+// process-shared buffer pool and checks each one's training trajectory is
+// bit-identical to a solo unpooled reference. Under -race this doubles as
+// the facade-level data-race check for the pool's cross-trainer recycling
+// (each trainer constantly frees buffers the other may pick up).
+func TestConcurrentPooledTrainers(t *testing.T) {
+	const steps = 12
+
+	run := func(opts ...gist.TrainerOption) []float64 {
+		all := append([]gist.TrainerOption{
+			gist.WithEncodings(gist.LossyLossless(gist.FP16)),
+			gist.WithSeed(3),
+		}, opts...)
+		tr := gist.NewTrainer(gist.TinyCNN(8, 4), all...)
+		d := gist.NewDataset(4, 3, 16, 0.4, 5)
+		losses := make([]float64, steps)
+		for i := range losses {
+			x, labels := d.Batch(8)
+			loss, _, err := tr.Step(x, labels, 0.05)
+			if err != nil {
+				t.Errorf("step %d: %v", i, err)
+				return nil
+			}
+			losses[i] = loss
+		}
+		return losses
+	}
+
+	want := run() // unpooled reference
+
+	var wg sync.WaitGroup
+	got := make([][]float64, 2)
+	for r := range got {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			got[r] = run(gist.WithPooling()) // shared pool by default
+		}(r)
+	}
+	wg.Wait()
+
+	for r, losses := range got {
+		if losses == nil {
+			t.Fatalf("trainer %d failed", r)
+		}
+		for i, l := range losses {
+			if l != want[i] {
+				t.Fatalf("trainer %d step %d: pooled loss %v != unpooled %v", r, i, l, want[i])
+			}
+		}
+	}
+	if s := gist.SharedBufferPool().Stats(); s.Hits == 0 {
+		t.Fatalf("shared pool saw no hits: %+v", s)
+	}
+}

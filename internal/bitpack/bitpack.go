@@ -38,6 +38,21 @@ func MaskFromWords(n int, words []uint64) *BitMask {
 	return &BitMask{n: n, words: words}
 }
 
+// Reset resizes the mask to n bits, all false, reusing the backing words
+// when their capacity allows. It restores exactly the state NewBitMask
+// returns, so pooled encode paths can rebuild a mask in place instead of
+// allocating one per step.
+func (m *BitMask) Reset(n int) {
+	nw := (n + 63) / 64
+	if cap(m.words) < nw {
+		m.words = make([]uint64, nw)
+	} else {
+		m.words = m.words[:nw]
+		clear(m.words)
+	}
+	m.n = n
+}
+
 // FillPositiveRange is the chunk-range Binarize kernel: it sets bit i for
 // every i in [start, end) where xs[i] > 0. The mask words touched must be
 // all-zero beforehand (as NewBitMask leaves them), and for parallel chunks
@@ -143,6 +158,20 @@ type NibbleArray struct {
 // NewNibbleArray allocates an all-zero array of n nibbles.
 func NewNibbleArray(n int) *NibbleArray {
 	return &NibbleArray{n: n, words: make([]uint32, (n+7)/8)}
+}
+
+// Reset resizes the array to n nibbles, all zero, reusing the backing words
+// when their capacity allows — the in-place counterpart of NewNibbleArray
+// for per-step scratch like the MaxPool argmax map.
+func (a *NibbleArray) Reset(n int) {
+	nw := (n + 7) / 8
+	if cap(a.words) < nw {
+		a.words = make([]uint32, nw)
+	} else {
+		a.words = a.words[:nw]
+		clear(a.words)
+	}
+	a.n = n
 }
 
 // Len returns the number of nibbles.

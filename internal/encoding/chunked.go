@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gist/internal/bitpack"
+	"gist/internal/bufpool"
 	"gist/internal/floatenc"
 	"gist/internal/parallel"
 	"gist/internal/sparse"
@@ -55,6 +56,11 @@ type Codec struct {
 	// codec call plus per-chunk worker spans. The nil default adds only a
 	// nil check per call.
 	Tel *telemetry.Sink
+	// Buf, when non-nil, supplies the codec's transient scratch buffers
+	// (the SSDC quantize copy) from the buffer pool instead of the heap;
+	// the scratch is recycled as soon as the encoded form is built. The
+	// nil default keeps the allocate-always behavior.
+	Buf *bufpool.Pool
 }
 
 // defaultCodec holds the process-wide codec override set by SetDefaultCodec.
@@ -80,6 +86,12 @@ func SetDefaultCodec(c Codec) {
 // Workers reports the codec's worker-pool size.
 func (cdc Codec) Workers() int { return cdc.pool().Workers() }
 
+// WorkerPool returns the parallel pool the codec runs chunk work on (the
+// shared pool when none is configured). The executor schedules its async
+// decode futures on this pool, so decode work and chunk kernels share one
+// worker budget instead of reaching through a package singleton.
+func (cdc Codec) WorkerPool() *parallel.Pool { return cdc.pool() }
+
 func (cdc Codec) pool() *parallel.Pool {
 	if cdc.Pool != nil {
 		return cdc.Pool
@@ -99,6 +111,24 @@ func normalizeChunkElems(ce int) int {
 }
 
 func (cdc Codec) chunkElems() int { return normalizeChunkElems(cdc.ChunkElems) }
+
+// serialChunks reports whether an n-element kernel should iterate its
+// chunks inline on the caller's goroutine — a serial codec, or a payload
+// that fits one chunk — and, when so, accounts them to the codec.chunks
+// counter on behalf of the caller's loop. The inline loop exists for the
+// pooled zero-alloc step: dispatching through forChunks costs one closure
+// allocation per kernel, which the hot path cannot afford; per-chunk trace
+// spans force the forChunks path so the trace still shows every chunk.
+func (cdc Codec) serialChunks(n int) (ce int, serial bool) {
+	ce = cdc.chunkElems()
+	if n > ce && (cdc.pool().Workers() > 1 || cdc.Tel.TracingEnabled()) {
+		return ce, false
+	}
+	if n > 0 {
+		cdc.Tel.Counter("codec.chunks").Add(int64((n + ce - 1) / ce))
+	}
+	return ce, true
+}
 
 // forChunks partitions [0, n) into aligned chunks and runs fn over them on
 // the pool (inline when a single chunk suffices).
@@ -147,19 +177,61 @@ func (cdc Codec) EncodeStash(as *Assignment, t *tensor.Tensor) (*EncodedStash, e
 }
 
 func (cdc Codec) encodeStash(as *Assignment, t *tensor.Tensor) (*EncodedStash, error) {
-	e := &EncodedStash{Tech: as.Tech, Shape: t.Shape.Clone(), ChunkElems: cdc.chunkElems()}
+	e := &EncodedStash{}
+	if err := cdc.encodeStashInto(e, as, t); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// EncodeStashInto is EncodeStash building into a caller-owned container:
+// the stash's mask / CSR / packed payloads are rebuilt in place, reusing
+// their backing arrays when capacity allows, and any seal state is cleared.
+// The pooled executor keeps one container per stashing node and re-encodes
+// into it every step, so the encode path stops allocating entirely once the
+// containers reach steady-state size. Output is byte-identical to
+// EncodeStash. On error the container's contents are unspecified; reusing
+// it for the next encode remains valid.
+func (cdc Codec) EncodeStashInto(e *EncodedStash, as *Assignment, t *tensor.Tensor) error {
+	if cdc.Tel == nil {
+		return cdc.encodeStashInto(e, as, t)
+	}
+	start := time.Now()
+	err := cdc.encodeStashInto(e, as, t)
+	var held int64
+	if err == nil {
+		held = e.Bytes()
+	}
+	cdc.observe("encode", as.Tech, start, held, err)
+	return err
+}
+
+func (cdc Codec) encodeStashInto(e *EncodedStash, as *Assignment, t *tensor.Tensor) error {
+	e.Tech = as.Tech
+	e.Shape = append(e.Shape[:0], t.Shape...)
+	e.ChunkElems = cdc.chunkElems()
+	e.Checksum, e.ChunkCRCs, e.sealed = 0, nil, false
 	switch as.Tech {
 	case Binarize:
-		e.Mask = cdc.fromPositive(t.Data)
+		e.Mask = cdc.fromPositiveInto(e.Mask, t.Data)
 	case SSDC:
 		// Sparse storage; DPR layered on the value array when configured.
 		// Quantizing before CSR encoding preserves the zero pattern
 		// exactly (quantization maps 0 to 0).
 		data := t.Data
+		pooledScratch := false
 		if as.Format != floatenc.FP32 {
 			data = cdc.quantizedCopy(as.Format, t.Data)
+			pooledScratch = cdc.Buf != nil
 		}
-		e.CSR = cdc.encodeCSR(data)
+		if e.CSR == nil {
+			e.CSR = &sparse.CSR{}
+		}
+		sparse.EncodeCSRChunkedInto(e.CSR, data, cdc.pool(), cdc.chunkElems()/sparse.NarrowCols)
+		if pooledScratch {
+			// The quantize scratch dies the moment the CSR exists.
+			cdc.Buf.RecycleSlice(data)
+		}
 		// Compare against the dense DPR alternative using the same cost
 		// model as the static analysis (ssdcBytes): when DPR is layered on
 		// SSDC the CSR value array would also shrink to the packed width, so
@@ -170,34 +242,43 @@ func (cdc Codec) encodeStash(as *Assignment, t *tensor.Tensor) (*EncodedStash, e
 			effective -= nnz*4 - as.Format.PackedBytes(int(nnz))
 		}
 		if dense := as.Format.PackedBytes(len(t.Data)); effective >= dense {
-			return nil, fmt.Errorf("%w: CSR %d bytes >= dense %s %d bytes (nnz %d/%d)",
-				ErrStashTooLarge, effective, as.Format, dense, e.CSR.NNZ(), len(t.Data))
+			// A static error, not fmt.Errorf with the sizes: the adaptive
+			// encoder hits this on every step a stash stays dense, and the
+			// pooled hot path cannot afford an allocation per fallback.
+			return errCSRLargerThanDense
 		}
 	case DPR:
-		e.Packed = cdc.encodePacked(as.Format, t.Data)
+		e.Packed = cdc.encodePackedInto(e.Packed, as.Format, t.Data)
 	default:
-		return nil, fmt.Errorf("%w (technique %v)", ErrNoTechnique, as.Tech)
+		return fmt.Errorf("%w (technique %v)", ErrNoTechnique, as.Tech)
 	}
-	return e, nil
+	return nil
 }
 
 // EncodeDense builds the dense fallback stash chunk-parallel; see the
 // package-level EncodeDense.
 func (cdc Codec) EncodeDense(f floatenc.Format, t *tensor.Tensor) *EncodedStash {
+	e := &EncodedStash{}
+	cdc.EncodeDenseInto(e, f, t)
+	return e
+}
+
+// EncodeDenseInto is EncodeDense building into a caller-owned container,
+// reusing its packed backing array when capacity allows (the in-place
+// counterpart the pooled executor and the adaptive fallback use).
+func (cdc Codec) EncodeDenseInto(e *EncodedStash, f floatenc.Format, t *tensor.Tensor) {
 	var start time.Time
 	if cdc.Tel != nil {
 		start = time.Now()
 	}
-	e := &EncodedStash{
-		Tech:       DPR,
-		Shape:      t.Shape.Clone(),
-		ChunkElems: cdc.chunkElems(),
-		Packed:     cdc.encodePacked(f, t.Data),
-	}
+	e.Tech = DPR
+	e.Shape = append(e.Shape[:0], t.Shape...)
+	e.ChunkElems = cdc.chunkElems()
+	e.Checksum, e.ChunkCRCs, e.sealed = 0, nil, false
+	e.Packed = cdc.encodePackedInto(e.Packed, f, t.Data)
 	if cdc.Tel != nil {
 		cdc.observe("encode", DPR, start, e.Bytes(), nil)
 	}
-	return e
 }
 
 // observe records one codec operation: latency histogram, call and byte
@@ -227,40 +308,84 @@ func (cdc Codec) EncodeStashAdaptive(as *Assignment, t *tensor.Tensor) (e *Encod
 	return e, false, err
 }
 
-// fromPositive builds the Binarize mask chunk-parallel: each chunk owns
-// whole 64-bit words (chunk boundaries are 768-aligned).
-func (cdc Codec) fromPositive(xs []float32) *bitpack.BitMask {
-	m := bitpack.NewBitMask(len(xs))
-	cdc.forChunks(len(xs), func(lo, hi int) {
-		m.FillPositiveRange(xs, lo, hi)
-	})
+// EncodeStashAdaptiveInto is EncodeStashAdaptive building into a
+// caller-owned container: an SSDC encode whose runtime CSR form is larger
+// than its dense DPR alternative is rebuilt in the same container as the
+// dense encoding.
+func (cdc Codec) EncodeStashAdaptiveInto(e *EncodedStash, as *Assignment, t *tensor.Tensor) (fellBack bool, err error) {
+	err = cdc.EncodeStashInto(e, as, t)
+	if errors.Is(err, ErrStashTooLarge) {
+		cdc.Tel.Counter("codec.encode.fallbacks").Inc()
+		cdc.EncodeDenseInto(e, as.Format, t)
+		return true, nil
+	}
+	return false, err
+}
+
+// fromPositiveInto builds the Binarize mask chunk-parallel into m (a nil m
+// allocates a fresh one): each chunk owns whole 64-bit words (chunk
+// boundaries are 768-aligned).
+func (cdc Codec) fromPositiveInto(m *bitpack.BitMask, xs []float32) *bitpack.BitMask {
+	if m == nil {
+		m = bitpack.NewBitMask(len(xs))
+	} else {
+		m.Reset(len(xs))
+	}
+	if ce, serial := cdc.serialChunks(len(xs)); serial {
+		for lo := 0; lo < len(xs); lo += ce {
+			m.FillPositiveRange(xs, lo, min(lo+ce, len(xs)))
+		}
+	} else {
+		cdc.forChunks(len(xs), func(lo, hi int) {
+			m.FillPositiveRange(xs, lo, hi)
+		})
+	}
 	return m
 }
 
 // quantizedCopy copies and DPR-quantizes xs chunk-parallel, for the SSDC
-// value-array reduction.
+// value-array reduction. The scratch comes from Buf when one is configured
+// (the caller recycles it after the CSR is built) and the heap otherwise.
 func (cdc Codec) quantizedCopy(f floatenc.Format, xs []float32) []float32 {
-	dst := make([]float32, len(xs))
-	cdc.forChunks(len(xs), func(lo, hi int) {
-		copy(dst[lo:hi], xs[lo:hi])
-		floatenc.QuantizeSlice(f, dst[lo:hi])
-	})
+	var dst []float32
+	if cdc.Buf != nil {
+		dst = cdc.Buf.GetSlice(len(xs))
+	} else {
+		dst = make([]float32, len(xs))
+	}
+	if ce, serial := cdc.serialChunks(len(xs)); serial {
+		for lo := 0; lo < len(xs); lo += ce {
+			hi := min(lo+ce, len(xs))
+			copy(dst[lo:hi], xs[lo:hi])
+			floatenc.QuantizeSlice(f, dst[lo:hi])
+		}
+	} else {
+		cdc.forChunks(len(xs), func(lo, hi int) {
+			copy(dst[lo:hi], xs[lo:hi])
+			floatenc.QuantizeSlice(f, dst[lo:hi])
+		})
+	}
 	return dst
 }
 
-// encodeCSR builds the narrow CSR chunk-parallel over row ranges.
-func (cdc Codec) encodeCSR(xs []float32) *sparse.CSR {
-	return sparse.EncodeCSRChunked(xs, cdc.pool(), cdc.chunkElems()/sparse.NarrowCols)
-}
-
-// encodePacked packs xs at the DPR format chunk-parallel: each chunk owns
-// whole storage words (chunk boundaries are 768-aligned, a multiple of
-// every values-per-word packing).
-func (cdc Codec) encodePacked(f floatenc.Format, xs []float32) *floatenc.Packed {
-	p := floatenc.NewPacked(f, len(xs))
-	cdc.forChunks(len(xs), func(lo, hi int) {
-		p.EncodeRange(xs, lo, hi)
-	})
+// encodePackedInto packs xs at the DPR format chunk-parallel into p (a nil
+// p allocates a fresh one): each chunk owns whole storage words (chunk
+// boundaries are 768-aligned, a multiple of every values-per-word packing).
+func (cdc Codec) encodePackedInto(p *floatenc.Packed, f floatenc.Format, xs []float32) *floatenc.Packed {
+	if p == nil {
+		p = floatenc.NewPacked(f, len(xs))
+	} else {
+		p.Reset(f, len(xs))
+	}
+	if ce, serial := cdc.serialChunks(len(xs)); serial {
+		for lo := 0; lo < len(xs); lo += ce {
+			p.EncodeRange(xs, lo, min(lo+ce, len(xs)))
+		}
+	} else {
+		cdc.forChunks(len(xs), func(lo, hi int) {
+			p.EncodeRange(xs, lo, hi)
+		})
+	}
 	return p
 }
 
@@ -283,46 +408,88 @@ func (cdc Codec) Decode(e *EncodedStash) (*tensor.Tensor, error) {
 	return out, err
 }
 
+// DecodeInto is Decode writing into a caller-provided destination tensor of
+// the stash's shape — the pooled executor pre-allocates the decode target
+// from its buffer pool and owns it through the async-decode handoff. Every
+// element of dst is overwritten (decode kernels fully cover the payload),
+// so a recycled buffer needs no pre-clearing. On error dst's contents are
+// unspecified. Output is identical to Decode.
+func (cdc Codec) DecodeInto(dst *tensor.Tensor, e *EncodedStash) error {
+	if cdc.Tel == nil {
+		return cdc.decodeInto(dst, e)
+	}
+	start := time.Now()
+	err := cdc.decodeInto(dst, e)
+	var raw int64
+	if err == nil {
+		raw = dst.Bytes()
+	}
+	cdc.observe("decode", e.Tech, start, raw, err)
+	return err
+}
+
 func (cdc Codec) decode(e *EncodedStash) (*tensor.Tensor, error) {
-	if err := cdc.Verify(e); err != nil {
+	out := tensor.New(e.Shape...)
+	if err := cdc.decodeInto(out, e); err != nil {
 		return nil, err
 	}
-	out := tensor.New(e.Shape...)
+	return out, nil
+}
+
+func (cdc Codec) decodeInto(out *tensor.Tensor, e *EncodedStash) error {
+	if err := cdc.Verify(e); err != nil {
+		return err
+	}
+	if !out.Shape.Equal(e.Shape) {
+		return fmt.Errorf("%w: destination shape %v, stash shape %v", ErrShapeMismatch, out.Shape, e.Shape)
+	}
 	switch e.Tech {
 	case Binarize:
 		if e.Mask == nil || e.Mask.Len() != len(out.Data) {
-			return nil, fmt.Errorf("%w: mask %d bits, shape %v", ErrShapeMismatch, maskBits(e.Mask), e.Shape)
+			return fmt.Errorf("%w: mask %d bits, shape %v", ErrShapeMismatch, maskBits(e.Mask), e.Shape)
 		}
-		cdc.forChunks(len(out.Data), func(lo, hi int) {
-			e.Mask.ExpandRange(out.Data, lo, hi)
-		})
+		if ce, serial := cdc.serialChunks(len(out.Data)); serial {
+			for lo := 0; lo < len(out.Data); lo += ce {
+				e.Mask.ExpandRange(out.Data, lo, min(lo+ce, len(out.Data)))
+			}
+		} else {
+			cdc.forChunks(len(out.Data), func(lo, hi int) {
+				e.Mask.ExpandRange(out.Data, lo, hi)
+			})
+		}
 	case SSDC:
 		if e.CSR == nil || e.CSR.N != len(out.Data) {
-			return nil, fmt.Errorf("%w: CSR over %d elements, shape %v", ErrShapeMismatch, csrN(e.CSR), e.Shape)
+			return fmt.Errorf("%w: CSR over %d elements, shape %v", ErrShapeMismatch, csrN(e.CSR), e.Shape)
 		}
 		if err := e.CSR.Validate(); err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrCorruptStash, err)
+			return fmt.Errorf("%w: %v", ErrCorruptStash, err)
 		}
 		e.CSR.DecodeChunked(out.Data, cdc.pool(), cdc.chunkElems()/e.CSR.Cols)
 	case DPR:
 		if e.Packed == nil || e.Packed.N != len(out.Data) {
-			return nil, fmt.Errorf("%w: packed %d elements, shape %v", ErrShapeMismatch, packedN(e.Packed), e.Shape)
+			return fmt.Errorf("%w: packed %d elements, shape %v", ErrShapeMismatch, packedN(e.Packed), e.Shape)
 		}
 		vpw, ok := packedValuesPerWord(e.Packed.Format)
 		if !ok {
-			return nil, fmt.Errorf("%w: unknown packed format %d", ErrCorruptStash, int(e.Packed.Format))
+			return fmt.Errorf("%w: unknown packed format %d", ErrCorruptStash, int(e.Packed.Format))
 		}
 		if len(e.Packed.Words) != (e.Packed.N+vpw-1)/vpw {
-			return nil, fmt.Errorf("%w: %d packed words for %d %s values",
+			return fmt.Errorf("%w: %d packed words for %d %s values",
 				ErrCorruptStash, len(e.Packed.Words), e.Packed.N, e.Packed.Format)
 		}
-		cdc.forChunks(len(out.Data), func(lo, hi int) {
-			e.Packed.DecodeRange(out.Data, lo, hi)
-		})
+		if ce, serial := cdc.serialChunks(len(out.Data)); serial {
+			for lo := 0; lo < len(out.Data); lo += ce {
+				e.Packed.DecodeRange(out.Data, lo, min(lo+ce, len(out.Data)))
+			}
+		} else {
+			cdc.forChunks(len(out.Data), func(lo, hi int) {
+				e.Packed.DecodeRange(out.Data, lo, hi)
+			})
+		}
 	default:
-		return nil, fmt.Errorf("%w (technique %v)", ErrNoTechnique, e.Tech)
+		return fmt.Errorf("%w (technique %v)", ErrNoTechnique, e.Tech)
 	}
-	return out, nil
+	return nil
 }
 
 // nil-tolerant accessors for error messages on malformed stashes.

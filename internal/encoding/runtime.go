@@ -31,6 +31,11 @@ var (
 	// ErrShapeMismatch reports an encoded payload whose element count does
 	// not match the stash's recorded shape.
 	ErrShapeMismatch = errors.New("encoding: stash payload does not match shape")
+
+	// errCSRLargerThanDense is the pre-wrapped cost-check failure returned
+	// by the SSDC encoder; static because the adaptive path takes it on
+	// every step a low-sparsity stash stays dense.
+	errCSRLargerThanDense = fmt.Errorf("%w: runtime CSR form not below the dense DPR cost", ErrStashTooLarge)
 )
 
 // EncodedStash is a materialized encoded representation of a stashed

@@ -13,6 +13,7 @@ import (
 	"io"
 	"time"
 
+	"gist/internal/bufpool"
 	"gist/internal/encoding"
 	"gist/internal/faults"
 	"gist/internal/floatenc"
@@ -49,6 +50,10 @@ type RobustScale struct {
 	// snapshot to MetricsOut every N steps during the run.
 	MetricsEvery int
 	MetricsOut   io.Writer
+	// Pool, when non-nil, pools the run's per-step tensors — the recovery
+	// loop's retries then recycle the failed step's buffers instead of
+	// leaking them to the collector.
+	Pool *bufpool.Pool
 }
 
 // DefaultRobustScale injects a fault roughly every other step and finishes
@@ -63,6 +68,7 @@ func DefaultRobustScale() RobustScale {
 			DecodeFailRate: 0.01,
 		},
 		MaxRetries: 25,
+		Pool:       trainingPool,
 	}
 }
 
@@ -75,7 +81,7 @@ func Robust(s RobustScale) *Result {
 	g := networks.TinyCNN(s.Minibatch, s.Classes)
 	a := encoding.Analyze(g, encoding.LossyLossless(floatenc.FP16))
 	inj := faults.New(s.Faults)
-	e := train.NewExecutor(g, train.Options{Seed: s.Seed, Encodings: a, Faults: inj, Telemetry: s.Tel})
+	e := train.NewExecutor(g, train.Options{Seed: s.Seed, Encodings: a, Faults: inj, Telemetry: s.Tel, Pool: s.Pool})
 	d := train.NewDataset(s.Classes, 3, 16, s.NoiseStd, s.Seed+1)
 
 	if s.Tel != nil {
@@ -84,6 +90,9 @@ func Robust(s RobustScale) *Result {
 		tl := graph.BuildTimeline(g)
 		plan := memplan.PlanStatic(liveness.Analyze(g, tl, liveness.Options{Analysis: a}))
 		plan.RecordTelemetry(s.Tel, "static")
+		if s.Pool != nil {
+			s.Pool.SetTelemetry(s.Tel)
+		}
 	}
 
 	start := time.Now()

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"gist/internal/bufpool"
 	"gist/internal/floatenc"
 	"gist/internal/graph"
 	"gist/internal/layers"
@@ -17,6 +18,15 @@ import (
 	"gist/internal/sparse"
 	"gist/internal/train"
 )
+
+// trainingPool, when set, is threaded into the default scales so the
+// zero-argument runners behind Lookup train through a buffer pool. The CLIs'
+// -pool flag sets it; results are byte-identical either way.
+var trainingPool *bufpool.Pool
+
+// SetTrainingPool routes the training-based experiments' per-step tensors
+// through the given pool (nil restores allocate-per-step).
+func SetTrainingPool(p *bufpool.Pool) { trainingPool = p }
 
 // TrainScale sizes the Figure 12 runs.
 type TrainScale struct {
@@ -29,6 +39,9 @@ type TrainScale struct {
 	// ErrorDepth is the conv depth of the forward-error study network.
 	ErrorDepth int
 	Seed       uint64 // base seed (kept for the CLI's -seed flag)
+	// Pool, when non-nil, serves every per-step tensor of the training runs
+	// from its free lists instead of fresh allocations.
+	Pool *bufpool.Pool
 }
 
 // DefaultTrainScale trains in well under a minute on one core.
@@ -36,6 +49,7 @@ func DefaultTrainScale() TrainScale {
 	return TrainScale{
 		Classes: 4, Minibatch: 8, Steps: 200, LR: 0.05, NoiseStd: 0.4,
 		Seeds: []uint64{42, 43}, ErrorDepth: 12, Seed: 42,
+		Pool: trainingPool,
 	}
 }
 
@@ -80,7 +94,7 @@ func Fig12(s TrainScale) *Result {
 		diverged := false
 		for _, seed := range s.Seeds {
 			g := networks.TinyCNN(s.Minibatch, s.Classes)
-			opts := train.Options{Seed: seed}
+			opts := train.Options{Seed: seed, Pool: s.Pool}
 			if c.mode != train.FullPrecision {
 				opts.Mode = c.mode
 				opts.Format = c.format
@@ -213,11 +227,16 @@ type SparsityScale struct {
 	ProbeEvery int
 	LR         float32
 	Seed       uint64
+	// Pool, when non-nil, pools the run's per-step tensors.
+	Pool *bufpool.Pool
 }
 
 // DefaultSparsityScale probes a TinyVGG run every few steps.
 func DefaultSparsityScale() SparsityScale {
-	return SparsityScale{Classes: 4, Minibatch: 8, Steps: 60, ProbeEvery: 10, LR: 0.01, Seed: 7}
+	return SparsityScale{
+		Classes: 4, Minibatch: 8, Steps: 60, ProbeEvery: 10, LR: 0.01, Seed: 7,
+		Pool: trainingPool,
+	}
 }
 
 // Fig14 reproduces the SSDC sensitivity study: per-ReLU-layer narrow-CSR
@@ -227,7 +246,7 @@ func DefaultSparsityScale() SparsityScale {
 func Fig14(s SparsityScale) *Result {
 	r := &Result{ID: "fig14", Title: "SSDC compression ratio per ReLU layer over training (TinyVGG)"}
 	g := networks.TinyVGG(s.Minibatch, s.Classes)
-	e := train.NewExecutor(g, train.Options{Seed: s.Seed})
+	e := train.NewExecutor(g, train.Options{Seed: s.Seed, Pool: s.Pool})
 	d := train.NewDataset(s.Classes, 3, 32, 0.3, s.Seed+1)
 	recs := train.Run(e, d, train.RunConfig{
 		Minibatch: s.Minibatch, Steps: s.Steps, LR: s.LR,

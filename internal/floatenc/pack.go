@@ -23,6 +23,22 @@ func NewPacked(f Format, n int) *Packed {
 	return &Packed{Format: f, N: n, Words: make([]uint32, (n+vpw-1)/vpw)}
 }
 
+// Reset reconfigures the container for n values of format f, zeroing the
+// words EncodeRange will |= into and reusing the backing array when its
+// capacity allows. It restores exactly the state NewPacked returns.
+func (p *Packed) Reset(f Format, n int) {
+	vpw := f.ValuesPerWord()
+	nw := (n + vpw - 1) / vpw
+	if cap(p.Words) < nw {
+		p.Words = make([]uint32, nw)
+	} else {
+		p.Words = p.Words[:nw]
+		clear(p.Words)
+	}
+	p.Format = f
+	p.N = n
+}
+
 // EncodeSlice packs src into a reduced-precision buffer.
 func EncodeSlice(f Format, src []float32) *Packed {
 	p := NewPacked(f, len(src))

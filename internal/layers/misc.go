@@ -56,7 +56,14 @@ func (d *DropoutOp) Forward(ctx *FwdCtx) {
 		copy(y.Data, x.Data)
 		return
 	}
-	mask := bitpack.NewBitMask(x.NumElements())
+	// Reuse the previous step's mask container when the executor keeps aux
+	// maps alive across steps; Reset restores the all-false state Set needs.
+	mask, _ := ctx.Aux[auxKeyDropMask].(*bitpack.BitMask)
+	if mask == nil {
+		mask = bitpack.NewBitMask(x.NumElements())
+	} else {
+		mask.Reset(x.NumElements())
+	}
 	scale := float32(1 / (1 - d.Rate))
 	for i, v := range x.Data {
 		if ctx.RNG.Float64() >= d.Rate {

@@ -67,8 +67,16 @@ func (b *BatchNormOp) Forward(ctx *FwdCtx) {
 	x, gamma, beta, y := ctx.In[0], ctx.Params[0], ctx.Params[1], ctx.Out
 	n, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	per := n * h * w
-	mean := make([]float32, c)
-	invStd := make([]float32, c)
+	// Reuse the previous step's saved-statistics slices when the executor
+	// keeps aux maps alive across steps; every entry is assigned below.
+	mean, _ := ctx.Aux[auxKeyBNMean].([]float32)
+	invStd, _ := ctx.Aux[auxKeyBNInvStd].([]float32)
+	if len(mean) != c {
+		mean = make([]float32, c)
+	}
+	if len(invStd) != c {
+		invStd = make([]float32, c)
+	}
 	if b.RunningMean == nil {
 		b.RunningMean = make([]float32, c)
 		b.RunningVar = make([]float32, c)

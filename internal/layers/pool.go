@@ -72,7 +72,15 @@ func (p *MaxPoolOp) Forward(ctx *FwdCtx) {
 	x, y := ctx.In[0], ctx.Out
 	n, c, ih, iw := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	oh, ow := y.Shape[2], y.Shape[3]
-	argmax := bitpack.NewNibbleArray(y.NumElements())
+	// Reuse the previous step's argmax container when the executor keeps
+	// aux maps alive across steps; every nibble is Set below, so Reset only
+	// needs to size it.
+	argmax, _ := ctx.Aux[auxKeyArgmax].(*bitpack.NibbleArray)
+	if argmax == nil {
+		argmax = bitpack.NewNibbleArray(y.NumElements())
+	} else {
+		argmax.Reset(y.NumElements())
+	}
 	idx := 0
 	for ni := 0; ni < n; ni++ {
 		for ci := 0; ci < c; ci++ {

@@ -216,3 +216,25 @@ func MFR(baseline, encoded int64) float64 {
 	}
 	return float64(baseline) / float64(encoded)
 }
+
+// PoolWarmSet maps the liveness analysis onto the runtime buffer pool: it
+// returns the element count of every float32 tensor the pooled executor
+// will draw during one training step — immediate and stashed feature maps,
+// decoded staging buffers and gradient maps. Feeding the result to
+// bufpool's Prewarm puts one buffer of each size class on its free list
+// ahead of the first step, so steady-state recycling starts at step one
+// instead of after a warm-up of allocation misses. Encoded payloads are
+// excluded: they live in bit-packed word arrays, not pooled tensors.
+func PoolWarmSet(bufs []*liveness.Buffer) []int {
+	var elems []int
+	for _, b := range bufs {
+		switch b.Class {
+		case graph.ClassImmediateFmap, graph.ClassStashedFmap,
+			graph.ClassDecoded, graph.ClassGradientMap:
+			if b.Bytes > 0 {
+				elems = append(elems, int(b.Bytes/4))
+			}
+		}
+	}
+	return elems
+}

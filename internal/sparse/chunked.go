@@ -43,6 +43,58 @@ func EncodeCSRChunked(xs []float32, p *parallel.Pool, chunkRows int) *CSR {
 	return c
 }
 
+// EncodeCSRChunkedInto is the in-place form of EncodeCSRChunked: it builds
+// the identical CSR into c, reusing c's backing arrays when capacity
+// allows. Same three-pass structure (parallel count, serial prefix sum,
+// parallel fill); same serial fallback.
+func EncodeCSRChunkedInto(c *CSR, xs []float32, p *parallel.Pool, chunkRows int) {
+	cols := NarrowCols
+	rows := (len(xs) + cols - 1) / cols
+	if chunkRows <= 0 {
+		chunkRows = rows
+	}
+	nChunks := 0
+	if rows > 0 {
+		nChunks = (rows + chunkRows - 1) / chunkRows
+	}
+	if p.Workers() <= 1 || nChunks <= 1 {
+		EncodeCSRInto(c, xs)
+		return
+	}
+
+	c.Rows, c.Cols, c.N = rows, cols, len(xs)
+	if cap(c.RowPtr) < rows+1 {
+		c.RowPtr = make([]int32, rows+1)
+	} else {
+		c.RowPtr = c.RowPtr[:rows+1]
+		c.RowPtr[0] = 0
+	}
+	p.ForEach(nChunks, func(ci int) {
+		r0 := ci * chunkRows
+		r1 := min(r0+chunkRows, rows)
+		CountRowNNZ(xs, cols, r0, r1, c.RowPtr[r0+1:r1+1])
+	})
+	for r := 0; r < rows; r++ {
+		c.RowPtr[r+1] += c.RowPtr[r]
+	}
+	nnz := int(c.RowPtr[rows])
+	if cap(c.ColIdx) < nnz {
+		c.ColIdx = make([]uint8, nnz)
+	} else {
+		c.ColIdx = c.ColIdx[:nnz]
+	}
+	if cap(c.Values) < nnz {
+		c.Values = make([]float32, nnz)
+	} else {
+		c.Values = c.Values[:nnz]
+	}
+	p.ForEach(nChunks, func(ci int) {
+		r0 := ci * chunkRows
+		r1 := min(r0+chunkRows, rows)
+		c.FillRows(xs, r0, r1)
+	})
+}
+
 // DecodeChunked expands the CSR to dense form like Decode, row-chunk-
 // parallel on the pool. dst must have length N; if nil, a new slice is
 // allocated. Output is identical to Decode: each chunk zeroes and scatters

@@ -66,6 +66,49 @@ func EncodeCSRCols(xs []float32, cols int) *CSR {
 	return c
 }
 
+// EncodeCSRInto builds exactly the CSR EncodeCSR would, in place, reusing
+// c's RowPtr/ColIdx/Values backing arrays when their capacity allows — the
+// pooled encode path rebuilds each layer's stash into a persistent
+// container instead of allocating three arrays per step.
+func EncodeCSRInto(c *CSR, xs []float32) {
+	cols := NarrowCols
+	rows := (len(xs) + cols - 1) / cols
+	c.Rows, c.Cols, c.N = rows, cols, len(xs)
+	if cap(c.RowPtr) < rows+1 {
+		c.RowPtr = make([]int32, rows+1)
+	} else {
+		c.RowPtr = c.RowPtr[:rows+1]
+		c.RowPtr[0] = 0
+	}
+	nnz := 0
+	for _, v := range xs {
+		if v != 0 {
+			nnz++
+		}
+	}
+	if cap(c.ColIdx) < nnz {
+		c.ColIdx = make([]uint8, 0, nnz)
+	} else {
+		c.ColIdx = c.ColIdx[:0]
+	}
+	if cap(c.Values) < nnz {
+		c.Values = make([]float32, 0, nnz)
+	} else {
+		c.Values = c.Values[:0]
+	}
+	for r := 0; r < rows; r++ {
+		base := r * cols
+		end := min(base+cols, len(xs))
+		for i := base; i < end; i++ {
+			if xs[i] != 0 {
+				c.ColIdx = append(c.ColIdx, uint8(i-base))
+				c.Values = append(c.Values, xs[i])
+			}
+		}
+		c.RowPtr[r+1] = int32(len(c.Values))
+	}
+}
+
 // NNZ returns the number of stored non-zeros.
 func (c *CSR) NNZ() int { return len(c.Values) }
 

@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"gist/internal/bufpool"
 	"gist/internal/encoding"
 	"gist/internal/faults"
 	"gist/internal/floatenc"
@@ -81,6 +83,23 @@ type Options struct {
 	// (raw vs held stash bytes, split by technique). The nil default costs
 	// only nil checks on the step path.
 	Telemetry *telemetry.Sink
+	// Codec, when non-nil, is the codec this executor encodes, seals and
+	// decodes stashes through — its own worker pool, chunk size, telemetry
+	// and scratch pool, isolated from every other executor. The nil
+	// default preserves the historical behavior of reading
+	// encoding.DefaultCodec() at each step, so executors share codec state
+	// only when both leave this unset.
+	Codec *encoding.Codec
+	// Pool, when non-nil, turns on liveness-driven buffer pooling: every
+	// per-step tensor (activation, gradient, decode target, quantized
+	// stash copy) is drawn from the pool and recycled at its last use —
+	// encoded feature maps right after their stash is built, decoded
+	// stashes and stashed activations after their final backward reader,
+	// gradients once merged downstream. Encode containers are rebuilt in
+	// place. Steady-state training then allocates almost nothing. Results
+	// are byte-identical to the unpooled path. Under pooling, Output()
+	// and live ReLU sparsity probing are unavailable (see those methods).
+	Pool *bufpool.Pool
 }
 
 // execMetrics caches the executor's instruments so the step path never does
@@ -158,14 +177,58 @@ type Executor struct {
 	moms   map[int][]*tensor.Tensor
 	rng    *tensor.RNG
 
-	// outs holds each node's forward output for the current step; stash
-	// holds the (possibly reduced) view backward readers see. When async
-	// decode is active, encoded stashes live in futures until the backward
-	// pass resolves them (stash then caches the decoded tensor).
-	outs    map[int]*tensor.Tensor
-	stash   map[int]*tensor.Tensor
-	futures map[int]*stashFuture
-	aux     map[int]map[string]any
+	// Per-step state, indexed by node ID (graph.Validate guarantees IDs
+	// are dense). outs holds each node's forward output for the current
+	// step; stash holds the (possibly reduced) view backward readers see.
+	// When async decode is active, encoded stashes live in futures until
+	// the backward pass resolves them (stash then caches the decoded
+	// tensor). All slices are allocated once and reused every step.
+	outs    []*tensor.Tensor
+	stash   []*tensor.Tensor
+	futures []*stashFuture
+	aux     []map[string]any
+
+	// futSlots backs futures: one persistent slot per node, re-armed each
+	// step, so the async-decode machinery allocates nothing per step.
+	futSlots []stashFuture
+	nFutures int
+
+	// encSlots holds, under pooling, one persistent encode container per
+	// stashing node; EncodeStashInto rebuilds it in place every step.
+	encSlots []*encoding.EncodedStash
+
+	// Pooling state. pool is nil on the allocate-always path. checkedOut
+	// is the executor-side ledger of pooled tensors currently held; every
+	// alloc registers here and every recycle point goes through recycle(),
+	// which ignores tensors not in the ledger — so an aliased stash
+	// (stash == out) is returned exactly once, and anything a failed step
+	// leaves behind is swept at the next Forward.
+	pool       *bufpool.Pool
+	checkedOut map[*tensor.Tensor]struct{}
+
+	// bwdReads is the static per-node count of backward reads of each
+	// node's stashed output, derived from the raw Op.Needs() of every
+	// consumer (plus the node's own Y-dependence) — the executor-level
+	// liveness the recycler drains. Raw needs, not the encoding analysis's
+	// effective needs: a MaxPool above a Binarize-encoded ReLU still reads
+	// its decoded X and Y stashes at runtime. bwdLeft is the per-pass
+	// remaining count; gradOf accumulates downstream gradients.
+	bwdReads []int
+	bwdLeft  []int
+	gradOf   []*tensor.Tensor
+
+	// Reusable per-node scratch for forward/backward input and gradient
+	// slices and the kernel contexts.
+	insBuf  []*tensor.Tensor
+	dInsBuf []*tensor.Tensor
+	fwdCtx  layers.FwdCtx
+	bwdCtx  layers.BwdCtx
+
+	// probeSparsity arms per-step ReLU sparsity capture under pooling (set
+	// by the trainer when RunConfig.ProbeSparsity asks for the Figure 14
+	// probe); sparsities holds the last captured values.
+	probeSparsity bool
+	sparsities    map[string]float64
 
 	// StashBytes records, per step, the total bytes of the stashed
 	// representations the backward pass actually read (encoded when
@@ -194,10 +257,45 @@ func NewExecutor(g *graph.Graph, opts Options) *Executor {
 		grads:  map[int][]*tensor.Tensor{},
 		moms:   map[int][]*tensor.Tensor{},
 		rng:    tensor.NewRNG(opts.Seed),
+		pool:   opts.Pool,
 		tel:    opts.Telemetry,
 		met:    newExecMetrics(opts.Telemetry),
 	}
 	opts.Faults.SetTelemetry(opts.Telemetry)
+
+	nn := len(g.Nodes)
+	e.outs = make([]*tensor.Tensor, nn)
+	e.stash = make([]*tensor.Tensor, nn)
+	e.futures = make([]*stashFuture, nn)
+	e.futSlots = make([]stashFuture, nn)
+	e.encSlots = make([]*encoding.EncodedStash, nn)
+	e.aux = make([]map[string]any, nn)
+	e.bwdReads = make([]int, nn)
+	e.bwdLeft = make([]int, nn)
+	e.gradOf = make([]*tensor.Tensor, nn)
+	e.sparsities = map[string]float64{}
+	if e.pool != nil {
+		e.checkedOut = make(map[*tensor.Tensor]struct{}, 2*nn)
+	}
+	for i := range e.futSlots {
+		f := &e.futSlots[i]
+		f.run = f.decode // bind the worker closure once, not per step
+	}
+	for _, n := range g.Nodes {
+		e.aux[n.ID] = map[string]any{}
+		// Count the backward pass's reads of this node's stashed output
+		// from raw operator needs; recycle points drain these counts.
+		needs := n.Op.Needs()
+		if needs.Y {
+			e.bwdReads[n.ID]++
+		}
+		if needs.X {
+			for _, in := range n.Inputs {
+				e.bwdReads[in.ID]++
+			}
+		}
+	}
+
 	for _, n := range g.Nodes {
 		if len(n.ParamShapes) == 0 {
 			continue
@@ -226,39 +324,107 @@ func NewExecutor(g *graph.Graph, opts Options) *Executor {
 	return e
 }
 
+// codec resolves the codec for the current operation: the injected
+// Options.Codec when set, the process-wide default otherwise, with the
+// executor's buffer pool threaded in as the codec's scratch source when the
+// codec does not bring its own.
+func (e *Executor) codec() encoding.Codec {
+	var c encoding.Codec
+	if e.opts.Codec != nil {
+		c = *e.opts.Codec
+	} else {
+		c = encoding.DefaultCodec()
+	}
+	if c.Buf == nil {
+		c.Buf = e.pool
+	}
+	return c
+}
+
+// alloc returns a zeroed tensor of the given shape — from the pool (and the
+// checked-out ledger) when pooling is on, from the heap otherwise.
+func (e *Executor) alloc(shape tensor.Shape) *tensor.Tensor {
+	if e.pool == nil {
+		return tensor.New(shape...)
+	}
+	t := e.pool.Get(shape...)
+	e.checkedOut[t] = struct{}{}
+	return t
+}
+
+// recycle returns a pooled tensor at its last use. Tensors the ledger does
+// not hold — unpooled tensors, aliases already recycled, parameters — are
+// ignored, so recycle points can be written against logical lifetimes
+// without tracking aliasing.
+func (e *Executor) recycle(t *tensor.Tensor) {
+	if e.pool == nil || t == nil {
+		return
+	}
+	if _, ok := e.checkedOut[t]; !ok {
+		return
+	}
+	delete(e.checkedOut, t)
+	e.pool.Recycle(t)
+}
+
+// sweep returns every pooled tensor still checked out — the step's
+// leftovers (the loss output, dead branches, anything a failed step
+// stranded). Runs at the start of each Forward, when nothing from the
+// previous step can be referenced anymore.
+func (e *Executor) sweep() {
+	if e.pool == nil || len(e.checkedOut) == 0 {
+		return
+	}
+	for t := range e.checkedOut {
+		e.pool.Recycle(t)
+	}
+	clear(e.checkedOut)
+}
+
 // Params returns the parameter tensors of a node (nil if none).
 func (e *Executor) Params(n *graph.Node) []*tensor.Tensor { return e.params[n.ID] }
 
-// Output returns node n's forward output from the latest step.
+// Output returns node n's forward output from the latest step. Under
+// pooling the executor recycles outputs at their last use, so Output is
+// only meaningful on an unpooled executor (the experiment harnesses that
+// compare per-layer activations run unpooled).
 func (e *Executor) Output(n *graph.Node) *tensor.Tensor { return e.outs[n.ID] }
 
 // Forward runs the forward pass on the given minibatch. Labels are needed
 // only when the graph ends in a loss node and Backward will run.
 func (e *Executor) Forward(input *tensor.Tensor, labels []int, training bool) {
-	e.outs = map[int]*tensor.Tensor{}
-	e.stash = map[int]*tensor.Tensor{}
-	e.futures = map[int]*stashFuture{}
-	e.aux = map[int]map[string]any{}
+	e.drainFutures() // settle anything a failed previous step left in flight
+	e.sweep()
+	clear(e.stash)
 	for _, n := range e.G.Nodes {
-		out := tensor.New(n.OutShape...)
-		aux := map[string]any{}
+		out := e.alloc(n.OutShape)
+		aux := e.aux[n.ID]
 		if n.Kind() == layers.Input {
 			if !input.Shape.Equal(n.OutShape) {
 				panic(fmt.Sprintf("train: input shape %v, want %v", input.Shape, n.OutShape))
 			}
 			copy(out.Data, input.Data)
 		} else {
-			ins := make([]*tensor.Tensor, len(n.Inputs))
-			for i, in := range n.Inputs {
-				ins[i] = e.outs[in.ID]
+			ins := e.insBuf[:0]
+			for _, in := range n.Inputs {
+				ins = append(ins, e.outs[in.ID])
 			}
+			e.insBuf = ins
 			if n.Kind() == layers.SoftmaxXent {
-				aux[layers.AuxKeyLabels] = labels
+				// Re-box only when the labels slice itself changed:
+				// storing a slice in the any-valued aux map allocates,
+				// and steady-state loops pass the same batch buffer.
+				prev, ok := aux[layers.AuxKeyLabels].([]int)
+				if !ok || len(prev) != len(labels) ||
+					(len(labels) > 0 && &prev[0] != &labels[0]) {
+					aux[layers.AuxKeyLabels] = labels
+				}
 			}
-			n.Op.Forward(&layers.FwdCtx{
+			e.fwdCtx = layers.FwdCtx{
 				In: ins, Params: e.params[n.ID], Out: out,
 				Aux: aux, RNG: e.rng, Train: training,
-			})
+			}
+			n.Op.Forward(&e.fwdCtx)
 		}
 		if e.opts.Mode == AllReduced && n.Kind() != layers.SoftmaxXent {
 			// Conventional scheme: inject quantization error immediately,
@@ -268,7 +434,6 @@ func (e *Executor) Forward(input *tensor.Tensor, labels []int, training bool) {
 			floatenc.QuantizeSlice(e.opts.Format, out.Data)
 		}
 		e.outs[n.ID] = out
-		e.aux[n.ID] = aux
 	}
 }
 
@@ -284,46 +449,74 @@ func (e *Executor) integrity() bool {
 // layer l-1's decode overlaps layer l's backward kernels on the shared
 // worker pool. Start is lazy and idempotent: a consumer that arrives before
 // its prefetch simply starts the decode itself and waits.
+//
+// Slots are persistent (one per node) and re-armed each step. Ownership of
+// the pooled decode target dst transfers explicitly: the executor allocates
+// it serially at arm time, exactly one worker goroutine writes it, and it
+// returns to the executor at wait() — so the pool ledger is never touched
+// off the executor's goroutine.
 type stashFuture struct {
 	enc     *encoding.EncodedStash
 	node    string
 	tel     *telemetry.Sink
+	cdc     encoding.Codec
+	dst     *tensor.Tensor // pooled decode target; nil → decode allocates
+	run     func()         // bound once at executor construction
 	started atomic.Bool
-	done    chan struct{}
+	settled atomic.Bool // decode finished (overlap accounting)
+	wg      sync.WaitGroup
 	out     *tensor.Tensor
 	err     error
 }
 
-func newStashFuture(enc *encoding.EncodedStash, node string, tel *telemetry.Sink) *stashFuture {
-	return &stashFuture{enc: enc, node: node, tel: tel, done: make(chan struct{})}
+// arm readies the slot for this step's decode. The WaitGroup count is taken
+// here, on the executor's goroutine, before the future is visible to any
+// concurrent start — drainFutures balances it even if the decode never
+// launches.
+func (f *stashFuture) arm(enc *encoding.EncodedStash, node string, tel *telemetry.Sink, cdc encoding.Codec, dst *tensor.Tensor) {
+	f.enc, f.node, f.tel, f.cdc, f.dst = enc, node, tel, cdc, dst
+	f.out, f.err = nil, nil
+	f.started.Store(false)
+	f.settled.Store(false)
+	f.wg.Add(1)
 }
 
 // start launches the decode on the pool; only the first call fires.
 func (f *stashFuture) start(p *parallel.Pool) {
 	if f.started.CompareAndSwap(false, true) {
-		p.Go(func() {
-			defer close(f.done)
-			defer func() {
-				// Decode converts corruption to errors, but a panic on a
-				// pool goroutine would kill the process; surface it as the
-				// future's error instead.
-				if r := recover(); r != nil {
-					f.err = fmt.Errorf("stash decode panicked: %v", r)
-				}
-			}()
-			// Root span on its own track: concurrent futures land on
-			// separate tracks, so the trace shows the decode overlap.
-			sp := f.tel.Begin("train", "async-decode", telemetry.Str("stash", f.node))
-			defer sp.End()
-			f.out, f.err = f.enc.Decode()
-		})
+		p.Go(f.run)
+	}
+}
+
+// decode is the worker body (bound to f.run once at construction).
+func (f *stashFuture) decode() {
+	defer f.wg.Done()
+	defer f.settled.Store(true)
+	defer func() {
+		// Decode converts corruption to errors, but a panic on a
+		// pool goroutine would kill the process; surface it as the
+		// future's error instead.
+		if r := recover(); r != nil {
+			f.err = fmt.Errorf("stash decode panicked: %v", r)
+		}
+	}()
+	// Root span on its own track: concurrent futures land on
+	// separate tracks, so the trace shows the decode overlap.
+	sp := f.tel.Begin("train", "async-decode", telemetry.Str("stash", f.node))
+	defer sp.End()
+	if f.dst != nil {
+		if f.err = f.cdc.DecodeInto(f.dst, f.enc); f.err == nil {
+			f.out = f.dst
+		}
+	} else {
+		f.out, f.err = f.cdc.Decode(f.enc)
 	}
 }
 
 // wait starts the decode if needed and blocks for its result.
 func (f *stashFuture) wait(p *parallel.Pool) (*tensor.Tensor, error) {
 	f.start(p)
-	<-f.done
+	f.wg.Wait()
 	return f.out, f.err
 }
 
@@ -332,16 +525,7 @@ func (f *stashFuture) wait(p *parallel.Pool) (*tensor.Tensor, error) {
 // corrupt-then-decode sequencing attributes each detection to its injection
 // site, which deferred decode would smear across layers.
 func (e *Executor) asyncDecode() bool {
-	return e.opts.Encodings != nil && !e.opts.Faults.Enabled() && decodePool().Workers() > 1
-}
-
-// decodePool is the pool backing stash futures — the codec's own pool, so
-// decode chunks and future goroutines share one bounded set of workers.
-func decodePool() *parallel.Pool {
-	if p := encoding.DefaultCodec().Pool; p != nil {
-		return p
-	}
-	return parallel.Shared()
+	return e.opts.Encodings != nil && !e.opts.Faults.Enabled() && e.codec().WorkerPool().Workers() > 1
 }
 
 // prepareStashes builds the backward-pass view of every feature map after
@@ -353,15 +537,32 @@ func decodePool() *parallel.Pool {
 // caught by the CRC check inside Decode, and an SSDC stash whose runtime
 // sparsity fell below break-even degrades to the dense DPR encoding. With
 // no injector and integrity off, every added path is a nil/bool check.
+//
+// It is also the first recycle point: once a node's stash exists in a form
+// distinct from its forward output (encoded, or a quantized copy), the
+// output itself is dead — no backward reader touches it — and returns to
+// the pool here, closing the forward→backward lifetime gap the planner's
+// liveness analysis identifies.
 func (e *Executor) prepareStashes() error {
 	e.StashBytes = 0
 	inj := e.opts.Faults
+	cdc := e.codec()
+	async := e.asyncDecode()
+	pooled := e.pool != nil
+	probe := pooled && e.probeSparsity
+	if probe {
+		clear(e.sparsities)
+	}
 	var mem *memAccum
 	if e.tel != nil {
 		mem = &memAccum{byTech: map[string]*telemetry.TechBytes{}}
 	}
 	for _, n := range e.G.Nodes {
 		out := e.outs[n.ID]
+		if probe && n.Kind() == layers.ReLU {
+			// Capture the Figure 14 probe before the output can recycle.
+			e.sparsities[n.Name] = out.Sparsity()
+		}
 		if e.opts.Encodings != nil {
 			if as := e.opts.Encodings.ByNode[n.ID]; as != nil {
 				if err := inj.FailEncode(n.Name); err != nil {
@@ -369,7 +570,20 @@ func (e *Executor) prepareStashes() error {
 					e.met.injEncode.Inc()
 					return err
 				}
-				enc, fellBack, err := encoding.EncodeStashAdaptive(as, out)
+				var enc *encoding.EncodedStash
+				var fellBack bool
+				var err error
+				if pooled {
+					// Rebuild into the node's persistent container.
+					enc = e.encSlots[n.ID]
+					if enc == nil {
+						enc = &encoding.EncodedStash{}
+						e.encSlots[n.ID] = enc
+					}
+					fellBack, err = cdc.EncodeStashAdaptiveInto(enc, as, out)
+				} else {
+					enc, fellBack, err = cdc.EncodeStashAdaptive(as, out)
+				}
 				if err != nil {
 					return fmt.Errorf("train: stash %q: %w", n.Name, err)
 				}
@@ -393,13 +607,31 @@ func (e *Executor) prepareStashes() error {
 				inj.CorruptStash(n.Name, enc)
 				e.StashBytes += enc.Bytes()
 				mem.add(enc.Tech.String(), out.Bytes(), enc.Bytes())
-				if e.asyncDecode() {
+				// The encoded form now carries the forward→backward gap;
+				// the raw output is dead.
+				e.recycle(out)
+				if async {
 					// Defer the decode: the backward pass starts it one
-					// layer before the consumer needs it.
-					e.futures[n.ID] = newStashFuture(enc, n.Name, e.tel)
+					// layer before the consumer needs it. Under pooling
+					// the decode target is allocated here, serially, and
+					// ownership transfers to the future until wait().
+					var dst *tensor.Tensor
+					if pooled {
+						dst = e.alloc(enc.Shape)
+					}
+					f := &e.futSlots[n.ID]
+					f.arm(enc, n.Name, e.tel, cdc, dst)
+					e.futures[n.ID] = f
+					e.nFutures++
 					continue
 				}
-				dec, err := enc.Decode()
+				var dec *tensor.Tensor
+				if pooled {
+					dec = e.alloc(enc.Shape)
+					err = cdc.DecodeInto(dec, enc)
+				} else {
+					dec, err = cdc.Decode(enc)
+				}
 				if err != nil {
 					if errors.Is(err, encoding.ErrCorruptStash) {
 						e.Robust.CRCFailures++
@@ -412,12 +644,15 @@ func (e *Executor) prepareStashes() error {
 			}
 		}
 		if e.opts.Mode == DelayedReduced && stashedForBackward(e, n) {
-			q := out.Clone()
+			q := e.alloc(out.Shape)
+			copy(q.Data, out.Data)
 			floatenc.QuantizeSlice(e.opts.Format, q.Data)
 			held := e.opts.Format.PackedBytes(len(q.Data))
 			e.StashBytes += held
 			mem.add("DPR", out.Bytes(), held)
 			e.stash[n.ID] = q
+			// Backward reads the quantized copy; the exact output is dead.
+			e.recycle(out)
 			continue
 		}
 		if stashedForBackward(e, n) {
@@ -489,6 +724,16 @@ func stashedForBackward(e *Executor, n *graph.Node) bool {
 	return graph.OutputStashed(n)
 }
 
+// releaseStash recycles node id's backward view once its last reader is
+// done. The ledger makes the stash-aliases-output case safe: the shared
+// tensor is returned exactly once.
+func (e *Executor) releaseStash(id int) {
+	if t := e.stash[id]; t != nil {
+		e.stash[id] = nil
+		e.recycle(t)
+	}
+}
+
 // Backward runs the backward pass, accumulating parameter gradients. The
 // only failures are stash-pipeline ones (injected faults, detected
 // corruption); without an injector and with well-formed encodings it
@@ -500,7 +745,14 @@ func stashedForBackward(e *Executor, n *graph.Node) bool {
 // blocks only when a consumer actually needs a tensor still in flight.
 // Gradients are identical to the synchronous pass — decode is bit-exact
 // regardless of scheduling — which the parallel executor tests pin.
+//
+// Under pooling this is also where the planner's liveness plays out at
+// runtime: each stashed tensor recycles when its read count (bwdReads,
+// from raw operator needs) drains to zero, each input gradient recycles
+// the moment it merges into an existing accumulator, and each node's
+// incoming gradient recycles after that node's kernels consume it.
 func (e *Executor) Backward() error {
+	defer e.drainFutures()
 	encSpan := e.stepSpan.Begin("train", "encode-stashes")
 	var t0 time.Time
 	if e.tel != nil {
@@ -514,20 +766,20 @@ func (e *Executor) Backward() error {
 	if err != nil {
 		return err
 	}
-	pool := decodePool()
-	defer e.drainFutures()
-	gradOf := map[int]*tensor.Tensor{}
+	pool := e.codec().WorkerPool()
+	copy(e.bwdLeft, e.bwdReads)
+	clear(e.gradOf)
 	nodes := e.G.Nodes
 	for i := len(nodes) - 1; i >= 0; i-- {
 		n := nodes[i]
 		if n.Kind() == layers.Input {
 			continue
 		}
-		dOut := gradOf[n.ID]
+		dOut := e.gradOf[n.ID]
 		if dOut == nil {
 			if len(n.Consumers()) == 0 {
 				// Loss node: its Backward seeds the gradient itself.
-				dOut = tensor.New(n.OutShape...)
+				dOut = e.alloc(n.OutShape)
 			} else {
 				// Dead branch (no gradient flowed): skip.
 				continue
@@ -537,40 +789,61 @@ func (e *Executor) Backward() error {
 			e.prefetch(pool, nodes[i-1])
 		}
 		needs := n.Op.Needs()
-		ins := make([]*tensor.Tensor, len(n.Inputs))
-		dIns := make([]*tensor.Tensor, len(n.Inputs))
-		for j, in := range n.Inputs {
-			dIns[j] = tensor.New(in.OutShape...)
+		ins := e.insBuf[:0]
+		dIns := e.dInsBuf[:0]
+		for _, in := range n.Inputs {
+			dIns = append(dIns, e.alloc(in.OutShape))
+			var t *tensor.Tensor
 			if needs.X {
-				t, err := e.stashOf(pool, in.ID)
+				t, err = e.stashOf(pool, in.ID)
 				if err != nil {
 					return e.failBackward(err)
 				}
-				ins[j] = t
 			}
+			ins = append(ins, t)
 		}
-		ctx := &layers.BwdCtx{
+		e.insBuf, e.dInsBuf = ins, dIns
+		e.bwdCtx = layers.BwdCtx{
 			Params: e.params[n.ID], DOut: dOut,
 			DIn: dIns, DParams: e.grads[n.ID], Aux: e.aux[n.ID],
 		}
 		if needs.X {
-			ctx.In = ins
+			e.bwdCtx.In = ins
 		}
 		if needs.Y {
 			t, err := e.stashOf(pool, n.ID)
 			if err != nil {
 				return e.failBackward(err)
 			}
-			ctx.Out = t
+			e.bwdCtx.Out = t
 		}
-		n.Op.Backward(ctx)
+		n.Op.Backward(&e.bwdCtx)
 		for j, in := range n.Inputs {
-			if g := gradOf[in.ID]; g == nil {
-				gradOf[in.ID] = dIns[j]
+			if g := e.gradOf[in.ID]; g == nil {
+				e.gradOf[in.ID] = dIns[j]
 			} else {
 				g.Add(dIns[j])
+				e.recycle(dIns[j]) // merged: this branch's gradient is dead
 			}
 		}
+		// Drain this node's stash reads and release what went dead.
+		if needs.X {
+			for _, in := range n.Inputs {
+				e.bwdLeft[in.ID]--
+				if e.bwdLeft[in.ID] == 0 {
+					e.releaseStash(in.ID)
+				}
+			}
+		}
+		if needs.Y {
+			e.bwdLeft[n.ID]--
+			if e.bwdLeft[n.ID] == 0 {
+				e.releaseStash(n.ID)
+			}
+		}
+		// The incoming gradient was fully consumed by this node's kernels.
+		e.gradOf[n.ID] = nil
+		e.recycle(dOut)
 	}
 	return nil
 }
@@ -578,7 +851,7 @@ func (e *Executor) Backward() error {
 // prefetch starts the async decodes node n's backward will need, without
 // waiting on them.
 func (e *Executor) prefetch(p *parallel.Pool, n *graph.Node) {
-	if n.Kind() == layers.Input || len(e.futures) == 0 {
+	if n.Kind() == layers.Input || e.nFutures == 0 {
 		return
 	}
 	needs := n.Op.Needs()
@@ -604,21 +877,15 @@ func (e *Executor) stashOf(p *parallel.Pool, id int) (*tensor.Tensor, error) {
 			// Overlap accounting: a hit means the prefetched decode already
 			// resolved when its consumer arrived; a miss means the consumer
 			// had to wait on (or itself start) the decode.
-			resolved := false
-			if f.started.Load() {
-				select {
-				case <-f.done:
-					resolved = true
-				default:
-				}
-			}
-			if resolved {
+			if f.started.Load() && f.settled.Load() {
 				e.met.overlapHits.Inc()
 			} else {
 				e.met.overlapMiss.Inc()
 			}
 		}
 		out, err := f.wait(p)
+		e.futures[id] = nil
+		e.nFutures--
 		if err != nil {
 			return nil, fmt.Errorf("train: stash %q: %w", f.node, err)
 		}
@@ -631,6 +898,7 @@ func (e *Executor) stashOf(p *parallel.Pool, id int) (*tensor.Tensor, error) {
 // failBackward preserves TryStep's no-partial-update contract when a stash
 // failure surfaces mid-pass: backward kernels accumulate into e.grads
 // directly, so every gradient is zeroed before the error propagates.
+// Pooled tensors stranded by the abort are swept at the next Forward.
 func (e *Executor) failBackward(err error) error {
 	if errors.Is(err, encoding.ErrCorruptStash) {
 		e.Robust.CRCFailures++
@@ -646,15 +914,27 @@ func (e *Executor) failBackward(err error) error {
 	return err
 }
 
-// drainFutures blocks until every started decode has finished, so no
-// goroutine from this pass outlives Backward (un-started futures never
-// spawned one).
+// drainFutures settles every armed future: started decodes are waited for
+// (so no goroutine from this pass outlives Backward), and futures that
+// never launched have their WaitGroup count balanced. Runs on the
+// executor's goroutine only; idempotent, and re-run at Forward in case a
+// failed step returned before Backward's deferred drain was registered.
 func (e *Executor) drainFutures() {
-	for _, f := range e.futures {
-		if f.started.Load() {
-			<-f.done
-		}
+	if e.nFutures == 0 {
+		return
 	}
+	for i, f := range e.futures {
+		if f == nil {
+			continue
+		}
+		if f.started.Load() {
+			f.wg.Wait()
+		} else {
+			f.wg.Done() // balance arm(); the decode never launched
+		}
+		e.futures[i] = nil
+	}
+	e.nFutures = 0
 }
 
 // ClipGradNorm rescales all parameter gradients so their global L2 norm is
@@ -777,6 +1057,18 @@ func (e *Executor) TryStep(input *tensor.Tensor, labels []int, lr float32) (loss
 // uninstrumented).
 func (e *Executor) Telemetry() *telemetry.Sink { return e.tel }
 
+// BufferPool returns the buffer pool this executor recycles through (nil
+// on the allocate-always path).
+func (e *Executor) BufferPool() *bufpool.Pool { return e.pool }
+
+// SetSparsityProbe arms (or disarms) per-step capture of ReLU output
+// sparsities during stash preparation — required for ReLUSparsities to
+// work under pooling, where outputs recycle before a post-step probe could
+// read them. The trainer arms it when RunConfig.ProbeSparsity is set. The
+// capture costs one pass over each ReLU output per step, so it is off by
+// default.
+func (e *Executor) SetSparsityProbe(on bool) { e.probeSparsity = on }
+
 // Step runs forward, backward and an SGD update on one minibatch and
 // returns the minibatch loss and top-1 error count. Without fault
 // injection the stash pipeline cannot fail; Step panics if it somehow does
@@ -790,9 +1082,19 @@ func (e *Executor) Step(input *tensor.Tensor, labels []int, lr float32) (loss fl
 }
 
 // ReLUSparsities returns the zero fraction of every ReLU output from the
-// latest forward pass, keyed by node name — the Figure 14 probe.
+// latest forward pass, keyed by node name — the Figure 14 probe. Under
+// pooling the outputs recycle during the step, so the values come from the
+// capture armed by SetSparsityProbe (taken during the latest training
+// step's stash preparation); with the probe off, the pooled result is
+// empty.
 func (e *Executor) ReLUSparsities() map[string]float64 {
 	m := map[string]float64{}
+	if e.pool != nil {
+		for k, v := range e.sparsities {
+			m[k] = v
+		}
+		return m
+	}
 	for _, n := range e.G.Nodes {
 		if n.Kind() == layers.ReLU {
 			if out := e.outs[n.ID]; out != nil {

@@ -184,6 +184,9 @@ func RunRecoverable(e *Executor, d *Dataset, cfg RunConfig, rcfg RecoveryConfig)
 	if cfg.ProbeEvery <= 0 {
 		cfg.ProbeEvery = 10
 	}
+	if cfg.ProbeSparsity {
+		e.SetSparsityProbe(true)
+	}
 	rc := rcfg.withDefaults(cfg.ProbeEvery)
 	report := &RecoveryReport{}
 	inj := e.opts.Faults

@@ -71,6 +71,9 @@ func RunScheduled(e *Executor, d *Dataset, cfg RunConfig, sched LRSchedule) []Re
 	if cfg.ProbeEvery <= 0 {
 		cfg.ProbeEvery = 10
 	}
+	if cfg.ProbeSparsity {
+		e.SetSparsityProbe(true)
+	}
 	var records []Record
 	windowErrs, windowN := 0, 0
 	var lastLoss float64

@@ -57,6 +57,11 @@ func Run(e *Executor, d *Dataset, cfg RunConfig) []Record {
 	if cfg.ProbeEvery <= 0 {
 		cfg.ProbeEvery = 10
 	}
+	if cfg.ProbeSparsity {
+		// Under pooling, ReLU outputs recycle mid-step; arm the in-step
+		// capture so ReLUSparsities has values to report.
+		e.SetSparsityProbe(true)
+	}
 	var records []Record
 	windowErrs, windowN := 0, 0
 	var lastLoss float64

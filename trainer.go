@@ -1,0 +1,244 @@
+package gist
+
+// The training facade: gist.Trainer wraps the internal executor behind a
+// functional-options constructor, so the paper's runtime machinery —
+// encoded stashes, chunk-parallel codecs with async backward decode,
+// telemetry, fault injection, and liveness-driven buffer pooling — is
+// switched on by composing options instead of reaching into internal
+// packages:
+//
+//	tr := gist.NewTrainer(gist.TinyCNN(8, 4),
+//		gist.WithEncodings(gist.LossyLossless(gist.FP16)),
+//		gist.WithParallelism(4),
+//		gist.WithPooling(),
+//	)
+//	loss, errs, err := tr.Step(x, labels, 0.05)
+
+import (
+	"gist/internal/bufpool"
+	"gist/internal/encoding"
+	"gist/internal/faults"
+	"gist/internal/graph"
+	"gist/internal/liveness"
+	"gist/internal/memplan"
+	"gist/internal/parallel"
+	"gist/internal/telemetry"
+	"gist/internal/tensor"
+	"gist/internal/train"
+)
+
+// Training types.
+type (
+	// Tensor is a dense FP32 tensor in NCHW layout.
+	Tensor = tensor.Tensor
+	// Dataset is a deterministic synthetic classification dataset.
+	Dataset = train.Dataset
+	// RunConfig configures a training run (steps, minibatch, LR, probes).
+	RunConfig = train.RunConfig
+	// Record is one training probe (loss, accuracy, ReLU sparsities).
+	Record = train.Record
+	// Telemetry is a runtime telemetry sink: counters, span tracing,
+	// memory timeline, Chrome trace export.
+	Telemetry = telemetry.Sink
+	// FaultConfig configures deterministic fault injection on the stash
+	// encode→hold→decode path.
+	FaultConfig = faults.Config
+	// BufferPool is the size-class, lifetime-aware buffer pool the pooled
+	// runtime recycles activations, gradients and decode targets through.
+	BufferPool = bufpool.Pool
+	// PoolStats is a snapshot of a BufferPool's hit/miss/held counters.
+	PoolStats = bufpool.Stats
+)
+
+// NewTensor returns a zeroed tensor of the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// NewDataset returns a deterministic synthetic dataset of noisy class
+// prototypes: `classes` classes of `size`×`size` images with `channels`
+// channels, Gaussian noise of the given standard deviation, seeded.
+func NewDataset(classes, channels, size int, noiseStd float64, seed uint64) *Dataset {
+	return train.NewDataset(classes, channels, size, noiseStd, seed)
+}
+
+// NewTelemetry returns an empty telemetry sink.
+func NewTelemetry() *Telemetry { return telemetry.New() }
+
+// NewBufferPool returns an empty, private buffer pool.
+func NewBufferPool() *BufferPool { return bufpool.New() }
+
+// SharedBufferPool returns the process-wide buffer pool that pooled
+// trainers recycle through by default, so concurrent trainers can serve
+// each other's freed buffers.
+func SharedBufferPool() *BufferPool { return bufpool.Shared() }
+
+// trainerConfig accumulates the functional options.
+type trainerConfig struct {
+	seed       uint64
+	encodings  *Config
+	integrity  bool
+	workers    int
+	hasWorkers bool
+	tel        *telemetry.Sink
+	pool       *bufpool.Pool
+	faults     *faults.Injector
+}
+
+// TrainerOption configures a Trainer at construction.
+type TrainerOption func(*trainerConfig)
+
+// WithSeed sets the seed for weight initialization and dropout. The
+// default is 1.
+func WithSeed(seed uint64) TrainerOption {
+	return func(c *trainerConfig) { c.seed = seed }
+}
+
+// WithEncodings round-trips every assigned stash through the real Gist
+// encoders (Binarize mask, narrow CSR, packed DPR) during training, per
+// the given configuration — e.g. Lossless() or LossyLossless(FP16).
+func WithEncodings(cfg Config) TrainerOption {
+	return func(c *trainerConfig) { c.encodings = &cfg }
+}
+
+// WithIntegrity seals every encoded stash with a CRC32-C checksum and
+// verifies it at decode, so silent corruption surfaces as a typed error.
+func WithIntegrity() TrainerOption {
+	return func(c *trainerConfig) { c.integrity = true }
+}
+
+// WithParallelism gives the trainer its own codec worker pool of the given
+// size: encode/decode kernels run chunk-parallel, and the backward pass
+// overlaps each layer's kernels with the async decode of the next layer's
+// stashes. The trainer's codec is private — it does not touch the
+// process-wide default codec, so concurrently constructed trainers cannot
+// race on shared codec state. workers <= 0 draws from the process-shared
+// worker pool instead of a private one.
+func WithParallelism(workers int) TrainerOption {
+	return func(c *trainerConfig) { c.workers, c.hasWorkers = workers, true }
+}
+
+// WithTelemetry wires a sink into the trainer: per-step phase spans,
+// robustness counters, the stash memory timeline, codec instruments, and —
+// under WithPooling — the pool's per-class hit/miss/held gauges.
+func WithTelemetry(sink *Telemetry) TrainerOption {
+	return func(c *trainerConfig) { c.tel = sink }
+}
+
+// WithPooling turns on liveness-driven buffer pooling: every per-step
+// tensor is drawn from a buffer pool and recycled at its last use, so
+// steady-state training allocates almost nothing. Results are
+// byte-identical to the unpooled path. With no argument the process-shared
+// pool is used; pass a pool to recycle through a private one. The pool is
+// prewarmed from the planner's liveness analysis, so the first step
+// already runs at a high hit rate.
+func WithPooling(pool ...*BufferPool) TrainerOption {
+	return func(c *trainerConfig) {
+		if len(pool) > 0 && pool[0] != nil {
+			c.pool = pool[0]
+			return
+		}
+		c.pool = bufpool.Shared()
+	}
+}
+
+// WithFaults enables deterministic fault injection (bit flips, encode/
+// decode/alloc failures) on the stash pipeline, for testing recovery
+// behavior. Integrity sealing is forced on so every injected flip is
+// detectable. Steps on a fault-injected trainer report injected failures
+// through Step's error.
+func WithFaults(cfg FaultConfig) TrainerOption {
+	return func(c *trainerConfig) { c.faults = faults.New(cfg) }
+}
+
+// Trainer trains one graph. Construct with NewTrainer; drive with Step or
+// Run.
+type Trainer struct {
+	g     *Graph
+	exec  *train.Executor
+	codec *encoding.Codec
+	pool  *bufpool.Pool
+}
+
+// NewTrainer builds a trainer for the graph with the given options. It
+// panics on an invalid graph (like MustBuild); all options compose.
+func NewTrainer(g *Graph, options ...TrainerOption) *Trainer {
+	if err := g.Validate(); err != nil {
+		panic("gist: invalid graph: " + err.Error())
+	}
+	cfg := trainerConfig{seed: 1}
+	for _, opt := range options {
+		opt(&cfg)
+	}
+
+	var analysis *encoding.Analysis
+	if cfg.encodings != nil {
+		analysis = encoding.Analyze(g, *cfg.encodings)
+	}
+
+	t := &Trainer{g: g, pool: cfg.pool}
+	// A trainer with its own worker budget or sink gets a private codec —
+	// the injected-codec path, isolated from the process-wide default.
+	if cfg.hasWorkers || cfg.tel != nil {
+		codec := encoding.Codec{Tel: cfg.tel}
+		if cfg.workers > 0 {
+			codec.Pool = parallel.NewPool(cfg.workers)
+		}
+		t.codec = &codec
+	}
+	if cfg.pool != nil {
+		if cfg.tel != nil {
+			cfg.pool.SetTelemetry(cfg.tel)
+		}
+		// Prewarm from the planner's liveness analysis: the pool starts
+		// with one free buffer per size class the step will need.
+		tl := graph.BuildTimeline(g)
+		bufs := liveness.Analyze(g, tl, liveness.Options{Analysis: analysis})
+		cfg.pool.Prewarm(memplan.PoolWarmSet(bufs))
+	}
+	t.exec = train.NewExecutor(g, train.Options{
+		Seed:      cfg.seed,
+		Encodings: analysis,
+		Integrity: cfg.integrity,
+		Faults:    cfg.faults,
+		Telemetry: cfg.tel,
+		Codec:     t.codec,
+		Pool:      cfg.pool,
+	})
+	return t
+}
+
+// Step runs forward, backward and an SGD update on one minibatch and
+// returns the minibatch loss and top-1 error count. The error is non-nil
+// only for stash-pipeline failures (injected faults, detected corruption);
+// on error no parameter update has been applied.
+func (t *Trainer) Step(x *Tensor, labels []int, lr float32) (loss float64, errs int, err error) {
+	return t.exec.TryStep(x, labels, lr)
+}
+
+// Eval runs an inference-mode forward pass and returns the minibatch loss
+// and top-1 error count without updating parameters.
+func (t *Trainer) Eval(x *Tensor, labels []int) (loss float64, errs int) {
+	return t.exec.Eval(x, labels)
+}
+
+// Run trains on the dataset per the config and returns the probe records.
+func (t *Trainer) Run(d *Dataset, cfg RunConfig) []Record {
+	return train.Run(t.exec, d, cfg)
+}
+
+// Executor exposes the underlying executor for advanced use (checkpoints,
+// custom optimizers, recovery loops).
+func (t *Trainer) Executor() *train.Executor { return t.exec }
+
+// Telemetry returns the sink the trainer reports to (nil when none was
+// configured).
+func (t *Trainer) Telemetry() *Telemetry { return t.exec.Telemetry() }
+
+// PoolStats returns a snapshot of the trainer's buffer pool counters; the
+// zero Stats when pooling is off. With the shared pool, counts aggregate
+// across every trainer using it.
+func (t *Trainer) PoolStats() PoolStats {
+	if t.pool == nil {
+		return PoolStats{}
+	}
+	return t.pool.Stats()
+}
