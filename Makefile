@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-hot fuzz fuzz-stash bench bench-parallel metrics-bench allocs check
+.PHONY: build test vet race race-hot fuzz fuzz-stash bench bench-parallel metrics-bench allocs cover check
 
 build:
 	$(GO) build ./...
@@ -18,15 +18,17 @@ race:
 	$(GO) test -race ./...
 
 # Focused race pass over the packages that share the worker pool: the
-# chunked codec, the async-decode executor, the pool itself, and the
-# telemetry sink every one of them reports into. Runs with -count=1 so the
-# hammer tests actually execute every time.
+# chunked codec, the async-decode executor and replica engine, the
+# deterministic reduce, the pool itself, and the telemetry sink every one
+# of them reports into. Runs with -count=1 so the hammer tests actually
+# execute every time.
 race-hot:
-	$(GO) test -race -count=1 ./internal/encoding/ ./internal/train/ ./internal/parallel/ ./internal/telemetry/
+	$(GO) test -race -count=1 ./internal/encoding/ ./internal/train/ ./internal/reduce/ ./internal/parallel/ ./internal/telemetry/
 
-# Short fuzz pass over the checkpoint parser.
+# Short fuzz passes over the checkpoint parser and the gradient reduce.
 fuzz:
 	$(GO) test ./internal/train/ -run FuzzReadCheckpoint -fuzz FuzzReadCheckpoint -fuzztime 20s
+	$(GO) test ./internal/reduce/ -run FuzzReduceGrads -fuzz FuzzReduceGrads -fuzztime 20s
 
 # Short fuzz pass over the serialized-stash decode path.
 fuzz-stash:
@@ -47,18 +49,40 @@ metrics-bench:
 	$(GO) test ./internal/telemetry/ -bench BenchmarkTelemetry -benchtime 2s -run TestXXX
 	$(GO) test -bench BenchmarkTrainStep -benchtime 2s -run TestXXX .
 
-# Allocation gate: the pooled training step must stay within ALLOC_BUDGET
-# allocs/op at steady state (currently 0; the budget leaves headroom for
-# runtime-internal noise). Catches any regression that puts an allocation
-# back on the pooled hot path.
+# Allocation gate: the pooled training step — single-executor and replica
+# group alike — must stay within ALLOC_BUDGET allocs/op at steady state
+# (currently 0; the budget leaves headroom for runtime-internal noise).
+# Catches any regression that puts an allocation back on a pooled hot path.
 ALLOC_BUDGET ?= 4
 allocs:
-	@out=$$($(GO) test -run TestXXX -bench 'BenchmarkTrainStep/^gist-pooled$$' -benchtime 50x -benchmem . | tee /dev/stderr); \
-	allocs=$$(printf '%s\n' "$$out" | awk '/gist-pooled/ {for (i=1; i<=NF; i++) if ($$i == "allocs/op") print $$(i-1)}'); \
-	if [ -z "$$allocs" ]; then echo "allocs: no gist-pooled benchmark output"; exit 1; fi; \
-	if [ "$$allocs" -gt "$(ALLOC_BUDGET)" ]; then \
-		echo "allocs: pooled train step allocates $$allocs/op, budget $(ALLOC_BUDGET)"; exit 1; \
-	fi; \
-	echo "allocs: $$allocs/op within budget $(ALLOC_BUDGET)"
+	@out=$$($(GO) test -run TestXXX -bench 'BenchmarkTrainStep/^gist-(pooled|replicas)$$' -benchtime 50x -benchmem . | tee /dev/stderr); \
+	allocs=$$(printf '%s\n' "$$out" | awk '/gist-(pooled|replicas)/ {for (i=1; i<=NF; i++) if ($$i == "allocs/op") print $$(i-1)}'); \
+	if [ -z "$$allocs" ]; then echo "allocs: no gist-pooled/gist-replicas benchmark output"; exit 1; fi; \
+	for a in $$allocs; do \
+		if [ "$$a" -gt "$(ALLOC_BUDGET)" ]; then \
+			echo "allocs: pooled train step allocates $$a/op, budget $(ALLOC_BUDGET)"; exit 1; \
+		fi; \
+	done; \
+	echo "allocs: [$$(echo $$allocs | tr '\n' ' ')] /op within budget $(ALLOC_BUDGET)"
 
-check: build vet test race race-hot allocs
+# Coverage floors on the numerical core: the executor/replica engine, the
+# encode→seal→decode pipeline, and the deterministic reduce. Floors sit
+# well below current coverage (89/87/100 as of the replica PR) so routine
+# churn passes, but a test-free subsystem landing in these packages fails.
+COVER_FLOOR_TRAIN ?= 80
+COVER_FLOOR_ENCODING ?= 80
+COVER_FLOOR_REDUCE ?= 90
+cover:
+	@out=$$($(GO) test -cover ./internal/train/ ./internal/encoding/ ./internal/reduce/ | tee /dev/stderr); \
+	fail=0; \
+	for spec in "train $(COVER_FLOOR_TRAIN)" "encoding $(COVER_FLOOR_ENCODING)" "reduce $(COVER_FLOOR_REDUCE)"; do \
+		pkg=$${spec% *}; floor=$${spec#* }; \
+		pct=$$(printf '%s\n' "$$out" | awk -v p="internal/$$pkg" '$$0 ~ p {for (i=1; i<=NF; i++) if ($$i ~ /^[0-9.]+%$$/) {sub(/%/, "", $$i); print int($$i)}}'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage output for internal/$$pkg"; fail=1; \
+		elif [ "$$pct" -lt "$$floor" ]; then \
+			echo "cover: internal/$$pkg at $$pct% is below the $$floor% floor"; fail=1; \
+		fi; \
+	done; \
+	[ "$$fail" -eq 0 ] && echo "cover: all floors met" || exit 1
+
+check: build vet test race race-hot allocs cover

@@ -366,6 +366,34 @@ func BenchmarkTrainStep(b *testing.B) {
 		b.StopTimer()
 		b.ReportMetric(pool.Stats().HitRate(), "pool-hit-rate")
 	})
+	// gist-replicas is the pooled encoded step on the data-parallel replica
+	// engine: 2 replicas, 2 micro-shards of batch 4 (the same 8 samples per
+	// step as gist-pooled), merged with the deterministic tree reduce.
+	// Steady state must stay inside the same allocs/op budget — the shard
+	// gradient buffers come from the pool and the reduce reuses its bound
+	// chunk closures, so scaling out adds no per-step allocation.
+	b.Run("gist-replicas", func(b *testing.B) {
+		g := networks.TinyCNN(4, 4)
+		pool := bufpool.New()
+		rg := train.NewReplicaGroup(g, train.Options{
+			Seed:      1,
+			Encodings: encoding.Analyze(g, encoding.LossyLossless(floatenc.FP16)),
+			Pool:      pool,
+		}, train.ReplicaConfig{Replicas: 2, Shards: 2})
+		defer rg.Close()
+		d := train.NewDataset(4, 3, 16, 0.4, 2)
+		x, labels := d.Batch(rg.GroupBatch())
+		for i := 0; i < 3; i++ {
+			rg.Step(x, labels, 0.01)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rg.Step(x, labels, 0.01)
+		}
+		b.StopTimer()
+		b.ReportMetric(pool.Stats().HitRate(), "pool-hit-rate")
+	})
 	// gist-telemetry runs the same encoded step with a live sink attached and
 	// reports the memory story alongside ns/op: stash bytes held per step and
 	// the compression ratio, both pulled from the sink's own counters. The

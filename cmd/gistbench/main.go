@@ -31,6 +31,8 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 	par := flag.Int("parallel", 0, "encode/decode worker count (0 = GOMAXPROCS, 1 = serial)")
 	usePool := flag.Bool("pool", false, "recycle the training-based experiments' per-step tensors through the shared buffer pool (byte-identical results)")
+	replicas := flag.Int("replicas", 0, "run the training-based experiments on this many data-parallel executor replicas (0/1 = single executor)")
+	nshards := flag.Int("shards", 0, "micro-shards per step for the replica engine (0 = one per replica; pin this when comparing replica counts)")
 	traceOut := flag.String("trace-out", "", "write Chrome trace_event JSON here at exit (codec + worker-pool activity of the training-based experiments)")
 	metricsOut := flag.String("metrics-out", "", "write a text telemetry snapshot here at exit")
 	flag.Parse()
@@ -42,6 +44,7 @@ func main() {
 	if *usePool {
 		experiments.SetTrainingPool(bufpool.Shared())
 	}
+	experiments.SetTrainingReplicas(*replicas, *nshards)
 
 	// Either telemetry flag instruments the process-wide worker pool and
 	// codec; the default stays the zero-overhead nil sink.

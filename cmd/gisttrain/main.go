@@ -30,6 +30,8 @@ func main() {
 	minibatch := flag.Int("mb", 0, "minibatch size (0 = default)")
 	seed := flag.Uint64("seed", 0, "RNG seed (0 = default)")
 	par := flag.Int("parallel", 0, "encode/decode worker count (0 = GOMAXPROCS, 1 = serial)")
+	replicas := flag.Int("replicas", 0, "data-parallel executor replicas (0/1 = single executor; results are bit-identical at every count for a fixed -shards)")
+	nshards := flag.Int("shards", 0, "micro-shards per step for the replica engine (0 = one per replica; pin this when comparing replica counts)")
 	usePool := flag.Bool("pool", false, "recycle per-step tensors through the shared buffer pool (byte-identical results, near-zero steady-state allocation)")
 
 	// Fault-injection flags (robust experiment).
@@ -58,6 +60,11 @@ func main() {
 	if *usePool {
 		experiments.SetTrainingPool(bufpool.Shared())
 	}
+	// The replica engine splits each step's minibatch into fixed
+	// micro-shards and merges gradients with a deterministic tree reduce,
+	// so weights are bit-identical at every -replicas and -parallel value
+	// once -shards is pinned.
+	experiments.SetTrainingReplicas(*replicas, *nshards)
 
 	var sink *telemetry.Sink
 	var metricsFile *os.File

@@ -70,3 +70,46 @@ func TestFacadeNetworkBuilders(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeReplicas drives the data-parallel engine through the public
+// options: a 2-replica, 4-shard trainer consumes 4x the graph batch per
+// step and trains to the same bits as a 1-replica group at the same shard
+// count.
+func TestFacadeReplicas(t *testing.T) {
+	trainOnce := func(replicas int) *gist.Trainer {
+		tr := gist.NewTrainer(gist.TinyCNN(2, 4),
+			gist.WithSeed(7),
+			gist.WithEncodings(gist.LossyLossless(gist.FP16)),
+			gist.WithPooling(gist.NewBufferPool()),
+			gist.WithReplicas(replicas),
+			gist.WithShards(4),
+		)
+		d := gist.NewDataset(4, 3, 16, 0.4, 2)
+		for i := 0; i < 10; i++ {
+			x, labels := d.Batch(tr.Minibatch())
+			if _, _, err := tr.Step(x, labels, 0.05); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return tr
+	}
+	tr1 := trainOnce(1)
+	defer tr1.Close()
+	tr2 := trainOnce(2)
+	defer tr2.Close()
+	if got := tr2.Minibatch(); got != 8 {
+		t.Fatalf("group minibatch = %d, want 8", got)
+	}
+	for _, n := range tr1.Executor().G.Nodes {
+		p1 := tr1.Executor().Params(n)
+		p2 := tr2.Executor().Params(tr2.Executor().G.Nodes[n.ID])
+		for i := range p1 {
+			for k := range p1[i].Data {
+				if p1[i].Data[k] != p2[i].Data[k] {
+					t.Fatalf("node %s param %d element %d: %g vs %g",
+						n.Name, i, k, p1[i].Data[k], p2[i].Data[k])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package encoding
+
+import (
+	"bytes"
+	"encoding/hex"
+	"math"
+	"testing"
+
+	"gist/internal/floatenc"
+	"gist/internal/tensor"
+)
+
+// Golden wire-format fixtures for sealed EncodedStash blobs. The frozen
+// hex pins the "GSTS" marshaled layout end to end — header fields, CSR
+// index/pointer arrays, DPR word stream, chunk-CRC trailer and the rolled-
+// up checksum — so a change anywhere in encode, seal or marshal that moves
+// a byte fails here by name instead of surfacing as a checkpoint
+// incompatibility. Regenerate with `go run ./internal/goldengen` only for
+// an intentional wire-format break.
+
+// goldenStashInput rebuilds the fixture feature map: seeded noise with
+// negatives clamped to zero (48 of 96 elements zero), the ReLU-shaped
+// distribution SSDC exists for.
+func goldenStashInput() *tensor.Tensor {
+	t := tensor.New(2, 3, 4, 4)
+	rng := tensor.NewRNG(12345)
+	for i := range t.Data {
+		v := rng.Float32()*2 - 1
+		if v < 0 {
+			v = 0
+		}
+		t.Data[i] = v
+	}
+	return t
+}
+
+const (
+	goldenSSDCChecksum = 0x2bd41d16
+	goldenSSDCBlobHex  = "47535453020000000100000000800100040000000200000003000000040000000400000060000000000100003000000000000000300000000001030607080a11121415161718191a1d2324262728292c2d2e3132333536383a3c464a4c4d4f5051535456575a5c5d00c0423e00a0013f00c0f13e00e07f3f0000823d00c0003f0040083f00e0403f0040373e00e0263f00c0013f0080bd3e0080ce3e00c02d3f0000d73e00c04b3f0000903e00e07d3f0040c73e0000623f0040723f0040493f0040f73e0080613f00c0973e00c00a3f0080483f0080c23d00004b3d00801f3f00a06f3e00c09c3e00404e3e0040623f0060073f00c02e3f0020023e0060483f00200e3f00200e3f0000143e00c0083f00a0e63c0060db3e00c05a3f00a07f3f0040783f0000173f161dd42b010000000f8b1f1f"
+
+	goldenDPRChecksum = 0x62294918
+	goldenDPRBlobHex  = "4753545303000000010000000080010004000000020000000300000004000000040000000200000060000000c8800300de000000f0c0020e00840300000000000000800ec700500ee060a30de66c930e0000200d000000000000000fd900c00eeea4f30d0000c00ed384030000a4830ba900400ece00400d00280300ec0000000000000000000000008403000000600e0000930e0088230ec200100e9d00b00deb000000f000f00ee300000018492962010000001b0471fc"
+)
+
+func mustHex(t *testing.T, s string) []byte {
+	t.Helper()
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestGoldenStashMarshal re-encodes the fixture map and requires the
+// sealed, marshaled result to be byte-identical to the frozen blob — the
+// encode direction of wire compatibility.
+func TestGoldenStashMarshal(t *testing.T) {
+	cases := []struct {
+		name     string
+		blobHex  string
+		checksum uint32
+		encode   func(*tensor.Tensor) (*EncodedStash, error)
+	}{
+		{"ssdc-fp16", goldenSSDCBlobHex, goldenSSDCChecksum,
+			func(x *tensor.Tensor) (*EncodedStash, error) {
+				as := &Assignment{Tech: SSDC, Format: floatenc.FP16, NeedsDecode: true}
+				return EncodeStash(as, x)
+			}},
+		{"dpr-fp10", goldenDPRBlobHex, goldenDPRChecksum,
+			func(x *tensor.Tensor) (*EncodedStash, error) {
+				return EncodeDense(floatenc.FP10, x), nil
+			}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			e, err := c.encode(goldenStashInput())
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.Seal()
+			if e.Checksum != c.checksum {
+				t.Errorf("checksum %#08x, want %#08x", e.Checksum, c.checksum)
+			}
+			blob, err := e.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := mustHex(t, c.blobHex)
+			if !bytes.Equal(blob, want) {
+				i := 0
+				for i < len(blob) && i < len(want) && blob[i] == want[i] {
+					i++
+				}
+				t.Fatalf("marshaled blob diverges from fixture at byte %d (len %d vs %d)",
+					i, len(blob), len(want))
+			}
+		})
+	}
+}
+
+// TestGoldenStashUnmarshal is the decode direction: the frozen blob must
+// unmarshal, pass integrity verification, and decode to the fixture map's
+// FP16-quantized values.
+func TestGoldenStashUnmarshal(t *testing.T) {
+	e, err := UnmarshalStash(mustHex(t, goldenSSDCBlobHex))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.Sealed() {
+		t.Fatal("unmarshaled stash lost its seal")
+	}
+	if err := e.Verify(); err != nil {
+		t.Fatalf("frozen blob fails integrity verification: %v", err)
+	}
+	dec, err := e.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := goldenStashInput()
+	if len(dec.Data) != len(in.Data) {
+		t.Fatalf("decoded %d elements, want %d", len(dec.Data), len(in.Data))
+	}
+	for i, v := range in.Data {
+		want := floatenc.FP16.Quantize(v)
+		if math.Float32bits(dec.Data[i]) != math.Float32bits(want) {
+			t.Fatalf("element %d decodes to %g, want %g", i, dec.Data[i], want)
+		}
+	}
+
+	// Known decoded spot values, frozen independently of Quantize.
+	for _, spot := range []struct {
+		idx  int
+		bits uint32
+	}{{0, 0x3e42c000}, {7, 0x3d820000}, {19, 0x00000000}, {95, 0x00000000}} {
+		if got := math.Float32bits(dec.Data[spot.idx]); got != spot.bits {
+			t.Errorf("element %d = %#08x, want %#08x", spot.idx, got, spot.bits)
+		}
+	}
+
+	// A flipped payload bit must be caught by the seal.
+	e2, err := UnmarshalStash(mustHex(t, goldenSSDCBlobHex))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.FlipBit(e2.PayloadBits() / 2)
+	if err := e2.Verify(); err == nil {
+		t.Fatal("corrupted frozen blob passed verification")
+	}
+}

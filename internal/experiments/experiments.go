@@ -178,7 +178,9 @@ func Lookup(id string) func() *Result {
 	case "algoselect":
 		return func() *Result { return ExtAlgoSelect(DefaultMinibatch) }
 	case "distributed":
-		return func() *Result { return ExtDistributed(DefaultMinibatch, 4) }
+		// Real replica training, so it runs at training scale (shard batch
+		// mb/4), not the planning suite's 64-row minibatch.
+		return func() *Result { return ExtDistributed(8, 4) }
 	case "summary":
 		return Summary
 	}

@@ -28,6 +28,40 @@ var trainingPool *bufpool.Pool
 // through the given pool (nil restores allocate-per-step).
 func SetTrainingPool(p *bufpool.Pool) { trainingPool = p }
 
+// trainingReplicas/trainingShards, when set, run the training-based
+// experiments on the data-parallel replica engine. The CLIs' -replicas and
+// -shards flags set them; at a fixed shard count results are byte-identical
+// at every replica count.
+var trainingReplicas, trainingShards int
+
+// SetTrainingReplicas sizes the replica groups the zero-argument training
+// runners build (0/0 restores the single-executor path).
+func SetTrainingReplicas(replicas, shards int) {
+	trainingReplicas, trainingShards = replicas, shards
+}
+
+// newTrainEngine builds the training engine for a run: a plain executor
+// when replicas and shards are unset, otherwise a replica group whose
+// micro-shards divide the requested minibatch (so the per-step sample
+// count is unchanged). It returns the engine, the per-step minibatch to
+// drive it with, and a release function for the group's workers.
+func newTrainEngine(build func(mb, classes int) *graph.Graph, mb, classes int,
+	opts train.Options, replicas, shards int) (train.Stepper, int, func()) {
+	if replicas <= 1 && shards <= 0 {
+		return train.NewExecutor(build(mb, classes), opts), mb, func() {}
+	}
+	if shards <= 0 {
+		shards = replicas
+	}
+	shardBatch := mb / shards
+	if shardBatch < 1 {
+		shardBatch = 1
+	}
+	rg := train.NewReplicaGroup(build(shardBatch, classes), opts,
+		train.ReplicaConfig{Replicas: replicas, Shards: shards})
+	return rg, rg.GroupBatch(), rg.Close
+}
+
 // TrainScale sizes the Figure 12 runs.
 type TrainScale struct {
 	Classes   int
@@ -42,6 +76,10 @@ type TrainScale struct {
 	// Pool, when non-nil, serves every per-step tensor of the training runs
 	// from its free lists instead of fresh allocations.
 	Pool *bufpool.Pool
+	// Replicas/Shards, when set, run the accuracy study on the replica
+	// engine: Minibatch is divided into Shards micro-shards spread over
+	// Replicas concurrent executors.
+	Replicas, Shards int
 }
 
 // DefaultTrainScale trains in well under a minute on one core.
@@ -49,7 +87,7 @@ func DefaultTrainScale() TrainScale {
 	return TrainScale{
 		Classes: 4, Minibatch: 8, Steps: 200, LR: 0.05, NoiseStd: 0.4,
 		Seeds: []uint64{42, 43}, ErrorDepth: 12, Seed: 42,
-		Pool: trainingPool,
+		Pool: trainingPool, Replicas: trainingReplicas, Shards: trainingShards,
 	}
 }
 
@@ -93,18 +131,19 @@ func Fig12(s TrainScale) *Result {
 		var sum float64
 		diverged := false
 		for _, seed := range s.Seeds {
-			g := networks.TinyCNN(s.Minibatch, s.Classes)
 			opts := train.Options{Seed: seed, Pool: s.Pool}
 			if c.mode != train.FullPrecision {
 				opts.Mode = c.mode
 				opts.Format = c.format
 			}
-			e := train.NewExecutor(g, opts)
+			e, stepMB, done := newTrainEngine(networks.TinyCNN,
+				s.Minibatch, s.Classes, opts, s.Replicas, s.Shards)
 			d := train.NewDataset(s.Classes, 3, 16, s.NoiseStd, seed+1)
 			recs := train.Run(e, d, train.RunConfig{
-				Minibatch: s.Minibatch, Steps: s.Steps, LR: s.LR,
+				Minibatch: stepMB, Steps: s.Steps, LR: s.LR,
 				ProbeEvery: s.Steps / 10,
 			})
+			done()
 			sum += train.FinalAccuracyLoss(recs)
 			diverged = diverged || train.Diverged(recs, s.Classes)
 		}
@@ -229,13 +268,15 @@ type SparsityScale struct {
 	Seed       uint64
 	// Pool, when non-nil, pools the run's per-step tensors.
 	Pool *bufpool.Pool
+	// Replicas/Shards, when set, run the study on the replica engine.
+	Replicas, Shards int
 }
 
 // DefaultSparsityScale probes a TinyVGG run every few steps.
 func DefaultSparsityScale() SparsityScale {
 	return SparsityScale{
 		Classes: 4, Minibatch: 8, Steps: 60, ProbeEvery: 10, LR: 0.01, Seed: 7,
-		Pool: trainingPool,
+		Pool: trainingPool, Replicas: trainingReplicas, Shards: trainingShards,
 	}
 }
 
@@ -245,13 +286,14 @@ func DefaultSparsityScale() SparsityScale {
 // as training sharpens the features.
 func Fig14(s SparsityScale) *Result {
 	r := &Result{ID: "fig14", Title: "SSDC compression ratio per ReLU layer over training (TinyVGG)"}
-	g := networks.TinyVGG(s.Minibatch, s.Classes)
-	e := train.NewExecutor(g, train.Options{Seed: s.Seed, Pool: s.Pool})
+	e, stepMB, done := newTrainEngine(networks.TinyVGG, s.Minibatch, s.Classes,
+		train.Options{Seed: s.Seed, Pool: s.Pool}, s.Replicas, s.Shards)
 	d := train.NewDataset(s.Classes, 3, 32, 0.3, s.Seed+1)
 	recs := train.Run(e, d, train.RunConfig{
-		Minibatch: s.Minibatch, Steps: s.Steps, LR: s.LR,
+		Minibatch: stepMB, Steps: s.Steps, LR: s.LR,
 		ProbeEvery: s.ProbeEvery, ProbeSparsity: true,
 	})
+	done()
 	if len(recs) == 0 {
 		r.add("(no probes)")
 		return r

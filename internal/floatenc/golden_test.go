@@ -1,0 +1,134 @@
+package floatenc
+
+import (
+	"math"
+	"testing"
+)
+
+// Golden byte-level regression fixtures for the packed encoders. The
+// frozen words pin the exact bit layout of the FP16/FP10/FP8 containers —
+// value order within a word, rounding, clamp-to-max-finite, and
+// flush-to-zero — so any change to the packing or the float codecs that
+// alters bits on disk (and therefore every stash checksum and marshaled
+// blob) fails here first, explicitly. Regenerate with
+// `go run ./internal/goldengen` only for an intentional format break.
+//
+// The input vector covers: +0/-0, +-1, exact powers of two, a repeating
+// fraction (rounds differently per mantissa width), FP16's max finite
+// value, overflow clamp (1e8), a value denormal in FP16 but normal in
+// FP10's wider exponent, and magnitudes that flush to zero everywhere.
+var goldenInputBits = []uint32{
+	0x00000000, 0x80000000, 0x3f800000, 0xbf800000,
+	0x3f000000, 0xbe800000, 0x3f2aaaab, 0xc0490fd0,
+	0x477fe000, 0xc77fe000, 0x4cbebc20, 0xccbebc20,
+	0x387fda40, 0xb87fda40, 0x322bcc77, 0x33800000,
+}
+
+var goldenPacked = map[Format]struct {
+	words   []uint32
+	decoded []uint32
+}{
+	FP16: {
+		words: []uint32{
+			0x80000000, 0xbc003c00, 0xb4003800, 0xc2483955,
+			0xfbff7bff, 0xfbff7bff, 0x80000000, 0x00000000,
+		},
+		decoded: []uint32{
+			0x00000000, 0x80000000, 0x3f800000, 0xbf800000,
+			0x3f000000, 0xbe800000, 0x3f2aa000, 0xc0490000,
+			0x477fe000, 0xc77fe000, 0x477fe000, 0xc77fe000,
+			0x00000000, 0x80000000, 0x00000000, 0x00000000,
+		},
+	},
+	FP10: {
+		words: []uint32{
+			0x0f080000, 0x2d0382f0, 0x1efc24e5,
+			0x3ef7bfef, 0x00084010, 0x00000000,
+		},
+		decoded: []uint32{
+			0x00000000, 0x80000000, 0x3f800000, 0xbf800000,
+			0x3f000000, 0xbe800000, 0x3f280000, 0xc0480000,
+			0x47780000, 0xc7780000, 0x47780000, 0xc7780000,
+			0x38800000, 0xb8800000, 0x00000000, 0x00000000,
+		},
+	},
+	FP8: {
+		words: []uint32{
+			0xb8388000, 0xc533a830, 0xf777f777, 0x00008000,
+		},
+		decoded: []uint32{
+			0x00000000, 0x80000000, 0x3f800000, 0xbf800000,
+			0x3f000000, 0xbe800000, 0x3f300000, 0xc0500000,
+			0x43700000, 0xc3700000, 0x43700000, 0xc3700000,
+			0x00000000, 0x80000000, 0x00000000, 0x00000000,
+		},
+	},
+}
+
+func TestGoldenPackedWords(t *testing.T) {
+	in := make([]float32, len(goldenInputBits))
+	for i, b := range goldenInputBits {
+		in[i] = math.Float32frombits(b)
+	}
+	for f, want := range goldenPacked {
+		p := EncodeSlice(f, in)
+		if len(p.Words) != len(want.words) {
+			t.Fatalf("%v: %d packed words, want %d", f, len(p.Words), len(want.words))
+		}
+		for i, w := range p.Words {
+			if w != want.words[i] {
+				t.Errorf("%v: word %d = %#08x, want %#08x (encoder bit layout changed)",
+					f, i, w, want.words[i])
+			}
+		}
+		dec := p.DecodeSlice(make([]float32, len(in)))
+		for i, v := range dec {
+			if math.Float32bits(v) != want.decoded[i] {
+				t.Errorf("%v: decoded[%d] = %#08x (%g), want %#08x",
+					f, i, math.Float32bits(v), v, want.decoded[i])
+			}
+		}
+	}
+}
+
+// TestGoldenDecodeFromFrozenWords decodes the frozen containers directly —
+// the on-disk-compatibility direction: words packed by any past build must
+// keep decoding to the same floats.
+func TestGoldenDecodeFromFrozenWords(t *testing.T) {
+	for f, want := range goldenPacked {
+		p := &Packed{Format: f, N: len(goldenInputBits), Words: want.words}
+		dec := p.DecodeSlice(make([]float32, p.N))
+		for i, v := range dec {
+			if math.Float32bits(v) != want.decoded[i] {
+				t.Errorf("%v: frozen words decoded[%d] = %#08x, want %#08x",
+					f, i, math.Float32bits(v), want.decoded[i])
+			}
+		}
+	}
+}
+
+// TestGoldenScalarRoundTrips pins a few scalar encodings whose bit
+// patterns are easy to verify by hand against the layout documentation.
+func TestGoldenScalarRoundTrips(t *testing.T) {
+	cases := []struct {
+		f    Format
+		v    float32
+		bits uint32
+	}{
+		{FP16, 1, 0x3c00},
+		{FP16, -2, 0xc000},
+		{FP16, 65504, 0x7bff},
+		{FP10, 1, 0x0f0},
+		{FP8, 1, 0x38},
+		{FP8, -1, 0xb8},
+	}
+	for _, c := range cases {
+		if got := c.f.Encode(c.v); got != c.bits {
+			t.Errorf("%v.Encode(%g) = %#x, want %#x", c.f, c.v, got, c.bits)
+		}
+		if got := c.f.Decode(c.bits); got != c.f.Quantize(c.v) {
+			t.Errorf("%v.Decode(%#x) = %g, want Quantize(%g) = %g",
+				c.f, c.bits, got, c.v, c.f.Quantize(c.v))
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command goldengen regenerates the frozen byte fixtures embedded in
+// internal/floatenc/golden_test.go and internal/encoding/golden_test.go:
+// the packed FP16/FP10/FP8 word streams and the sealed EncodedStash
+// "GSTS" wire blobs. Run it only when intentionally breaking the encoder
+// bit layout or the stash wire format, and paste the printed values into
+// those tests — the fixtures exist precisely so such breaks are explicit.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"gist/internal/encoding"
+	"gist/internal/floatenc"
+	"gist/internal/tensor"
+)
+
+func main() {
+	// floatenc golden inputs: exercises zero, signed zero, exact powers of
+	// two, a repeating fraction, denormal/underflow, overflow clamp, and
+	// sign handling in every format.
+	in := []float32{
+		0, float32(math.Copysign(0, -1)), 1, -1,
+		0.5, -0.25, 2.0 / 3.0, -3.14159,
+		65504, -65504, 1e8, -1e8,
+		6.1e-5, -6.1e-5, 1e-8, 5.9604645e-8,
+	}
+	fmt.Print("input bits: ")
+	for _, v := range in {
+		fmt.Printf("0x%08x, ", math.Float32bits(v))
+	}
+	fmt.Println()
+	for _, f := range []floatenc.Format{floatenc.FP16, floatenc.FP10, floatenc.FP8} {
+		p := floatenc.EncodeSlice(f, in)
+		fmt.Printf("%s words: ", f)
+		for _, w := range p.Words {
+			fmt.Printf("0x%08x, ", w)
+		}
+		fmt.Println()
+		dec := p.DecodeSlice(make([]float32, len(in)))
+		fmt.Printf("%s decoded bits: ", f)
+		for _, v := range dec {
+			fmt.Printf("0x%08x, ", math.Float32bits(v))
+		}
+		fmt.Println()
+	}
+
+	// EncodedStash wire blob: a deterministic ReLU-like feature map
+	// (seeded noise, negatives clamped to zero => ~50% sparsity).
+	t := tensor.New(2, 3, 4, 4)
+	rng := tensor.NewRNG(12345)
+	for i := range t.Data {
+		v := rng.Float32()*2 - 1
+		if v < 0 {
+			v = 0
+		}
+		t.Data[i] = v
+	}
+	nz := 0
+	for _, v := range t.Data {
+		if v != 0 {
+			nz++
+		}
+	}
+	fmt.Printf("tensor nonzeros: %d/%d\n", nz, len(t.Data))
+	as := &encoding.Assignment{
+		Tech: encoding.SSDC, Format: floatenc.FP16, NeedsDecode: true,
+	}
+	e, err := encoding.EncodeStash(as, t)
+	if err != nil {
+		panic(err)
+	}
+	e.Seal()
+	blob, err := e.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("ssdc checksum: 0x%08x len %d\n", e.Checksum, len(blob))
+	fmt.Printf("ssdc blob: %x\n", blob)
+
+	d := encoding.EncodeDense(floatenc.FP10, t)
+	d.Seal()
+	blob2, err := d.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("dpr checksum: 0x%08x len %d\n", d.Checksum, len(blob2))
+	fmt.Printf("dpr blob: %x\n", blob2)
+
+	dec, err := e.Decode()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print("ssdc decoded spots [0 7 19 95]: ")
+	for _, i := range []int{0, 7, 19, 95} {
+		fmt.Printf("0x%08x, ", math.Float32bits(dec.Data[i]))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,21 @@
+package graph
+
+import "gist/internal/layers"
+
+// Clone returns a structurally identical copy of the graph: same node
+// names, IDs, wiring and shapes, but fresh operator instances (see
+// layers.Clone). The replica engine builds one clone per additional
+// executor so per-operator mutable state — batch-norm running statistics —
+// is never shared between concurrently running replicas.
+func (g *Graph) Clone() *Graph {
+	out := New()
+	nodes := make([]*Node, len(g.Nodes))
+	for _, n := range g.Nodes {
+		ins := make([]*Node, len(n.Inputs))
+		for i, in := range n.Inputs {
+			ins[i] = nodes[in.ID]
+		}
+		nodes[n.ID] = out.MustAdd(n.Name, layers.Clone(n.Op), ins...)
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package layers
+
+import "fmt"
+
+// Clone returns an independent copy of an operator. Operator structs carry
+// two kinds of state: immutable configuration (kernel sizes, rates,
+// constants) and — for batch normalization — mutable running statistics
+// that training forward passes update in place. Data-parallel replicas
+// rebuild a graph per executor precisely so that mutable state is never
+// shared across concurrently running replicas; Clone is the per-operator
+// half of that rebuild. It panics on an operator type it does not know,
+// so adding a new operator forces a decision here instead of a silent
+// shallow share.
+func Clone(op Op) Op {
+	switch o := op.(type) {
+	case *InputOp:
+		return &InputOp{Shape: o.Shape.Clone()}
+	case *Conv2D:
+		c := *o
+		return &c
+	case *FCOp:
+		c := *o
+		return &c
+	case *ReLUOp:
+		return &ReLUOp{}
+	case *MaxPoolOp:
+		c := *o
+		return &c
+	case *AvgPoolOp:
+		c := *o
+		return &c
+	case *DropoutOp:
+		c := *o
+		return &c
+	case *LRNOp:
+		c := *o
+		return &c
+	case *ConcatOp:
+		return &ConcatOp{}
+	case *AddOp:
+		return &AddOp{}
+	case *SoftmaxXentOp:
+		return &SoftmaxXentOp{}
+	case *BatchNormOp:
+		c := &BatchNormOp{Eps: o.Eps, Momentum: o.Momentum}
+		c.RunningMean = append([]float32(nil), o.RunningMean...)
+		c.RunningVar = append([]float32(nil), o.RunningVar...)
+		return c
+	}
+	panic(fmt.Sprintf("layers: Clone of unknown operator type %T", op))
+}

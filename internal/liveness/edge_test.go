@@ -1,0 +1,118 @@
+package liveness
+
+import (
+	"testing"
+
+	"gist/internal/graph"
+	"gist/internal/layers"
+)
+
+// Table-driven edge cases for the liveness analysis itself: graphs at the
+// degenerate ends of the spectrum (no nodes, one node, everything consumed
+// immediately) must come back with consistent buffer sets and lifetimes,
+// because the pool prewarm and the memory planner both run unconditionally
+// over whatever graph a trainer is built on.
+func TestAnalyzeEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() *graph.Graph
+		check func(t *testing.T, g *graph.Graph, tl *graph.Timeline, bufs []*Buffer)
+	}{
+		{
+			name:  "empty graph",
+			build: graph.New,
+			check: func(t *testing.T, g *graph.Graph, tl *graph.Timeline, bufs []*Buffer) {
+				if len(bufs) != 0 {
+					t.Fatalf("empty graph produced %d buffers", len(bufs))
+				}
+				if tl.Len() != 0 {
+					t.Fatalf("empty timeline has %d steps", tl.Len())
+				}
+			},
+		},
+		{
+			name: "single input node",
+			build: func() *graph.Graph {
+				g := graph.New()
+				g.MustAdd("input", layers.NewInput(4, 3, 8, 8))
+				return g
+			},
+			check: func(t *testing.T, g *graph.Graph, tl *graph.Timeline, bufs []*Buffer) {
+				if len(bufs) != 1 {
+					t.Fatalf("got %d buffers, want just input.out", len(bufs))
+				}
+				b := bufs[0]
+				if b.Name != "input.out" || b.Class != graph.ClassImmediateFmap {
+					t.Fatalf("buffer = %v", b)
+				}
+				if b.Bytes != 4*3*8*8*4 {
+					t.Fatalf("input.out bytes = %d", b.Bytes)
+				}
+				// No consumers: the buffer lives only at its own forward step.
+				if in := g.Lookup("input"); b.Start != tl.ForwardStep(in) || b.End != tl.ForwardStep(in) {
+					t.Fatalf("input.out lifetime [%d,%d]", b.Start, b.End)
+				}
+				// An input has no gradient map.
+				if find(bufs, "input.grad") != nil {
+					t.Fatal("input node must not get a gradient buffer")
+				}
+			},
+		},
+		{
+			name: "every fmap immediately consumed",
+			build: func() *graph.Graph {
+				// AvgPool's backward needs neither its input nor its
+				// output, so nothing here survives past its consumer's
+				// forward step: the whole graph is stash-free.
+				g := graph.New()
+				in := g.MustAdd("input", layers.NewInput(2, 3, 8, 8))
+				p1 := g.MustAdd("pool1", layers.NewAvgPool(2, 2, 0), in)
+				g.MustAdd("pool2", layers.NewAvgPool(2, 2, 0), p1)
+				return g
+			},
+			check: func(t *testing.T, g *graph.Graph, tl *graph.Timeline, bufs []*Buffer) {
+				for _, b := range bufs {
+					if b.Class == graph.ClassStashedFmap {
+						t.Errorf("%s is stashed; this graph stashes nothing", b.Name)
+					}
+				}
+				// Each output dies at its consumer's forward step — the
+				// shortest possible fmap lifetime.
+				p1 := g.Lookup("pool1")
+				out := find(bufs, "input.out")
+				if out == nil || out.End != tl.ForwardStep(p1) {
+					t.Fatalf("input.out = %v, want death at pool1's forward step %d",
+						out, tl.ForwardStep(p1))
+				}
+				p2 := g.Lookup("pool2")
+				mid := find(bufs, "pool1.out")
+				if mid == nil || mid.Class != graph.ClassImmediateFmap || mid.End != tl.ForwardStep(p2) {
+					t.Fatalf("pool1.out = %v", mid)
+				}
+				// The sink's output still spans to its own backward step
+				// (the loss gradient is seeded there).
+				last := find(bufs, "pool2.out")
+				if last == nil || last.End < tl.ForwardStep(p2) {
+					t.Fatalf("pool2.out = %v", last)
+				}
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := c.build()
+			tl := graph.BuildTimeline(g)
+			bufs := Analyze(g, tl, Options{})
+			// Invariants that hold for every graph, degenerate or not.
+			for _, b := range bufs {
+				if b.Start > b.End {
+					t.Errorf("%s has inverted lifetime [%d,%d]", b.Name, b.Start, b.End)
+				}
+				if b.Bytes < 0 {
+					t.Errorf("%s has negative size %d", b.Name, b.Bytes)
+				}
+			}
+			c.check(t, g, tl, bufs)
+		})
+	}
+}

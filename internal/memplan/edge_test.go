@@ -1,0 +1,101 @@
+package memplan
+
+import (
+	"testing"
+
+	"gist/internal/graph"
+	"gist/internal/layers"
+	"gist/internal/liveness"
+)
+
+// Table-driven edge cases for PoolWarmSet over degenerate and minimal
+// graphs: the prewarm path runs at every trainer construction, so the
+// planner must hand the pool something sensible (often: nothing) for
+// graphs with no steps, no per-step tensors, or fmaps that die the moment
+// they are consumed.
+func TestPoolWarmSetEdgeCases(t *testing.T) {
+	singleNode := func() *graph.Graph {
+		g := graph.New()
+		g.MustAdd("input", layers.NewInput(2, 3, 8, 8))
+		return g
+	}
+	// input -> relu -> avgpool -> loss-free tail: every fmap's backward
+	// needs are satisfied without stashing anything beyond the ReLU output.
+	immediate := func() *graph.Graph {
+		g := graph.New()
+		in := g.MustAdd("input", layers.NewInput(2, 3, 8, 8))
+		r := g.MustAdd("relu", layers.NewReLU(), in)
+		g.MustAdd("pool", layers.NewAvgPool(2, 2, 0), r)
+		return g
+	}
+
+	cases := []struct {
+		name  string
+		build func() *graph.Graph
+		// wantCounts is the exact multiset of warm element counts, in
+		// liveness emission order.
+		wantCounts []int
+	}{
+		{
+			name:       "empty graph",
+			build:      graph.New,
+			wantCounts: nil,
+		},
+		{
+			// A lone input has no gradient map and its output is never
+			// consumed: one immediate fmap is all a step would touch.
+			name:       "single input node",
+			build:      singleNode,
+			wantCounts: []int{2 * 3 * 8 * 8},
+		},
+		{
+			// relu.out is an immediate fmap here: AvgPool's backward needs
+			// neither its input nor its output, so nothing is stashed and
+			// every buffer dies at its consumer's forward step.
+			name:  "immediately consumed stashes",
+			build: immediate,
+			wantCounts: []int{
+				2 * 3 * 8 * 8, // input.out
+				2 * 3 * 8 * 8, // relu.out
+				2 * 3 * 8 * 8, // relu.grad
+				2 * 3 * 4 * 4, // pool.out
+				2 * 3 * 4 * 4, // pool.grad
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := c.build()
+			bufs := liveness.Analyze(g, graph.BuildTimeline(g), liveness.Options{})
+			got := PoolWarmSet(bufs)
+			if len(got) != len(c.wantCounts) {
+				t.Fatalf("warm set %v, want %v", got, c.wantCounts)
+			}
+			for i := range got {
+				if got[i] != c.wantCounts[i] {
+					t.Fatalf("warm set %v, want %v", got, c.wantCounts)
+				}
+			}
+		})
+	}
+
+	// Nil and empty buffer lists short-circuit to an empty warm set.
+	if got := PoolWarmSet(nil); len(got) != 0 {
+		t.Fatalf("PoolWarmSet(nil) = %v", got)
+	}
+	if got := PoolWarmSet([]*liveness.Buffer{}); len(got) != 0 {
+		t.Fatalf("PoolWarmSet(empty) = %v", got)
+	}
+
+	// Non-fmap classes and zero-byte buffers are filtered out.
+	mixed := []*liveness.Buffer{
+		{Name: "w", Class: graph.ClassWeights, Bytes: 400},
+		{Name: "z", Class: graph.ClassImmediateFmap, Bytes: 0},
+		{Name: "enc", Class: graph.ClassEncoded, Bytes: 64},
+		{Name: "g", Class: graph.ClassGradientMap, Bytes: 40},
+	}
+	got := PoolWarmSet(mixed)
+	if len(got) != 1 || got[0] != 10 {
+		t.Fatalf("filtered warm set = %v, want [10]", got)
+	}
+}

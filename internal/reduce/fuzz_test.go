@@ -1,0 +1,69 @@
+package reduce
+
+import (
+	"math"
+	"testing"
+
+	"gist/internal/parallel"
+)
+
+// FuzzReduceGrads feeds arbitrary bytes — reinterpreted as float32 words,
+// so NaN, Inf and denormal payloads all occur — through the parallel merge
+// and cross-checks it against the serial reference tree bit for bit. It
+// also drives the error paths: a zero-shard merge must return ErrNoShards
+// and mismatched shard lengths must error rather than panic or write out
+// of bounds.
+func FuzzReduceGrads(f *testing.F) {
+	f.Add(uint8(1), uint8(4), []byte{})
+	f.Add(uint8(3), uint8(7), []byte{0, 0, 0x80, 0x7f, 1, 2, 3, 4, 0, 0, 0xc0, 0xff})
+	f.Add(uint8(8), uint8(1), []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0x80})
+	f.Add(uint8(0), uint8(2), []byte{9, 9, 9, 9})
+
+	pool := parallel.NewPool(4)
+	f.Fuzz(func(t *testing.T, nShardsRaw, chunkRaw uint8, data []byte) {
+		nShards := int(nShardsRaw % 9) // 0..8
+		chunk := int(chunkRaw%16) + 1
+
+		words := len(data) / 4
+		if nShards == 0 {
+			if err := Tree(pool, nil, 1, chunk); err != ErrNoShards {
+				t.Fatalf("zero-replica merge: got %v, want ErrNoShards", err)
+			}
+			return
+		}
+		elems := words / nShards
+		shards := make([][]float32, nShards)
+		off := 0
+		for i := range shards {
+			shards[i] = make([]float32, elems)
+			for k := range shards[i] {
+				shards[i][k] = math.Float32frombits(
+					uint32(data[off]) | uint32(data[off+1])<<8 |
+						uint32(data[off+2])<<16 | uint32(data[off+3])<<24)
+				off += 4
+			}
+		}
+		scale := 1 / float32(nShards)
+		want := refTree(shards, scale)
+
+		work := cloneShards(shards)
+		if err := Tree(pool, work, scale, chunk); err != nil {
+			t.Fatalf("merge: %v", err)
+		}
+		for k := range want {
+			if math.Float32bits(work[0][k]) != math.Float32bits(want[k]) {
+				t.Fatalf("element %d: got %x, want %x",
+					k, math.Float32bits(work[0][k]), math.Float32bits(want[k]))
+			}
+		}
+
+		// Mismatched shard lengths must be rejected before any write.
+		if elems > 0 && nShards > 1 {
+			bad := cloneShards(shards)
+			bad[nShards-1] = bad[nShards-1][:elems-1]
+			if err := Tree(pool, bad, scale, chunk); err == nil {
+				t.Fatal("mismatched shard lengths: want error, got nil")
+			}
+		}
+	})
+}

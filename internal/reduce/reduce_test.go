@@ -1,0 +1,147 @@
+package reduce
+
+import (
+	"math"
+	"testing"
+
+	"gist/internal/parallel"
+	"gist/internal/tensor"
+)
+
+// refTree is the serial reference: the same stride-doubling pairwise tree,
+// folded one element at a time. Merge must match it bit for bit at every
+// pool size and chunk size.
+func refTree(shards [][]float32, scale float32) []float32 {
+	acc := make([][]float32, len(shards))
+	for i, s := range shards {
+		acc[i] = append([]float32(nil), s...)
+	}
+	for stride := 1; stride < len(acc); stride *= 2 {
+		for i := 0; i+stride < len(acc); i += 2 * stride {
+			for k := range acc[i] {
+				acc[i][k] += acc[i+stride][k]
+			}
+		}
+	}
+	if scale != 1 {
+		for k := range acc[0] {
+			acc[0][k] *= scale
+		}
+	}
+	return acc[0]
+}
+
+func randShards(t *testing.T, n, elems int, seed uint64) [][]float32 {
+	t.Helper()
+	rng := tensor.NewRNG(seed)
+	shards := make([][]float32, n)
+	for i := range shards {
+		shards[i] = make([]float32, elems)
+		for k := range shards[i] {
+			shards[i][k] = rng.Float32()*6 - 3
+		}
+	}
+	return shards
+}
+
+func cloneShards(shards [][]float32) [][]float32 {
+	out := make([][]float32, len(shards))
+	for i, s := range shards {
+		out[i] = append([]float32(nil), s...)
+	}
+	return out
+}
+
+func bitsEqual(t *testing.T, got, want []float32, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", label, len(got), len(want))
+	}
+	for k := range got {
+		if math.Float32bits(got[k]) != math.Float32bits(want[k]) {
+			t.Fatalf("%s: element %d = %x (%g), want %x (%g)",
+				label, k, math.Float32bits(got[k]), got[k], math.Float32bits(want[k]), want[k])
+		}
+	}
+}
+
+// TestMergeMatchesReference checks the merged bits against the serial
+// reference across shard counts (including non-powers of two), pool sizes
+// and chunk sizes — the determinism contract the replica engine builds on.
+func TestMergeMatchesReference(t *testing.T) {
+	pools := map[string]*parallel.Pool{
+		"serial": nil,
+		"p4":     parallel.NewPool(4),
+	}
+	for _, nShards := range []int{1, 2, 3, 4, 5, 7, 8} {
+		shards := randShards(t, nShards, 1000, uint64(40+nShards))
+		want := refTree(shards, 1/float32(nShards))
+		for name, p := range pools {
+			for _, chunk := range []int{0, 1, 7, 64, 100000} {
+				work := cloneShards(shards)
+				if err := Tree(p, work, 1/float32(nShards), chunk); err != nil {
+					t.Fatalf("shards=%d pool=%s chunk=%d: %v", nShards, name, chunk, err)
+				}
+				bitsEqual(t, work[0], want, "merge")
+			}
+		}
+	}
+}
+
+// TestMergerReuse checks a single Merger across repeated Merge calls with
+// differing shard counts and lengths, as the replica group reuses it every
+// step.
+func TestMergerReuse(t *testing.T) {
+	m := NewMerger(parallel.NewPool(3), 13)
+	for i, nShards := range []int{4, 2, 6, 1} {
+		elems := 50 + 37*i
+		shards := randShards(t, nShards, elems, uint64(100+i))
+		want := refTree(shards, 1)
+		work := cloneShards(shards)
+		if err := m.Merge(work, 1); err != nil {
+			t.Fatalf("merge %d: %v", i, err)
+		}
+		bitsEqual(t, work[0], want, "reuse")
+	}
+}
+
+// TestMergeSpecialValues checks NaN and Inf propagate exactly as the
+// reference tree propagates them.
+func TestMergeSpecialValues(t *testing.T) {
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
+	shards := [][]float32{
+		{1, nan, inf, -inf, 0},
+		{2, 1, inf, inf, float32(math.Copysign(0, -1))},
+		{3, 2, -inf, 1, 0},
+	}
+	want := refTree(shards, 0.5)
+	work := cloneShards(shards)
+	if err := Tree(parallel.NewPool(2), work, 0.5, 2); err != nil {
+		t.Fatal(err)
+	}
+	bitsEqual(t, work[0], want, "special values")
+}
+
+func TestMergeErrors(t *testing.T) {
+	m := NewMerger(nil, 0)
+	if err := m.Merge(nil, 1); err != ErrNoShards {
+		t.Fatalf("empty merge: got %v, want ErrNoShards", err)
+	}
+	if err := m.Merge([][]float32{{1, 2}, {3}}, 1); err == nil {
+		t.Fatal("mismatched shard lengths: want error, got nil")
+	}
+	// Zero-length shards are legal and a no-op.
+	if err := m.Merge([][]float32{{}, {}}, 0.5); err != nil {
+		t.Fatalf("zero-length shards: %v", err)
+	}
+}
+
+func TestMergeScaleOne(t *testing.T) {
+	shards := [][]float32{{1.5, -2}, {0.25, 4}}
+	want := refTree(shards, 1)
+	if err := Tree(nil, shards, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	bitsEqual(t, shards[0], want, "scale-1")
+}

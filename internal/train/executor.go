@@ -939,11 +939,16 @@ func (e *Executor) drainFutures() {
 
 // ClipGradNorm rescales all parameter gradients so their global L2 norm is
 // at most maxNorm, the standard guard against the exploding gradients that
-// plain SGD on deeper ReLU stacks invites.
+// plain SGD on deeper ReLU stacks invites. The squared norm accumulates in
+// graph-node order: float addition is not associative, so a map-order walk
+// would make the clip scale (and therefore the updated weights) vary
+// run-to-run — and diverge across the replicas of a ReplicaGroup, which
+// rely on every replica computing the identical update from the identical
+// merged gradient.
 func (e *Executor) ClipGradNorm(maxNorm float64) {
 	var sumSq float64
-	for _, gs := range e.grads {
-		for _, g := range gs {
+	for _, n := range e.G.Nodes {
+		for _, g := range e.grads[n.ID] {
 			for _, v := range g.Data {
 				sumSq += float64(v) * float64(v)
 			}
@@ -954,8 +959,8 @@ func (e *Executor) ClipGradNorm(maxNorm float64) {
 		return
 	}
 	scale := float32(maxNorm / norm)
-	for _, gs := range e.grads {
-		for _, g := range gs {
+	for _, n := range e.G.Nodes {
+		for _, g := range e.grads[n.ID] {
 			g.Scale(scale)
 		}
 	}

@@ -8,8 +8,20 @@ import (
 	"io"
 
 	"gist/internal/graph"
+	"gist/internal/telemetry"
 	"gist/internal/tensor"
 )
+
+// Stepper is what Run needs from a training engine: one optimizer step per
+// minibatch plus the probe hooks. Both a single Executor and a
+// data-parallel ReplicaGroup satisfy it, so the same training loop drives
+// either.
+type Stepper interface {
+	Step(x *tensor.Tensor, labels []int, lr float32) (loss float64, errors int)
+	SetSparsityProbe(on bool)
+	ReLUSparsities() map[string]float64
+	Telemetry() *telemetry.Sink
+}
 
 // Record is one probe point of a training run.
 type Record struct {
@@ -41,19 +53,22 @@ type RunConfig struct {
 	MetricsOut   io.Writer
 }
 
-// maybeSnapshot writes the executor's telemetry snapshot when the config's
+// maybeSnapshot writes the engine's telemetry snapshot when the config's
 // periodic dump is due at this step.
-func maybeSnapshot(e *Executor, cfg RunConfig, step int) {
+func maybeSnapshot(e Stepper, cfg RunConfig, step int) {
 	if cfg.MetricsEvery > 0 && cfg.MetricsOut != nil && step%cfg.MetricsEvery == 0 {
-		_ = e.tel.WriteSnapshot(cfg.MetricsOut)
+		if tel := e.Telemetry(); tel != nil {
+			_ = tel.WriteSnapshot(cfg.MetricsOut)
+		}
 	}
 }
 
-// Run trains the executor's graph on the dataset and returns the probe
+// Run trains the engine's graph on the dataset and returns the probe
 // records. The accuracy-loss at each probe is the error rate accumulated
 // since the previous probe, matching how the paper tracks training
-// accuracy over time.
-func Run(e *Executor, d *Dataset, cfg RunConfig) []Record {
+// accuracy over time. For a ReplicaGroup, cfg.Minibatch must equal its
+// GroupBatch.
+func Run(e Stepper, d *Dataset, cfg RunConfig) []Record {
 	if cfg.ProbeEvery <= 0 {
 		cfg.ProbeEvery = 10
 	}

@@ -81,6 +81,9 @@ type trainerConfig struct {
 	tel        *telemetry.Sink
 	pool       *bufpool.Pool
 	faults     *faults.Injector
+	replicas   int
+	shards     int
+	maxRetries int
 }
 
 // TrainerOption configures a Trainer at construction.
@@ -140,6 +143,30 @@ func WithPooling(pool ...*BufferPool) TrainerOption {
 	}
 }
 
+// WithReplicas turns the trainer into a data-parallel replica group of n
+// executors: every Step consumes a macro-batch of Shards x the graph's
+// batch size, splits it into fixed micro-shards, runs them across the
+// replicas, and merges the shard gradients with a deterministic tree
+// all-reduce, so the trained weights are byte-identical at every replica
+// and worker count (at a fixed shard count — see WithShards). n <= 1 keeps
+// the single-executor path.
+func WithReplicas(n int) TrainerOption {
+	return func(c *trainerConfig) { c.replicas = n }
+}
+
+// WithShards pins the group's micro-shard count — the unit of gradient
+// reduction and the thing that must be held fixed when comparing runs at
+// different replica counts. The default (0) uses one shard per replica.
+func WithShards(s int) TrainerOption {
+	return func(c *trainerConfig) { c.shards = s }
+}
+
+// WithShardRetries sets the per-shard retry budget a replica group uses
+// against injected stash faults before abandoning the step.
+func WithShardRetries(n int) TrainerOption {
+	return func(c *trainerConfig) { c.maxRetries = n }
+}
+
 // WithFaults enables deterministic fault injection (bit flips, encode/
 // decode/alloc failures) on the stash pipeline, for testing recovery
 // behavior. Integrity sealing is forced on so every injected flip is
@@ -154,6 +181,7 @@ func WithFaults(cfg FaultConfig) TrainerOption {
 type Trainer struct {
 	g     *Graph
 	exec  *train.Executor
+	group *train.ReplicaGroup // non-nil under WithReplicas/WithShards
 	codec *encoding.Codec
 	pool  *bufpool.Pool
 }
@@ -192,9 +220,18 @@ func NewTrainer(g *Graph, options ...TrainerOption) *Trainer {
 		// with one free buffer per size class the step will need.
 		tl := graph.BuildTimeline(g)
 		bufs := liveness.Analyze(g, tl, liveness.Options{Analysis: analysis})
-		cfg.pool.Prewarm(memplan.PoolWarmSet(bufs))
+		warm := memplan.PoolWarmSet(bufs)
+		if n := max(cfg.replicas, 1); n > 1 {
+			// Each replica holds a full working set concurrently.
+			all := make([]int, 0, n*len(warm))
+			for i := 0; i < n; i++ {
+				all = append(all, warm...)
+			}
+			warm = all
+		}
+		cfg.pool.Prewarm(warm)
 	}
-	t.exec = train.NewExecutor(g, train.Options{
+	opts := train.Options{
 		Seed:      cfg.seed,
 		Encodings: analysis,
 		Integrity: cfg.integrity,
@@ -202,7 +239,17 @@ func NewTrainer(g *Graph, options ...TrainerOption) *Trainer {
 		Telemetry: cfg.tel,
 		Codec:     t.codec,
 		Pool:      cfg.pool,
-	})
+	}
+	if cfg.replicas > 1 || cfg.shards > 0 {
+		t.group = train.NewReplicaGroup(g, opts, train.ReplicaConfig{
+			Replicas:   cfg.replicas,
+			Shards:     cfg.shards,
+			MaxRetries: cfg.maxRetries,
+		})
+		t.exec = t.group.Executor()
+	} else {
+		t.exec = train.NewExecutor(g, opts)
+	}
 	return t
 }
 
@@ -211,18 +258,45 @@ func NewTrainer(g *Graph, options ...TrainerOption) *Trainer {
 // only for stash-pipeline failures (injected faults, detected corruption);
 // on error no parameter update has been applied.
 func (t *Trainer) Step(x *Tensor, labels []int, lr float32) (loss float64, errs int, err error) {
+	if t.group != nil {
+		return t.group.TryStep(x, labels, lr)
+	}
 	return t.exec.TryStep(x, labels, lr)
 }
 
 // Eval runs an inference-mode forward pass and returns the minibatch loss
 // and top-1 error count without updating parameters.
 func (t *Trainer) Eval(x *Tensor, labels []int) (loss float64, errs int) {
+	if t.group != nil {
+		return t.group.Eval(x, labels)
+	}
 	return t.exec.Eval(x, labels)
 }
 
 // Run trains on the dataset per the config and returns the probe records.
+// Under WithReplicas, cfg.Minibatch must equal Minibatch().
 func (t *Trainer) Run(d *Dataset, cfg RunConfig) []Record {
+	if t.group != nil {
+		return train.Run(t.group, d, cfg)
+	}
 	return train.Run(t.exec, d, cfg)
+}
+
+// Minibatch returns the rows one Step consumes: the graph's batch size,
+// scaled by the shard count under WithReplicas/WithShards.
+func (t *Trainer) Minibatch() int {
+	if t.group != nil {
+		return t.group.GroupBatch()
+	}
+	return t.g.InputNodes()[0].OutShape[0]
+}
+
+// Close releases the trainer's replica workers. A no-op for
+// single-executor trainers; safe to call twice.
+func (t *Trainer) Close() {
+	if t.group != nil {
+		t.group.Close()
+	}
 }
 
 // Executor exposes the underlying executor for advanced use (checkpoints,
