@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-hot fuzz fuzz-stash bench bench-parallel metrics-bench allocs cover check
+.PHONY: build test vet race race-hot soak soak-short fuzz fuzz-stash bench bench-parallel metrics-bench allocs cover check
 
 build:
 	$(GO) build ./...
@@ -21,9 +21,20 @@ race:
 # chunked codec, the async-decode executor and replica engine, the
 # deterministic reduce, the pool itself, and the telemetry sink every one
 # of them reports into. Runs with -count=1 so the hammer tests actually
-# execute every time.
-race-hot:
+# execute every time. The job server rides along via soak-short (its own
+# race pass, sized for CI).
+race-hot: soak-short
 	$(GO) test -race -count=1 ./internal/encoding/ ./internal/train/ ./internal/reduce/ ./internal/parallel/ ./internal/telemetry/
+
+# Full soak/chaos run over the job server: 32 concurrent jobs with fault
+# injection and a seeded cancel/pause/resume chaos goroutine, under the
+# race detector. soak-short is the CI edition (12 jobs) and also runs the
+# rest of the server package's tests under -race.
+soak:
+	$(GO) test -race -count=1 -timeout 15m -run TestSoakChaos ./internal/server/
+
+soak-short:
+	$(GO) test -race -count=1 -short ./internal/server/
 
 # Short fuzz passes over the checkpoint parser and the gradient reduce.
 fuzz:
@@ -72,10 +83,11 @@ allocs:
 COVER_FLOOR_TRAIN ?= 80
 COVER_FLOOR_ENCODING ?= 80
 COVER_FLOOR_REDUCE ?= 90
+COVER_FLOOR_SERVER ?= 75
 cover:
-	@out=$$($(GO) test -cover ./internal/train/ ./internal/encoding/ ./internal/reduce/ | tee /dev/stderr); \
+	@out=$$($(GO) test -cover -short ./internal/train/ ./internal/encoding/ ./internal/reduce/ ./internal/server/ | tee /dev/stderr); \
 	fail=0; \
-	for spec in "train $(COVER_FLOOR_TRAIN)" "encoding $(COVER_FLOOR_ENCODING)" "reduce $(COVER_FLOOR_REDUCE)"; do \
+	for spec in "train $(COVER_FLOOR_TRAIN)" "encoding $(COVER_FLOOR_ENCODING)" "reduce $(COVER_FLOOR_REDUCE)" "server $(COVER_FLOOR_SERVER)"; do \
 		pkg=$${spec% *}; floor=$${spec#* }; \
 		pct=$$(printf '%s\n' "$$out" | awk -v p="internal/$$pkg" '$$0 ~ p {for (i=1; i<=NF; i++) if ($$i ~ /^[0-9.]+%$$/) {sub(/%/, "", $$i); print int($$i)}}'); \
 		if [ -z "$$pct" ]; then echo "cover: no coverage output for internal/$$pkg"; fail=1; \

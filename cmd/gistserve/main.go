@@ -1,0 +1,88 @@
+// Command gistserve runs the multi-tenant training job server: an
+// HTTP/JSON daemon that admits concurrent training jobs against a global
+// memory budget using the Gist planner's footprint predictions, degrades
+// or queues jobs under pressure, and drives each through the full
+// submit / pause / checkpoint / resume / cancel lifecycle.
+//
+// Quickstart:
+//
+//	gistserve -addr :8080 -mem-budget 268435456 &
+//	curl -s -X POST localhost:8080/jobs -d '{"name":"a","network":"tinycnn","steps":200,"encoding":"fp16"}'
+//	curl -s localhost:8080/jobs/j0001
+//	curl -s localhost:8080/jobs/j0001/telemetry
+//	curl -s -X POST localhost:8080/jobs/j0001/cancel
+//	curl -s localhost:8080/healthz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gist/internal/server"
+	"gist/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		memBudget = flag.Int64("mem-budget", 1<<30, "global admission budget in bytes")
+		maxJobs   = flag.Int("max-jobs", 4, "max concurrently running jobs")
+		queue     = flag.Int("queue", 64, "admission queue limit")
+		stall     = flag.Duration("stall-timeout", 30*time.Second, "watchdog: quarantine a job with no step progress for this long")
+		ckptDir   = flag.String("ckpt-dir", "", "checkpoint directory (default: a fresh temp dir)")
+		ckptEvery = flag.Int("ckpt-every", 25, "default periodic checkpoint interval in steps")
+		metrics   = flag.Int("metrics-every", 25, "write per-job telemetry snapshots to stdout every N steps (0 disables)")
+		workers   = flag.Int("workers", 0, "codec worker pool shared by all jobs (0 = inline)")
+		drain     = flag.Duration("drain", 30*time.Second, "shutdown drain timeout")
+	)
+	flag.Parse()
+
+	tel := telemetry.New()
+	srv, err := server.New(server.Config{
+		MemBudgetBytes:  *memBudget,
+		MaxRunning:      *maxJobs,
+		QueueLimit:      *queue,
+		StallTimeout:    *stall,
+		CheckpointDir:   *ckptDir,
+		CheckpointEvery: *ckptEvery,
+		MetricsEvery:    *metrics,
+		MetricsOut:      os.Stdout,
+		Workers:         *workers,
+		Telemetry:       tel,
+	})
+	if err != nil {
+		log.Fatalf("gistserve: %v", err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("gistserve: listening on %s (budget %d bytes, %d slots)", *addr, *memBudget, *maxJobs)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("gistserve: %v", err)
+	case got := <-sig:
+		log.Printf("gistserve: %v, draining (up to %v)", got, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	_ = httpSrv.Shutdown(ctx)
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("gistserve: drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	h := srv.Health()
+	fmt.Printf("gistserve: drained; peak %d / %d budget bytes, %d jobs served\n",
+		h.PeakBytes, h.BudgetBytes, h.Jobs)
+}

@@ -1,0 +1,65 @@
+package gist_test
+
+// Regression tests for Trainer.Close idempotency: a double or concurrent
+// Close must release pooled buffers exactly once (the pool panics on a
+// double recycle) and never panic on the replica workers' channels.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"gist"
+)
+
+func runCloseStorm(t *testing.T, tr *gist.Trainer) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr.Close()
+		}()
+	}
+	wg.Wait()
+	tr.Close() // and once more for the sequential double-Close case
+}
+
+func TestTrainerCloseIdempotentSingleExecutor(t *testing.T) {
+	pool := gist.NewBufferPool()
+	tr := gist.NewTrainer(gist.TinyCNN(8, 4), gist.WithPooling(pool))
+	d := gist.NewDataset(4, 3, 16, 0.3, 2)
+	tr.Run(d, gist.RunConfig{Minibatch: 8, Steps: 3, LR: 0.05})
+	runCloseStorm(t, tr)
+	if got := tr.PoolStats().InUseBytes; got != 0 {
+		t.Fatalf("pool still holds %d bytes after Close", got)
+	}
+}
+
+func TestTrainerCloseIdempotentReplicas(t *testing.T) {
+	pool := gist.NewBufferPool()
+	tr := gist.NewTrainer(gist.TinyCNN(8, 4),
+		gist.WithPooling(pool), gist.WithReplicas(2), gist.WithShards(4))
+	d := gist.NewDataset(4, 3, 16, 0.3, 2)
+	tr.Run(d, gist.RunConfig{Minibatch: tr.Minibatch(), Steps: 3, LR: 0.05})
+	runCloseStorm(t, tr)
+	if got := tr.PoolStats().InUseBytes; got != 0 {
+		t.Fatalf("pool still holds %d bytes after Close", got)
+	}
+}
+
+func TestTrainerRunContextCancel(t *testing.T) {
+	tr := gist.NewTrainer(gist.TinyCNN(8, 4))
+	defer tr.Close()
+	d := gist.NewDataset(4, 3, 16, 0.3, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	recs, err := tr.RunContext(ctx, d, gist.RunConfig{Minibatch: 8, Steps: 100, LR: 0.05})
+	if err == nil {
+		t.Fatal("cancelled RunContext returned nil error")
+	}
+	if len(recs) != 0 {
+		t.Fatalf("pre-cancelled run produced %d records", len(recs))
+	}
+}

@@ -10,6 +10,7 @@ package experiments
 // scale with a printable report.
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -96,7 +97,7 @@ func Robust(s RobustScale) *Result {
 	}
 
 	start := time.Now()
-	recs, report, err := train.RunRecoverable(e, d,
+	recs, report, err := train.RunRecoverable(context.Background(), e, d,
 		train.RunConfig{Minibatch: s.Minibatch, Steps: s.Steps, LR: s.LR, ProbeEvery: 20,
 			MetricsEvery: s.MetricsEvery, MetricsOut: s.MetricsOut},
 		train.RecoveryConfig{MaxRetries: s.MaxRetries, CheckpointPath: s.CheckpointPath})

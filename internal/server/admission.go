@@ -1,0 +1,132 @@
+package server
+
+// Admission control: predict a job's peak memory footprint with the
+// planner before it runs a single step, and decide admit / queue / reject
+// against the server's global budget. The footprint of one executor is
+// the planner's shared-buffer total plus two weight-sized arrays
+// (parameters + momenta); a replica group multiplies that by the replica
+// count and adds the flat shard-gradient buffers the reduce holds.
+//
+// Degradation walks the encoding ladder none → lossless → fp16 → fp10 →
+// fp8: each rung re-plans the job at a higher-compression Gist
+// configuration, trading activation precision for footprint, exactly the
+// paper's lossless/lossy spectrum. A job that opted in (AllowDegrade) is
+// re-planned down the ladder before being queued or rejected.
+
+import (
+	"fmt"
+
+	"gist/internal/core"
+	"gist/internal/encoding"
+	"gist/internal/floatenc"
+	"gist/internal/graph"
+	"gist/internal/networks"
+)
+
+// ladder is the degradation order: each rung compresses stashes harder
+// than the previous one.
+var ladder = []string{"none", "lossless", "fp16", "fp10", "fp8"}
+
+// ladderIndex returns the rung of an encoding name, or -1.
+func ladderIndex(name string) int {
+	for i, n := range ladder {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// encodingConfig maps an encoding name to the planner/runtime Config.
+// "none" returns the zero Config (baseline, no stash encodings).
+func encodingConfig(name string) (encoding.Config, error) {
+	switch name {
+	case "none":
+		return encoding.Config{}, nil
+	case "lossless":
+		return encoding.Lossless(), nil
+	case "fp16":
+		return encoding.LossyLossless(floatenc.FP16), nil
+	case "fp10":
+		return encoding.LossyLossless(floatenc.FP10), nil
+	case "fp8":
+		return encoding.LossyLossless(floatenc.FP8), nil
+	}
+	return encoding.Config{}, fmt.Errorf("server: unknown encoding %q (want none|lossless|fp16|fp10|fp8)", name)
+}
+
+// buildNet constructs the spec's graph at its per-executor batch size.
+func buildNet(spec JobSpec) (*graph.Graph, error) {
+	switch spec.Network {
+	case "tinycnn":
+		return networks.TinyCNN(spec.Batch, spec.Classes), nil
+	case "tinyvgg":
+		return networks.TinyVGG(spec.Batch, spec.Classes), nil
+	}
+	return nil, fmt.Errorf("server: unknown network %q (want tinycnn|tinyvgg)", spec.Network)
+}
+
+// inputGeom returns the dataset geometry (channels, image size) for the
+// spec's network.
+func inputGeom(spec JobSpec) (channels, size int) {
+	if spec.Network == "tinyvgg" {
+		return 3, 32
+	}
+	return 3, 16
+}
+
+// footprint predicts the job's peak bytes at the given encoding: the
+// planner's shared-activation/stash total plus parameters and momenta,
+// scaled by the replica count, plus the shard-gradient flats the
+// all-reduce holds simultaneously.
+func footprint(spec JobSpec, encName string) (int64, error) {
+	cfg, err := encodingConfig(encName)
+	if err != nil {
+		return 0, err
+	}
+	g, err := buildNet(spec)
+	if err != nil {
+		return 0, err
+	}
+	plan, err := core.Build(core.Request{Graph: g, Encodings: cfg})
+	if err != nil {
+		return 0, err
+	}
+	per := plan.TotalBytes + 2*g.WeightBytes()
+	fp := per * int64(spec.Shards)
+	if spec.Shards > 1 {
+		// The merge holds every shard's flat gradient at once.
+		fp += int64(spec.Shards) * g.WeightBytes()
+	}
+	return fp, nil
+}
+
+// planAdmission finds the least-degraded encoding (starting at startEnc's
+// rung) whose footprint fits limit. Without AllowDegrade only startEnc is
+// considered. Returns the chosen encoding and its footprint, or ok=false
+// with startEnc's footprint when nothing fits.
+func planAdmission(spec JobSpec, startEnc string, limit int64) (encName string, fp int64, ok bool, err error) {
+	start := ladderIndex(startEnc)
+	if start < 0 {
+		return "", 0, false, fmt.Errorf("server: unknown encoding %q", startEnc)
+	}
+	requested, err := footprint(spec, startEnc)
+	if err != nil {
+		return "", 0, false, err
+	}
+	if requested <= limit {
+		return startEnc, requested, true, nil
+	}
+	if spec.AllowDegrade {
+		for i := start + 1; i < len(ladder); i++ {
+			fp, err := footprint(spec, ladder[i])
+			if err != nil {
+				return "", 0, false, err
+			}
+			if fp <= limit {
+				return ladder[i], fp, true, nil
+			}
+		}
+	}
+	return startEnc, requested, false, nil
+}

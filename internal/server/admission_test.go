@@ -1,0 +1,94 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFootprintLadderMonotonic pins the degradation premise: each rung
+// of the encoding ladder must plan a strictly smaller footprint than the
+// one before it (that is what makes walking the ladder a degradation).
+func TestFootprintLadderMonotonic(t *testing.T) {
+	spec := JobSpec{Network: "tinyvgg", Batch: 8, Classes: 4}.withDefaults()
+	var prev int64
+	for i, enc := range ladder {
+		fp, err := footprint(spec, enc)
+		if err != nil {
+			t.Fatalf("%s: %v", enc, err)
+		}
+		if fp <= 0 {
+			t.Fatalf("%s: non-positive footprint %d", enc, fp)
+		}
+		if i > 0 && fp >= prev {
+			t.Fatalf("%s footprint %d not below %s footprint %d", enc, fp, ladder[i-1], prev)
+		}
+		prev = fp
+	}
+}
+
+// TestFootprintScalesWithShards pins the replica term: a sharded job
+// must reserve more than a single-executor one.
+func TestFootprintScalesWithShards(t *testing.T) {
+	spec := JobSpec{Network: "tinycnn", Batch: 8}.withDefaults()
+	one, err := footprint(spec, "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Shards = 4
+	four, err := footprint(spec, "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four < 4*one {
+		t.Fatalf("4-shard footprint %d < 4x single %d", four, one)
+	}
+}
+
+// TestPlanAdmissionDegrades verifies the ladder walk: a budget between
+// the fp16 and none footprints admits an AllowDegrade job at a
+// compressed rung, and refuses the same job without the opt-in.
+func TestPlanAdmissionDegrades(t *testing.T) {
+	spec := JobSpec{Network: "tinyvgg", Batch: 8, AllowDegrade: true}.withDefaults()
+	full, _ := footprint(spec, "none")
+	fp8, _ := footprint(spec, "fp8")
+	limit := (full + fp8) / 2
+
+	enc, fp, ok, err := planAdmission(spec, "none", limit)
+	if err != nil || !ok {
+		t.Fatalf("planAdmission: ok=%v err=%v", ok, err)
+	}
+	if enc == "none" || fp > limit {
+		t.Fatalf("chose %s at %d bytes (limit %d)", enc, fp, limit)
+	}
+
+	spec.AllowDegrade = false
+	_, _, ok, err = planAdmission(spec, "none", limit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("non-degradable job fit a budget below its footprint")
+	}
+}
+
+// TestPlanAdmissionRejectsImpossible: nothing fits a 1-byte budget.
+func TestPlanAdmissionRejectsImpossible(t *testing.T) {
+	spec := JobSpec{AllowDegrade: true}.withDefaults()
+	_, _, ok, err := planAdmission(spec, "none", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("job fit a 1-byte budget")
+	}
+}
+
+// TestBadSpecErrors pins the validation errors.
+func TestBadSpecErrors(t *testing.T) {
+	if _, err := footprint(JobSpec{Network: "resnet50"}.withDefaults(), "none"); err == nil || !strings.Contains(err.Error(), "unknown network") {
+		t.Fatalf("unknown network: err = %v", err)
+	}
+	if _, err := footprint(JobSpec{}.withDefaults(), "zip"); err == nil || !strings.Contains(err.Error(), "unknown encoding") {
+		t.Fatalf("unknown encoding: err = %v", err)
+	}
+}

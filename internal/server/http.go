@@ -1,0 +1,139 @@
+package server
+
+// The HTTP/JSON surface. Routes (Go 1.22 pattern matching):
+//
+//	GET  /healthz             — admission ledger (budget, used, peak, counts)
+//	GET  /metrics             — server-level telemetry snapshot (text)
+//	POST /jobs                — submit a JobSpec, returns its JobStatus
+//	GET  /jobs                — list all jobs
+//	GET  /jobs/{id}           — one job's status
+//	POST /jobs/{id}/cancel    — cancel in any non-terminal state
+//	POST /jobs/{id}/pause     — checkpoint and release a running job
+//	POST /jobs/{id}/resume    — re-admit a paused job from its checkpoint
+//	GET  /jobs/{id}/telemetry — live per-job telemetry snapshot (text)
+//
+// Queued submissions answer 202 with a Retry-After header derived from
+// the queue-position backoff hint; rejected ones answer 409.
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the server's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleVerb(s.Cancel))
+	mux.HandleFunc("POST /jobs/{id}/pause", s.handleVerb(s.Pause))
+	mux.HandleFunc("POST /jobs/{id}/resume", s.handleVerb(s.Resume))
+	mux.HandleFunc("GET /jobs/{id}/telemetry", s.handleJobTelemetry)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrBadTransition):
+		code = http.StatusConflict
+	case errors.Is(err, errShutdown):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Health())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.cfg.Telemetry != nil {
+		_ = s.cfg.Telemetry.WriteSnapshot(w)
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad job spec: " + err.Error()})
+		return
+	}
+	st, err := s.Submit(spec)
+	if err != nil {
+		if errors.Is(err, errShutdown) {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	switch st.State {
+	case StateRejected:
+		writeJSON(w, http.StatusConflict, st)
+	case StateQueued:
+		w.Header().Set("Retry-After", strconv.FormatInt(max(st.RetryAfterMS/1000, 1), 10))
+		writeJSON(w, http.StatusAccepted, st)
+	default:
+		writeJSON(w, http.StatusCreated, st)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, err := s.Get(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleVerb adapts a lifecycle method (Cancel/Pause/Resume) to a
+// handler answering the job's post-verb status.
+func (s *Server) handleVerb(verb func(id string) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := verb(id); err != nil {
+			writeErr(w, err)
+			return
+		}
+		st, err := s.Get(id)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	}
+}
+
+func (s *Server) handleJobTelemetry(w http.ResponseWriter, r *http.Request) {
+	tel, err := s.JobTelemetry(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = tel.WriteSnapshot(w)
+}

@@ -1,0 +1,228 @@
+package server
+
+// The soak/chaos harness: dozens of concurrent jobs with mixed tenants,
+// networks, encodings, shard counts, deadlines and per-job fault
+// injection, stirred by a seeded chaos goroutine issuing random
+// cancel/pause/resume verbs, then drained through Shutdown. Asserts the
+// tentpole invariants: every job ends in exactly one terminal state,
+// the admission ledger's peak stays within the configured budget, and
+// neither goroutines nor pooled buffers leak after shutdown.
+//
+// Run the full soak with `make soak`; `go test -short` (and `make
+// soak-short`) runs a 12-job edition sized for the race detector in CI.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"gist/internal/faults"
+	"gist/internal/telemetry"
+)
+
+// soakSpec derives a deterministic mixed-workload spec from its index.
+func soakSpec(i int) JobSpec {
+	spec := JobSpec{
+		Name:   fmt.Sprintf("soak-%02d", i),
+		Tenant: fmt.Sprintf("tenant-%d", i%4),
+		Batch:  4,
+		Steps:  8 + i%12,
+		Seed:   uint64(i + 1),
+	}
+	spec.Encoding = ladder[i%len(ladder)]
+	spec.AllowDegrade = i%2 == 0
+	if i%8 == 4 {
+		spec.Network = "tinyvgg"
+	}
+	if i%6 == 5 {
+		spec.Shards = 2
+	}
+	if i%7 == 3 {
+		spec.DeadlineMS = 300
+	}
+	if i%3 == 0 {
+		// Detected-fault injection on the stash pipeline; needs a non-"none"
+		// encoding to have a pipeline to hit, and a retry budget to survive.
+		if spec.Encoding == "none" {
+			spec.Encoding = "lossless"
+		}
+		spec.Faults = &faults.Config{
+			Seed:           uint64(i + 1),
+			BitFlipRate:    0.02,
+			EncodeFailRate: 0.02,
+			DecodeFailRate: 0.02,
+		}
+		spec.MaxRetries = 12
+	}
+	return spec
+}
+
+func TestSoakChaos(t *testing.T) {
+	jobs := 32
+	chaosIters := 400
+	if testing.Short() {
+		jobs = 12
+		chaosIters = 150
+	}
+
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	// Size the budget so the largest single job fits but the fleet cannot
+	// all run at once: queueing, degradation and backoff hints all engage.
+	cnn, err := footprint(JobSpec{Batch: 4}.withDefaults(), "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vgg, err := footprint(JobSpec{Batch: 4, Network: "tinyvgg"}.withDefaults(), "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := vgg + 4*cnn
+
+	s, err := New(Config{
+		MemBudgetBytes:  budget,
+		MaxRunning:      6,
+		QueueLimit:      2 * jobs,
+		StallTimeout:    time.Minute,
+		WatchdogEvery:   20 * time.Millisecond,
+		CheckpointDir:   t.TempDir(),
+		CheckpointEvery: 5,
+		Workers:         2,
+		Telemetry:       telemetry.New(),
+		// Slow every step a little so the chaos goroutine reliably catches
+		// jobs mid-run; honor ctx so cancellation stays within one step.
+		OnStep: func(ctx context.Context, _ string, _ int) {
+			select {
+			case <-ctx.Done():
+			case <-time.After(time.Millisecond):
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ids := make([]string, 0, jobs)
+	for i := 0; i < jobs; i++ {
+		st, err := s.Submit(soakSpec(i))
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	// Seeded chaos: random lifecycle verbs against a random half of the
+	// fleet (the other half runs undisturbed, so completion stays a
+	// well-populated terminal state). Errors (bad transitions,
+	// already-terminal targets) are expected and ignored — the invariants
+	// below are what must hold regardless.
+	rng := rand.New(rand.NewSource(1))
+	chaosIDs := ids[:len(ids)/2]
+	for i := 0; i < chaosIters; i++ {
+		id := chaosIDs[rng.Intn(len(chaosIDs))]
+		switch rng.Intn(6) {
+		case 0:
+			_ = s.Cancel(id)
+		case 1, 2:
+			_ = s.Pause(id)
+		default:
+			_ = s.Resume(id)
+		}
+		time.Sleep(time.Duration(rng.Intn(2)+1) * time.Millisecond)
+	}
+
+	// Let survivors run out: resume whatever chaos left paused, then wait
+	// for the fleet to settle into terminal-or-paused.
+	for _, id := range ids {
+		if st, err := s.Get(id); err == nil && st.State == StatePaused {
+			_ = s.Resume(id)
+		}
+	}
+	settled := func() bool {
+		for _, id := range ids {
+			st, err := s.Get(id)
+			if err != nil {
+				return false
+			}
+			if !st.State.Terminal() && st.State != StatePaused {
+				return false
+			}
+		}
+		return true
+	}
+	deadline := time.Now().Add(2 * time.Minute)
+	for !settled() {
+		if time.Now().After(deadline) {
+			for _, st := range s.List() {
+				t.Logf("  %s %-12s step=%d %s", st.ID, st.State, st.Step, st.Reason)
+			}
+			t.Fatal("fleet did not settle within 2m")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// Invariant 1: every job is in exactly one terminal state, entered
+	// exactly once.
+	byState := map[State]int{}
+	for _, id := range ids {
+		s.mu.Lock()
+		j := s.jobs[id]
+		s.mu.Unlock()
+		j.mu.Lock()
+		state, terminals := j.state, j.terminals
+		j.mu.Unlock()
+		if !state.Terminal() {
+			t.Errorf("%s ended non-terminal: %s", id, state)
+		}
+		if terminals != 1 {
+			t.Errorf("%s entered a terminal state %d times, want exactly 1", id, terminals)
+		}
+		byState[state]++
+	}
+	t.Logf("terminal states over %d jobs: %v", jobs, byState)
+	if byState[StateCompleted] == 0 {
+		t.Error("soak is vacuous: no job completed")
+	}
+	if byState[StateFailed] > 0 {
+		t.Errorf("%d jobs failed; detected-fault retries should absorb injected faults", byState[StateFailed])
+	}
+
+	// Invariant 2: the admission ledger never overshot the budget.
+	if peak := s.PeakBytes(); peak > budget {
+		t.Errorf("peak admitted bytes %d exceed budget %d", peak, budget)
+	}
+	if used := s.Health().UsedBytes; used != 0 {
+		t.Errorf("ledger still holds %d bytes after shutdown", used)
+	}
+
+	// Invariant 3: no pooled buffers leaked.
+	if inUse := s.PoolStats().InUseBytes; inUse != 0 {
+		t.Errorf("shared pool still holds %d bytes after shutdown", inUse)
+	}
+
+	// Invariant 4: no goroutines leaked (allow slack for the runtime's
+	// own background goroutines to settle).
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			break
+		}
+		if time.Now().After(leakDeadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d now vs %d baseline\n%s",
+				runtime.NumGoroutine(), baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -4,15 +4,19 @@ package train
 // parameters and batch-norm running statistics, so example applications
 // and long experiments can save and resume training.
 //
-// The v2 format is crash-safe: a little-endian stream of magic, format
+// The format is crash-safe: a little-endian stream of magic, format
 // version, the payload (node count, then per parameterized node its name,
 // parameter tensors and any batch-norm running statistics), and a CRC32
-// trailer over everything before it. Loading parses and validates the
-// entire checkpoint against the graph before touching any executor state,
-// so a corrupt or mismatched checkpoint never leaves the executor
-// half-restored. SaveCheckpointFile writes atomically (temp file + fsync +
-// verify + rename): a crash mid-write leaves the previous checkpoint
-// intact. Legacy v1 streams (no version, no trailer) still load.
+// trailer over everything before it. Version 3 inserts a resume section
+// between the node entries and the trailer — per-node momentum tensors,
+// the RNG state (u64) and the completed-step count (u32) — so a paused
+// job resumes byte-identically to a run that was never interrupted.
+// Loading parses and validates the entire checkpoint against the graph
+// before touching any executor state, so a corrupt or mismatched
+// checkpoint never leaves the executor half-restored. SaveCheckpointFile
+// writes atomically (temp file + fsync + verify + rename): a crash
+// mid-write leaves the previous checkpoint intact. Legacy v1 streams (no
+// version, no trailer) and v2 streams (no resume section) still load.
 
 import (
 	"bufio"
@@ -34,8 +38,14 @@ const (
 	checkpointMagicV1 = uint32(0x67495354)
 	// checkpointMagicV2 marks the versioned, CRC-trailed format ("gISU").
 	checkpointMagicV2 = uint32(0x67495355)
-	// checkpointVersion is the current format version.
-	checkpointVersion = uint32(2)
+	// checkpointVersion is the current format version. Version 3 appends a
+	// resume section after the node entries: per-node momentum tensors, the
+	// executor's RNG state and the completed-step count, which together make
+	// a resumed run byte-identical to an uninterrupted one. Version 2
+	// streams (no resume section) still load; their momenta stay zero.
+	checkpointVersion = uint32(3)
+	// checkpointVersionV2 is the previous, still-loadable format version.
+	checkpointVersionV2 = uint32(2)
 	// maxCheckpointString bounds any length-prefixed string in the stream.
 	maxCheckpointString = 1 << 20
 )
@@ -92,6 +102,15 @@ func (r *cpReader) u32() (uint32, error) {
 	}
 	v := binary.LittleEndian.Uint32(r.data[r.off:])
 	r.off += 4
+	return v, nil
+}
+
+func (r *cpReader) u64() (uint64, error) {
+	if r.remaining() < 8 {
+		return 0, fmt.Errorf("%w: truncated at offset %d", ErrCorruptCheckpoint, r.off)
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
 	return v, nil
 }
 
@@ -174,8 +193,9 @@ func readTensor(r *cpReader) (*tensor.Tensor, error) {
 	return t, nil
 }
 
-// SaveCheckpoint writes the executor's parameters and batch-norm running
-// statistics to w in the v2 format (versioned header, CRC32 trailer).
+// SaveCheckpoint writes the executor's parameters, batch-norm running
+// statistics and full resume state (momenta, RNG, completed-step count)
+// to w in the v3 format (versioned header, CRC32 trailer).
 func (e *Executor) SaveCheckpoint(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	h := crc32.NewIEEE()
@@ -228,6 +248,34 @@ func (e *Executor) SaveCheckpoint(w io.Writer) error {
 				return err
 			}
 		}
+	}
+	// v3 resume section: momentum tensors in the same node order, then the
+	// RNG state and the completed-step count.
+	if err := binary.Write(mw, binary.LittleEndian, count); err != nil {
+		return err
+	}
+	for _, n := range e.G.Nodes {
+		ms := e.moms[n.ID]
+		if len(e.params[n.ID]) == 0 {
+			continue
+		}
+		if err := writeString(mw, n.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(mw, binary.LittleEndian, uint32(len(ms))); err != nil {
+			return err
+		}
+		for _, m := range ms {
+			if err := writeTensor(mw, m); err != nil {
+				return err
+			}
+		}
+	}
+	if err := binary.Write(mw, binary.LittleEndian, e.rng.State()); err != nil {
+		return err
+	}
+	if err := binary.Write(mw, binary.LittleEndian, uint32(e.resumeStep)); err != nil {
+		return err
 	}
 	// CRC trailer over magic, version and payload.
 	if err := binary.Write(bw, binary.LittleEndian, h.Sum32()); err != nil {
@@ -301,7 +349,9 @@ func parseCheckpointBody(r *cpReader) ([]ckptNode, error) {
 // executor. The graph must contain the same parameterized node names with
 // the same shapes. The whole stream is parsed and validated before any
 // executor state changes, so a failed load leaves the executor untouched.
-// Both the v2 (versioned, CRC-trailed) and legacy v1 formats are accepted.
+// The v3 (resume section), v2 (versioned, CRC-trailed) and legacy v1
+// formats are all accepted; only v3 restores momenta, the RNG state and
+// the completed-step count.
 func (e *Executor) LoadCheckpoint(r io.Reader) error {
 	data, err := io.ReadAll(r)
 	if err != nil {
@@ -311,6 +361,7 @@ func (e *Executor) LoadCheckpoint(r io.Reader) error {
 		return fmt.Errorf("%w: %d-byte stream", ErrCorruptCheckpoint, len(data))
 	}
 	var body *cpReader
+	version := uint32(0) // 0 marks a legacy v1 stream
 	switch magic := binary.LittleEndian.Uint32(data); magic {
 	case checkpointMagicV1:
 		body = &cpReader{data: data, off: 4}
@@ -318,8 +369,10 @@ func (e *Executor) LoadCheckpoint(r io.Reader) error {
 		if len(data) < 12 {
 			return fmt.Errorf("%w: v2 stream of %d bytes", ErrCorruptCheckpoint, len(data))
 		}
-		if v := binary.LittleEndian.Uint32(data[4:]); v != checkpointVersion {
-			return fmt.Errorf("%w: version %d (supported: %d)", ErrCheckpointVersion, v, checkpointVersion)
+		version = binary.LittleEndian.Uint32(data[4:])
+		if version != checkpointVersion && version != checkpointVersionV2 {
+			return fmt.Errorf("%w: version %d (supported: %d, %d)",
+				ErrCheckpointVersion, version, checkpointVersionV2, checkpointVersion)
 		}
 		want := binary.LittleEndian.Uint32(data[len(data)-4:])
 		if got := crc32.ChecksumIEEE(data[:len(data)-4]); got != want {
@@ -333,6 +386,50 @@ func (e *Executor) LoadCheckpoint(r io.Reader) error {
 	nodes, err := parseCheckpointBody(body)
 	if err != nil {
 		return err
+	}
+
+	// v3 resume section: momenta (same entry layout, no batch-norm stats),
+	// RNG state and completed-step count.
+	var moms []ckptNode
+	var rngState uint64
+	var resumeStep uint32
+	if version == checkpointVersion {
+		count, err := body.u32()
+		if err != nil {
+			return err
+		}
+		if int64(count) > int64(body.remaining()/8)+1 {
+			return fmt.Errorf("%w: momentum node count %d with %d bytes remaining",
+				ErrCorruptCheckpoint, count, body.remaining())
+		}
+		for i := uint32(0); i < count; i++ {
+			var cn ckptNode
+			if cn.name, err = readString(body); err != nil {
+				return err
+			}
+			nMoms, err := body.u32()
+			if err != nil {
+				return err
+			}
+			if int64(nMoms) > int64(body.remaining()/4)+1 {
+				return fmt.Errorf("%w: node %q claims %d momenta with %d bytes remaining",
+					ErrCorruptCheckpoint, cn.name, nMoms, body.remaining())
+			}
+			for j := uint32(0); j < nMoms; j++ {
+				t, err := readTensor(body)
+				if err != nil {
+					return err
+				}
+				cn.params = append(cn.params, t)
+			}
+			moms = append(moms, cn)
+		}
+		if rngState, err = body.u64(); err != nil {
+			return err
+		}
+		if resumeStep, err = body.u32(); err != nil {
+			return err
+		}
 	}
 
 	// Validate everything against the graph before mutating anything.
@@ -353,6 +450,23 @@ func (e *Executor) LoadCheckpoint(r io.Reader) error {
 			}
 		}
 	}
+	for _, cn := range moms {
+		node := e.G.Lookup(cn.name)
+		if node == nil {
+			return fmt.Errorf("%w: momentum node %q not in graph", ErrCheckpointMismatch, cn.name)
+		}
+		ms := e.moms[node.ID]
+		if len(cn.params) != len(ms) {
+			return fmt.Errorf("%w: node %q has %d momenta, checkpoint has %d",
+				ErrCheckpointMismatch, cn.name, len(ms), len(cn.params))
+		}
+		for j, t := range cn.params {
+			if !t.Shape.Equal(ms[j].Shape) {
+				return fmt.Errorf("%w: node %q momentum %d shape %v, checkpoint %v",
+					ErrCheckpointMismatch, cn.name, j, ms[j].Shape, t.Shape)
+			}
+		}
+	}
 
 	// Commit.
 	for _, cn := range nodes {
@@ -366,6 +480,16 @@ func (e *Executor) LoadCheckpoint(r io.Reader) error {
 				bn.RunningVar = append([]float32(nil), cn.variance...)
 			}
 		}
+	}
+	for _, cn := range moms {
+		node := e.G.Lookup(cn.name)
+		for j, t := range cn.params {
+			copy(e.moms[node.ID][j].Data, t.Data)
+		}
+	}
+	if version == checkpointVersion {
+		e.rng.SetState(rngState)
+		e.resumeStep = int(resumeStep)
 	}
 	return nil
 }
@@ -385,7 +509,7 @@ func VerifyCheckpoint(data []byte) error {
 		if len(data) < 12 {
 			return fmt.Errorf("%w: v2 stream of %d bytes", ErrCorruptCheckpoint, len(data))
 		}
-		if v := binary.LittleEndian.Uint32(data[4:]); v != checkpointVersion {
+		if v := binary.LittleEndian.Uint32(data[4:]); v != checkpointVersion && v != checkpointVersionV2 {
 			return fmt.Errorf("%w: version %d", ErrCheckpointVersion, v)
 		}
 		want := binary.LittleEndian.Uint32(data[len(data)-4:])

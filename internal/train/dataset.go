@@ -67,3 +67,19 @@ func (d *Dataset) Batch(mb int) (*tensor.Tensor, []int) {
 	}
 	return x, labels
 }
+
+// Skip fast-forwards the dataset past n minibatches of size mb without
+// materializing them, consuming the RNG exactly as n Batch calls would.
+// Resuming a checkpointed run uses it to realign the data stream with the
+// restored step count, so the resumed run sees byte-identical batches.
+func (d *Dataset) Skip(mb, n int) {
+	per := d.Channels * d.Size * d.Size
+	for b := 0; b < n; b++ {
+		for i := 0; i < mb; i++ {
+			d.rng.Intn(d.Classes)
+			for j := 0; j < per; j++ {
+				d.rng.NormFloat64()
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@
 package train
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -243,6 +244,17 @@ type Executor struct {
 	met       execMetrics
 	stepCount int             // steps attempted, numbers spans and memory samples
 	stepSpan  *telemetry.Span // root span of the in-flight TryStep (nil otherwise)
+
+	// ctx, when non-nil, is polled at step phase boundaries (step entry,
+	// post-forward, post-backward) so a cancelled or deadline-expired
+	// training job aborts within one step's latency with no partial
+	// parameter update. Bound by SetContext; nil means never cancelled.
+	ctx context.Context
+
+	// resumeStep is the completed-step count carried through checkpoints:
+	// SaveCheckpoint embeds it and LoadCheckpoint restores it, so a resumed
+	// job knows where its data stream must fast-forward to.
+	resumeStep int
 }
 
 // NewExecutor initializes parameters (He init for conv/FC weights, ones and
@@ -379,6 +391,52 @@ func (e *Executor) sweep() {
 		e.pool.Recycle(t)
 	}
 	clear(e.checkedOut)
+}
+
+// SetContext binds a context to the executor's step loop. TryStep polls it
+// at phase boundaries — step entry, after the forward pass, and after the
+// backward pass but before the SGD update — so cancellation or deadline
+// expiry surfaces as a step error within one step's latency, always with
+// the no-partial-update guarantee intact (a step aborted post-backward
+// zeroes its accumulated gradients). A nil ctx unbinds (never cancelled).
+// Not safe to call concurrently with a step in flight.
+func (e *Executor) SetContext(ctx context.Context) { e.ctx = ctx }
+
+// ctxErr reports the bound context's cancellation state (nil when unbound).
+func (e *Executor) ctxErr() error {
+	if e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
+}
+
+// SetResumeStep records the completed-step count embedded in subsequent
+// checkpoints (see ResumeStep).
+func (e *Executor) SetResumeStep(n int) { e.resumeStep = n }
+
+// ResumeStep returns the completed-step count of the last checkpoint loaded
+// into (or recorded on) this executor — 0 for a fresh executor or a legacy
+// v1/v2 checkpoint. A resumed training loop continues from step
+// ResumeStep()+1 after fast-forwarding its dataset by ResumeStep() batches.
+func (e *Executor) ResumeStep() int { return e.resumeStep }
+
+// ReleaseBuffers promptly returns every pooled buffer the executor still
+// holds — in-flight decode futures are drained first, then the checked-out
+// ledger is swept — and drops the per-step output and stash references.
+// This is the deterministic release point a job server needs when a job is
+// cancelled, paused or quarantined: after ReleaseBuffers the shared pool
+// owns every buffer again (Stats().InUseBytes from this executor is zero)
+// without waiting for a next Forward's sweep. Must run on the executor's
+// goroutine (not concurrent with a step); safe to call repeatedly and on
+// an unpooled executor (where it only drops references).
+func (e *Executor) ReleaseBuffers() {
+	e.drainFutures()
+	e.sweep()
+	clear(e.outs)
+	clear(e.stash)
+	clear(e.gradOf)
+	e.insBuf = e.insBuf[:0]
+	e.dInsBuf = e.dInsBuf[:0]
 }
 
 // Params returns the parameter tensors of a node (nil if none).
@@ -1003,6 +1061,9 @@ func (e *Executor) lossNode() *graph.Node {
 // bit-exact replay. Fault-injected runs must use TryStep
 // (or RunRecoverable, which wraps it with snapshot/retry/backoff).
 func (e *Executor) TryStep(input *tensor.Tensor, labels []int, lr float32) (loss float64, errs int, err error) {
+	if cerr := e.ctxErr(); cerr != nil {
+		return 0, 0, fmt.Errorf("train: step not started: %w", cerr)
+	}
 	e.stepCount++
 	instrumented := e.tel != nil
 	var start time.Time
@@ -1031,6 +1092,13 @@ func (e *Executor) TryStep(input *tensor.Tensor, labels []int, lr float32) (loss
 	}
 	fwd.End()
 	loss, errs = e.lossOf(labels)
+	if cerr := e.ctxErr(); cerr != nil {
+		// Aborting between forward and backward: no gradient has
+		// accumulated and no update has been applied. Pooled tensors the
+		// forward checked out are swept at the next Forward or by
+		// ReleaseBuffers.
+		return loss, errs, fmt.Errorf("train: step canceled after forward: %w", cerr)
+	}
 
 	bwd := e.stepSpan.Begin("train", "backward")
 	if instrumented {
@@ -1043,6 +1111,17 @@ func (e *Executor) TryStep(input *tensor.Tensor, labels []int, lr float32) (loss
 	bwd.End()
 	if berr != nil {
 		return loss, errs, berr
+	}
+	if cerr := e.ctxErr(); cerr != nil {
+		// Aborting between backward and SGD: gradients have accumulated
+		// but the parameters are untouched — zero the gradients so the
+		// no-partial-update contract holds for a later retry or resume.
+		for _, gs := range e.grads {
+			for _, g := range gs {
+				g.Zero()
+			}
+		}
+		return loss, errs, fmt.Errorf("train: step canceled after backward: %w", cerr)
 	}
 
 	sgd := e.stepSpan.Begin("train", "sgd")

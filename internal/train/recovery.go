@@ -8,6 +8,8 @@ package train
 // counters are cross-checked against the fault injector's log in tests.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -105,9 +107,24 @@ type RecoveryConfig struct {
 	// there every CheckpointEvery steps (default: the probe interval).
 	CheckpointPath  string
 	CheckpointEvery int
-	// Sleep replaces time.Sleep for the backoff waits (tests inject a
-	// recorder); nil uses time.Sleep.
+	// Sleep replaces the backoff wait (tests inject a recorder); nil uses
+	// a context-aware timer wait that aborts the moment the run's context
+	// is cancelled or its deadline expires. An injected Sleep is followed
+	// by a context check, so cancellation still aborts between waits.
 	Sleep func(time.Duration)
+}
+
+// sleepCtx waits d or until ctx is done, whichever is first, returning the
+// context's error when the wait was interrupted.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 func (rc *RecoveryConfig) withDefaults(probeEvery int) RecoveryConfig {
@@ -123,9 +140,6 @@ func (rc *RecoveryConfig) withDefaults(probeEvery int) RecoveryConfig {
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = probeEvery
-	}
-	if c.Sleep == nil {
-		c.Sleep = time.Sleep
 	}
 	return c
 }
@@ -178,15 +192,25 @@ func (r *RecoveryReport) String() string {
 // step is re-executed. A step that exhausts MaxRetries aborts the run with
 // an error; the records and report accumulated so far are still returned.
 //
+// The context is threaded through the whole loop: it is bound to the
+// executor (polled at step phase boundaries), checked before every step,
+// and it interrupts the backoff wait immediately — a cancelled or
+// deadline-expired run returns within one step's latency with the state
+// rolled back to the last good snapshot, records and report intact, and an
+// error wrapping ctx.Err() (plus the last failure cause when the
+// cancellation landed mid-retry).
+//
 // With no fault injector attached the loop's overhead is one state
 // snapshot per step; with nothing to roll back it behaves exactly like Run.
-func RunRecoverable(e *Executor, d *Dataset, cfg RunConfig, rcfg RecoveryConfig) ([]Record, *RecoveryReport, error) {
+func RunRecoverable(ctx context.Context, e *Executor, d *Dataset, cfg RunConfig, rcfg RecoveryConfig) ([]Record, *RecoveryReport, error) {
 	if cfg.ProbeEvery <= 0 {
 		cfg.ProbeEvery = 10
 	}
 	if cfg.ProbeSparsity {
 		e.SetSparsityProbe(true)
 	}
+	e.SetContext(ctx)
+	defer e.SetContext(nil)
 	rc := rcfg.withDefaults(cfg.ProbeEvery)
 	report := &RecoveryReport{}
 	inj := e.opts.Faults
@@ -203,8 +227,18 @@ func RunRecoverable(e *Executor, d *Dataset, cfg RunConfig, rcfg RecoveryConfig)
 	windowErrs, windowN := 0, 0
 	var lastLoss float64
 
+	abort := func(cause error) ([]Record, *RecoveryReport, error) {
+		report.Robust = e.Robust
+		report.FaultCounts = countsOrNil(inj)
+		return records, report, cause
+	}
+
+	startStep := e.ResumeStep()
 	good := e.Snapshot()
-	for step := 1; step <= cfg.Steps; step++ {
+	for step := startStep + 1; step <= cfg.Steps; step++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return abort(fmt.Errorf("train: run stopped before step %d: %w", step, cerr))
+		}
 		x, labels := d.Batch(cfg.Minibatch)
 		inj.BeginStep(step)
 
@@ -219,16 +253,30 @@ func RunRecoverable(e *Executor, d *Dataset, cfg RunConfig, rcfg RecoveryConfig)
 				break
 			}
 			e.Restore(good)
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				// Cancellation, not a fault: the state is rolled back to
+				// the last good snapshot; don't burn retries on it.
+				return abort(fmt.Errorf("train: step %d canceled: %w", step, err))
+			}
 			if attempt >= rc.MaxRetries {
 				report.GaveUpStep = step
-				report.Robust = e.Robust
-				report.FaultCounts = countsOrNil(inj)
 				e.tel.Gauge("train.gave_up_step").Set(int64(step))
-				return records, report, fmt.Errorf("train: step %d failed after %d retries: %w",
-					step, rc.MaxRetries, err)
+				return abort(fmt.Errorf("train: step %d failed after %d retries: %w",
+					step, rc.MaxRetries, err))
 			}
-			rc.Sleep(backoff)
+			if rc.Sleep != nil {
+				rc.Sleep(backoff)
+			} else if werr := sleepCtx(ctx, backoff); werr != nil {
+				return abort(fmt.Errorf(
+					"train: step %d canceled during retry backoff: %w (last cause: %w)",
+					step, werr, err))
+			}
 			report.BackoffTotal += backoff
+			if cerr := ctx.Err(); cerr != nil {
+				return abort(fmt.Errorf(
+					"train: step %d canceled during retry backoff: %w (last cause: %w)",
+					step, cerr, err))
+			}
 			if backoff *= 2; backoff > rc.BackoffMax {
 				backoff = rc.BackoffMax
 			}
@@ -241,7 +289,11 @@ func RunRecoverable(e *Executor, d *Dataset, cfg RunConfig, rcfg RecoveryConfig)
 			recoveredC.Inc()
 		}
 		report.Steps = step
+		e.SetResumeStep(step)
 		good = e.Snapshot()
+		if cfg.OnStep != nil {
+			cfg.OnStep(step, loss)
+		}
 
 		windowErrs += errs
 		windowN += cfg.Minibatch

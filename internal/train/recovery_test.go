@@ -1,6 +1,7 @@
 package train
 
 import (
+	"context"
 	"errors"
 	"path/filepath"
 	"reflect"
@@ -82,7 +83,7 @@ func TestSnapshotRestoreReplaysBitIdentically(t *testing.T) {
 func TestRunRecoverableCleanMatchesRun(t *testing.T) {
 	cfg := RunConfig{Minibatch: 8, Steps: 60, LR: 0.05, ProbeEvery: 20}
 	base := Run(NewExecutor(smallNet(8), Options{Seed: 3}), NewDataset(4, 2, 8, 0.3, 7), cfg)
-	recs, report, err := RunRecoverable(NewExecutor(smallNet(8), Options{Seed: 3}),
+	recs, report, err := RunRecoverable(context.Background(), NewExecutor(smallNet(8), Options{Seed: 3}),
 		NewDataset(4, 2, 8, 0.3, 7), cfg, RecoveryConfig{})
 	if err != nil {
 		t.Fatalf("clean RunRecoverable: %v", err)
@@ -114,7 +115,7 @@ func TestRunRecoverableSurvivesInjectedFaults(t *testing.T) {
 	d := NewDataset(4, 2, 8, 0.3, 13)
 
 	var slept []time.Duration
-	recs, report, err := RunRecoverable(e, d,
+	recs, report, err := RunRecoverable(context.Background(), e, d,
 		RunConfig{Minibatch: 4, Steps: 40, LR: 0.05, ProbeEvery: 10},
 		RecoveryConfig{MaxRetries: 25, Sleep: func(d time.Duration) { slept = append(slept, d) }})
 	if err != nil {
@@ -170,7 +171,7 @@ func TestRunRecoverableAllocPressureClears(t *testing.T) {
 	e := NewExecutor(g, Options{Seed: 9, Encodings: a, Faults: inj})
 	d := NewDataset(4, 2, 8, 0.3, 13)
 
-	_, report, err := RunRecoverable(e, d,
+	_, report, err := RunRecoverable(context.Background(), e, d,
 		RunConfig{Minibatch: 4, Steps: 5, LR: 0.05, ProbeEvery: 5},
 		RecoveryConfig{Sleep: func(time.Duration) {}})
 	if err != nil {
@@ -195,7 +196,7 @@ func TestRunRecoverableGivesUpAndBacksOff(t *testing.T) {
 	d := NewDataset(4, 2, 8, 0.3, 13)
 
 	var slept []time.Duration
-	_, report, err := RunRecoverable(e, d,
+	_, report, err := RunRecoverable(context.Background(), e, d,
 		RunConfig{Minibatch: 4, Steps: 10, LR: 0.05, ProbeEvery: 5},
 		RecoveryConfig{
 			MaxRetries:  5,
@@ -234,7 +235,7 @@ func TestRunRecoverablePeriodicCheckpoints(t *testing.T) {
 	e := NewExecutor(g, Options{Seed: 9})
 	d := NewDataset(4, 2, 8, 0.3, 13)
 
-	_, report, err := RunRecoverable(e, d,
+	_, report, err := RunRecoverable(context.Background(), e, d,
 		RunConfig{Minibatch: 4, Steps: 20, LR: 0.05, ProbeEvery: 5},
 		RecoveryConfig{CheckpointPath: path, CheckpointEvery: 5})
 	if err != nil {

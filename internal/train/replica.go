@@ -17,6 +17,7 @@ package train
 // shard) for the same reason.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -95,9 +96,14 @@ type ReplicaGroup struct {
 	lr     float32
 	step   int
 
-	cmds   []chan int
-	wg     sync.WaitGroup
-	closed bool
+	cmds      []chan int
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	// ctx, when non-nil, is polled before every shard attempt so a
+	// cancelled or deadline-expired group step aborts within one shard's
+	// latency without applying a parameter update. Bound by SetContext.
+	ctx context.Context
 
 	tel         *telemetry.Sink
 	reduceNS    *telemetry.Histogram // replica.reduce.ns
@@ -280,6 +286,13 @@ func (rg *ReplicaGroup) runShard(r, s int) {
 	lab := rg.labelBuf[r]
 	copy(lab, rg.labels[s*rg.graphBatch:(s+1)*rg.graphBatch])
 	for attempt := 0; ; attempt++ {
+		if err := rg.ctxErr(); err != nil {
+			// Cancellation between shards: this shard never ran, so its
+			// gradient buffer stays zero and TryStep will refuse the
+			// update. Remaining shards observe the same cancellation.
+			rg.shardFail[s] = err
+			return
+		}
 		e.rng.SetState(shardSeed(rg.seed, rg.step, s))
 		e.Forward(rg.shardX[s], lab, true)
 		loss, errs := e.lossOf(lab)
@@ -336,6 +349,22 @@ func (e *Executor) importGrads(src []float32) {
 	}
 }
 
+// SetContext binds a context to the group's step loop. TryStep polls it at
+// step entry and before every shard attempt, so cancellation or deadline
+// expiry aborts the step within one shard's latency: the merge and update
+// phases are skipped, every pooled shard-gradient buffer is recycled, and
+// the error wraps the context's error (test with errors.Is). A nil ctx
+// unbinds. Not safe to call concurrently with a step in flight.
+func (rg *ReplicaGroup) SetContext(ctx context.Context) { rg.ctx = ctx }
+
+// ctxErr reports the bound context's cancellation state (nil when unbound).
+func (rg *ReplicaGroup) ctxErr() error {
+	if rg.ctx == nil {
+		return nil
+	}
+	return rg.ctx.Err()
+}
+
 // GroupBatch returns the rows one group step consumes: Shards x the
 // graph's batch size. Step inputs must carry exactly this many rows.
 func (rg *ReplicaGroup) GroupBatch() int { return rg.groupBatch }
@@ -349,6 +378,26 @@ func (rg *ReplicaGroup) Shards() int { return rg.cfg.Shards }
 // Executor returns replica 0's executor (the one owning the caller's
 // graph), for checkpoints and parameter inspection.
 func (rg *ReplicaGroup) Executor() *Executor { return rg.execs[0] }
+
+// Executors returns every replica's executor in replica order. Resuming a
+// checkpointed group loads the same checkpoint into each one, so the
+// replicas stay bit-equal.
+func (rg *ReplicaGroup) Executors() []*Executor { return rg.execs }
+
+// SetResumeStep aligns the group's internal step counter (the per-shard
+// dropout reseed input and the fault injector's step clock) and every
+// replica's resume count to n completed steps, so a resumed group
+// replays the exact RNG streams of an uninterrupted run.
+func (rg *ReplicaGroup) SetResumeStep(n int) {
+	rg.step = n
+	for _, e := range rg.execs {
+		e.SetResumeStep(n)
+	}
+}
+
+// ResumeStep returns the completed-step count (set by SetResumeStep or a
+// v3 checkpoint load on replica 0).
+func (rg *ReplicaGroup) ResumeStep() int { return rg.execs[0].ResumeStep() }
 
 // Telemetry returns the sink the group reports to (nil when none).
 func (rg *ReplicaGroup) Telemetry() *telemetry.Sink { return rg.tel }
@@ -396,6 +445,9 @@ func (rg *ReplicaGroup) TryStep(x *tensor.Tensor, labels []int, lr float32) (los
 	if len(labels) != rg.groupBatch {
 		panic(fmt.Sprintf("train: replica step got %d labels, want %d", len(labels), rg.groupBatch))
 	}
+	if cerr := rg.ctxErr(); cerr != nil {
+		return 0, 0, fmt.Errorf("train: replica step not started: %w", cerr)
+	}
 	rg.step++
 	rg.inj.BeginStep(rg.step)
 	rg.armShards(x)
@@ -419,8 +471,14 @@ func (rg *ReplicaGroup) TryStep(x *tensor.Tensor, labels []int, lr float32) (los
 	}
 	loss /= float64(rg.cfg.Shards)
 	if failed != nil {
-		rg.abandons.Inc()
 		rg.recycleGradBufs(0)
+		if errors.Is(failed, context.Canceled) || errors.Is(failed, context.DeadlineExceeded) {
+			// Cancellation, not a fault: no update was applied and every
+			// pooled shard buffer is back in the pool. Surface the context
+			// error directly so callers can errors.Is on it.
+			return loss, errs, fmt.Errorf("train: replica step canceled: %w", failed)
+		}
+		rg.abandons.Inc()
 		return loss, errs, fmt.Errorf("%w: %w", ErrStepAbandoned, failed)
 	}
 
@@ -493,14 +551,21 @@ func (rg *ReplicaGroup) Eval(x *tensor.Tensor, labels []int) (loss float64, erro
 	return loss / float64(rg.cfg.Shards), errors
 }
 
-// Close shuts the replica workers down. Idempotent; the group must not be
-// stepped after Close.
+// Close shuts the replica workers down and promptly returns every pooled
+// buffer the replicas still hold to the pool. Idempotent and safe to call
+// from multiple goroutines concurrently — exactly one caller performs the
+// shutdown, and a double Close never double-releases a pooled buffer. The
+// group must not be stepped after (or concurrently with) Close.
 func (rg *ReplicaGroup) Close() {
-	if rg.closed {
-		return
-	}
-	rg.closed = true
-	for _, c := range rg.cmds {
-		close(c)
-	}
+	rg.closeOnce.Do(func() {
+		for _, c := range rg.cmds {
+			close(c)
+		}
+		// Workers only run between runPhase barriers, so after the step
+		// loop stops they are parked (or exiting) and each executor's
+		// ledger is safe to sweep from here.
+		for _, e := range rg.execs {
+			e.ReleaseBuffers()
+		}
+	})
 }

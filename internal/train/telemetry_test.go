@@ -1,6 +1,7 @@
 package train
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -36,7 +37,7 @@ func TestTelemetryCrossChecksReportAndInjector(t *testing.T) {
 	d := NewDataset(4, 2, 8, 0.3, 13)
 
 	var periodic strings.Builder
-	_, report, err := RunRecoverable(e, d,
+	_, report, err := RunRecoverable(context.Background(), e, d,
 		RunConfig{Minibatch: 4, Steps: 40, LR: 0.05, ProbeEvery: 10,
 			MetricsEvery: 20, MetricsOut: &periodic},
 		RecoveryConfig{MaxRetries: 25, Sleep: func(time.Duration) {}})

@@ -5,6 +5,8 @@ package train
 // of Figure 14.
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"gist/internal/graph"
@@ -15,12 +17,31 @@ import (
 // Stepper is what Run needs from a training engine: one optimizer step per
 // minibatch plus the probe hooks. Both a single Executor and a
 // data-parallel ReplicaGroup satisfy it, so the same training loop drives
-// either.
+// either. TryStep is the fallible form Step wraps: it surfaces
+// stash-pipeline failures and context cancellation as errors instead of
+// panicking, and RunContext drives engines through it.
 type Stepper interface {
 	Step(x *tensor.Tensor, labels []int, lr float32) (loss float64, errors int)
+	TryStep(x *tensor.Tensor, labels []int, lr float32) (loss float64, errors int, err error)
 	SetSparsityProbe(on bool)
 	ReLUSparsities() map[string]float64
 	Telemetry() *telemetry.Sink
+}
+
+// contextual is the optional engine surface RunContext binds a context
+// through; both Executor and ReplicaGroup implement it.
+type contextual interface {
+	SetContext(ctx context.Context)
+}
+
+// resumable is the optional engine surface RunContext resumes through:
+// after a v3 checkpoint load, ResumeStep reports the completed-step count
+// and the loop continues from the next step, keeping the engine's counter
+// aligned so RNG streams replay exactly. Both Executor and ReplicaGroup
+// implement it.
+type resumable interface {
+	ResumeStep() int
+	SetResumeStep(n int)
 }
 
 // Record is one probe point of a training run.
@@ -51,6 +72,12 @@ type RunConfig struct {
 	// view of a long run without waiting for the final dump.
 	MetricsEvery int
 	MetricsOut   io.Writer
+	// OnStep, when non-nil, is called after every completed step with the
+	// 1-based step number and its minibatch loss. Job servers use it for
+	// liveness/progress tracking (the watchdog's heartbeat); it runs on
+	// the training goroutine, so it must be fast and must not call back
+	// into the engine.
+	OnStep func(step int, loss float64)
 }
 
 // maybeSnapshot writes the engine's telemetry snapshot when the config's
@@ -67,8 +94,24 @@ func maybeSnapshot(e Stepper, cfg RunConfig, step int) {
 // records. The accuracy-loss at each probe is the error rate accumulated
 // since the previous probe, matching how the paper tracks training
 // accuracy over time. For a ReplicaGroup, cfg.Minibatch must equal its
-// GroupBatch.
+// GroupBatch. Run is RunContext with the background context; it panics on
+// stash-pipeline failures exactly as Step does.
 func Run(e Stepper, d *Dataset, cfg RunConfig) []Record {
+	records, err := RunContext(context.Background(), e, d, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("train: Run under fault injection must use RunContext: %v", err))
+	}
+	return records
+}
+
+// RunContext trains like Run under a context: the loop checks ctx before
+// every step and the bound engine (Executor or ReplicaGroup) additionally
+// polls it at phase boundaries inside the step, so a cancelled or expired
+// context stops the run within one step's latency. The records accumulated
+// so far are always returned; err is nil on a completed run, wraps the
+// context error on cancellation/deadline (errors.Is-matchable), and wraps
+// the engine's error on a stash-pipeline failure.
+func RunContext(ctx context.Context, e Stepper, d *Dataset, cfg RunConfig) ([]Record, error) {
 	if cfg.ProbeEvery <= 0 {
 		cfg.ProbeEvery = 10
 	}
@@ -77,12 +120,31 @@ func Run(e Stepper, d *Dataset, cfg RunConfig) []Record {
 		// capture so ReLUSparsities has values to report.
 		e.SetSparsityProbe(true)
 	}
+	if c, ok := e.(contextual); ok {
+		c.SetContext(ctx)
+		defer c.SetContext(nil)
+	}
+	start := 0
+	rs, canResume := e.(resumable)
+	if canResume {
+		start = rs.ResumeStep()
+		rs.SetResumeStep(start)
+	}
 	var records []Record
 	windowErrs, windowN := 0, 0
 	var lastLoss float64
-	for step := 1; step <= cfg.Steps; step++ {
+	for step := start + 1; step <= cfg.Steps; step++ {
+		if err := ctx.Err(); err != nil {
+			return records, fmt.Errorf("train: run stopped before step %d: %w", step, err)
+		}
 		x, labels := d.Batch(cfg.Minibatch)
-		loss, errs := e.Step(x, labels, cfg.LR)
+		loss, errs, err := e.TryStep(x, labels, cfg.LR)
+		if err != nil {
+			return records, fmt.Errorf("train: run stopped at step %d: %w", step, err)
+		}
+		if canResume {
+			rs.SetResumeStep(step)
+		}
 		windowErrs += errs
 		windowN += cfg.Minibatch
 		lastLoss = loss
@@ -98,9 +160,12 @@ func Run(e Stepper, d *Dataset, cfg RunConfig) []Record {
 			records = append(records, rec)
 			windowErrs, windowN = 0, 0
 		}
+		if cfg.OnStep != nil {
+			cfg.OnStep(step, loss)
+		}
 		maybeSnapshot(e, cfg, step)
 	}
-	return records
+	return records, nil
 }
 
 // FinalAccuracyLoss returns the accuracy loss of the last probe window, or

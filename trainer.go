@@ -15,6 +15,9 @@ package gist
 //	loss, errs, err := tr.Step(x, labels, 0.05)
 
 import (
+	"context"
+	"sync"
+
 	"gist/internal/bufpool"
 	"gist/internal/encoding"
 	"gist/internal/faults"
@@ -179,11 +182,12 @@ func WithFaults(cfg FaultConfig) TrainerOption {
 // Trainer trains one graph. Construct with NewTrainer; drive with Step or
 // Run.
 type Trainer struct {
-	g     *Graph
-	exec  *train.Executor
-	group *train.ReplicaGroup // non-nil under WithReplicas/WithShards
-	codec *encoding.Codec
-	pool  *bufpool.Pool
+	g         *Graph
+	exec      *train.Executor
+	group     *train.ReplicaGroup // non-nil under WithReplicas/WithShards
+	codec     *encoding.Codec
+	pool      *bufpool.Pool
+	closeOnce sync.Once
 }
 
 // NewTrainer builds a trainer for the graph with the given options. It
@@ -282,6 +286,17 @@ func (t *Trainer) Run(d *Dataset, cfg RunConfig) []Record {
 	return train.Run(t.exec, d, cfg)
 }
 
+// RunContext trains like Run under a context: cancellation or an expired
+// deadline stops the run within one step's latency, returning the records
+// accumulated so far and an error wrapping ctx.Err(). Job servers drive
+// trainers through it so cancelled jobs release their slots promptly.
+func (t *Trainer) RunContext(ctx context.Context, d *Dataset, cfg RunConfig) ([]Record, error) {
+	if t.group != nil {
+		return train.RunContext(ctx, t.group, d, cfg)
+	}
+	return train.RunContext(ctx, t.exec, d, cfg)
+}
+
 // Minibatch returns the rows one Step consumes: the graph's batch size,
 // scaled by the shard count under WithReplicas/WithShards.
 func (t *Trainer) Minibatch() int {
@@ -291,12 +306,19 @@ func (t *Trainer) Minibatch() int {
 	return t.g.InputNodes()[0].OutShape[0]
 }
 
-// Close releases the trainer's replica workers. A no-op for
-// single-executor trainers; safe to call twice.
+// Close releases the trainer's resources: replica workers shut down and
+// every pooled buffer the engine holds is recycled back to its pool.
+// Close is idempotent and safe to call from multiple goroutines
+// concurrently — pooled buffers are released exactly once, so a double
+// Close can never double-recycle (which the pool would reject by panic).
 func (t *Trainer) Close() {
-	if t.group != nil {
-		t.group.Close()
-	}
+	t.closeOnce.Do(func() {
+		if t.group != nil {
+			t.group.Close()
+			return
+		}
+		t.exec.ReleaseBuffers()
+	})
 }
 
 // Executor exposes the underlying executor for advanced use (checkpoints,
