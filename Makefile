@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race race-hot soak soak-short fuzz fuzz-stash bench bench-parallel metrics-bench allocs cover check
+.PHONY: build test vet race race-hot soak soak-short fuzz fuzz-stash bench bench-parallel metrics-bench allocs bench-gate bench-gate-short cover check
 
 build:
 	$(GO) build ./...
@@ -24,7 +24,7 @@ race:
 # execute every time. The job server rides along via soak-short (its own
 # race pass, sized for CI).
 race-hot: soak-short
-	$(GO) test -race -count=1 ./internal/encoding/ ./internal/train/ ./internal/reduce/ ./internal/parallel/ ./internal/telemetry/
+	$(GO) test -race -count=1 ./internal/encoding/ ./internal/train/ ./internal/reduce/ ./internal/parallel/ ./internal/telemetry/ ./internal/bitpack/ ./internal/floatenc/ ./internal/sparse/
 
 # Full soak/chaos run over the job server: 32 concurrent jobs with fault
 # injection and a seeded cancel/pause/resume chaos goroutine, under the
@@ -36,10 +36,14 @@ soak:
 soak-short:
 	$(GO) test -race -count=1 -short ./internal/server/
 
-# Short fuzz passes over the checkpoint parser and the gradient reduce.
+# Short fuzz passes over the checkpoint parser, the gradient reduce, and
+# the codec kernels (format round-trip fixed point; mask word kernels vs
+# their scalar references).
 fuzz:
 	$(GO) test ./internal/train/ -run FuzzReadCheckpoint -fuzz FuzzReadCheckpoint -fuzztime 20s
 	$(GO) test ./internal/reduce/ -run FuzzReduceGrads -fuzz FuzzReduceGrads -fuzztime 20s
+	$(GO) test ./internal/floatenc/ -run FuzzFormatRoundTrip -fuzz FuzzFormatRoundTrip -fuzztime 20s
+	$(GO) test ./internal/bitpack/ -run FuzzMaskWords -fuzz FuzzMaskWords -fuzztime 20s
 
 # Short fuzz pass over the serialized-stash decode path.
 fuzz-stash:
@@ -76,6 +80,22 @@ allocs:
 	done; \
 	echo "allocs: [$$(echo $$allocs | tr '\n' ' ')] /op within budget $(ALLOC_BUDGET)"
 
+# Kernel throughput gate: runs the Kernel benchmarks (word-parallel kernels
+# next to their frozen scalar references) and checks the word/scalar ratios
+# and absolute floors in bench_gate.json via cmd/benchgate. The ratio is the
+# primary signal so the gate is machine-independent; -count=2 with best-leg
+# parsing absorbs scheduler noise. bench-gate-short is the fast path wired
+# into `make check`; the default 1s benchtime is for deliberate measurement.
+BENCH_GATE_TIME ?= 1s
+BENCH_GATE_COUNT ?= 2
+BENCH_GATE_PKGS = ./internal/bitpack/ ./internal/floatenc/ ./internal/sparse/ ./internal/layers/
+bench-gate:
+	@$(GO) test -run TestXXX -bench Kernel -benchtime $(BENCH_GATE_TIME) -count $(BENCH_GATE_COUNT) $(BENCH_GATE_PKGS) \
+		| $(GO) run ./cmd/benchgate -thresholds bench_gate.json
+
+bench-gate-short:
+	@$(MAKE) --no-print-directory bench-gate BENCH_GATE_TIME=100ms
+
 # Coverage floors on the numerical core: the executor/replica engine, the
 # encode→seal→decode pipeline, and the deterministic reduce. Floors sit
 # well below current coverage (89/87/100 as of the replica PR) so routine
@@ -97,4 +117,4 @@ cover:
 	done; \
 	[ "$$fail" -eq 0 ] && echo "cover: all floors met" || exit 1
 
-check: build vet test race race-hot allocs cover
+check: build vet test race race-hot allocs bench-gate-short cover

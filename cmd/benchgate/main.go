@@ -1,0 +1,181 @@
+// Command benchgate checks `go test -bench Kernel` output against the
+// thresholds in bench_gate.json, the kernel-throughput companion to the
+// `make allocs` gate. Every word-parallel kernel benchmark runs next to its
+// frozen scalar reference as word/scalar sub-benchmarks; the gate asserts
+// the word/scalar speedup ratio (machine-independent, the primary signal)
+// and a deliberately loose absolute MB/s floor on the word leg (a backstop
+// against a kernel silently falling off a cliff everywhere).
+//
+// Usage:
+//
+//	go test -run TestXXX -bench Kernel ./... | benchgate -thresholds bench_gate.json
+//
+// Exit status is non-zero if any threshold is violated or if a kernel named
+// in the thresholds file produced no benchmark output (so deleting a
+// benchmark cannot silently disable its gate).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// threshold is one kernel's gate. MinRatio bounds word-MB/s ÷ scalar-MB/s;
+// MinWordMBs bounds the word leg's absolute throughput.
+type threshold struct {
+	MinRatio   float64 `json:"min_ratio"`
+	MinWordMBs float64 `json:"min_word_mbps"`
+}
+
+type gateFile struct {
+	// Comment documents the regeneration procedure inside the JSON itself.
+	Comment string               `json:"comment"`
+	Kernels map[string]threshold `json:"kernels"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkKernelPackEncode/FP16/word-4   720  1579449 ns/op  82.99 MB/s
+//
+// capturing the kernel key ("KernelPackEncode/FP16"), the leg ("word" or
+// "scalar"), and the MB/s figure.
+var benchLine = regexp.MustCompile(
+	`^Benchmark(Kernel[^\s/]+(?:/[^\s/]+)*?)/(word|scalar)(?:-\d+)?\s+\d+\s+[\d.]+ ns/op\s+([\d.]+) MB/s`)
+
+type legs struct {
+	word, scalar float64
+	hasW, hasS   bool
+}
+
+func parseBench(r io.Reader) (map[string]*legs, error) {
+	out := map[string]*legs{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		mbs, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad MB/s in %q: %v", sc.Text(), err)
+		}
+		l := out[m[1]]
+		if l == nil {
+			l = &legs{}
+			out[m[1]] = l
+		}
+		// -count>1 reruns keep the best leg: the gate asks "can this kernel
+		// still go fast", so scheduler hiccups on loaded machines don't
+		// produce false failures.
+		if m[2] == "word" {
+			if !l.hasW || mbs > l.word {
+				l.word = mbs
+			}
+			l.hasW = true
+		} else {
+			if !l.hasS || mbs > l.scalar {
+				l.scalar = mbs
+			}
+			l.hasS = true
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	thresholdsPath := flag.String("thresholds", "bench_gate.json", "threshold file")
+	input := flag.String("input", "-", "benchmark output file, or - for stdin")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*thresholdsPath)
+	if err != nil {
+		fatal("benchgate: %v", err)
+	}
+	var gate gateFile
+	if err := json.Unmarshal(raw, &gate); err != nil {
+		fatal("benchgate: parsing %s: %v", *thresholdsPath, err)
+	}
+	if len(gate.Kernels) == 0 {
+		fatal("benchgate: %s names no kernels", *thresholdsPath)
+	}
+
+	in := os.Stdin
+	if *input != "-" {
+		f, err := os.Open(*input)
+		if err != nil {
+			fatal("benchgate: %v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	results, err := parseBench(in)
+	if err != nil {
+		fatal("benchgate: reading benchmark output: %v", err)
+	}
+
+	names := make([]string, 0, len(gate.Kernels))
+	for name := range gate.Kernels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := 0
+	for _, name := range names {
+		th := gate.Kernels[name]
+		l := results[name]
+		switch {
+		case l == nil || !l.hasW || !l.hasS:
+			fmt.Printf("FAIL %-28s missing word/scalar benchmark output\n", name)
+			failed++
+			continue
+		case l.scalar <= 0:
+			fmt.Printf("FAIL %-28s scalar leg reported %.2f MB/s\n", name, l.scalar)
+			failed++
+			continue
+		}
+		ratio := l.word / l.scalar
+		ok := true
+		if ratio < th.MinRatio {
+			fmt.Printf("FAIL %-28s ratio %.2fx below floor %.2fx (word %.0f, scalar %.0f MB/s)\n",
+				name, ratio, th.MinRatio, l.word, l.scalar)
+			ok = false
+		}
+		if l.word < th.MinWordMBs {
+			fmt.Printf("FAIL %-28s word leg %.0f MB/s below floor %.0f\n",
+				name, l.word, th.MinWordMBs)
+			ok = false
+		}
+		if !ok {
+			failed++
+			continue
+		}
+		fmt.Printf("ok   %-28s %.2fx (word %.0f, scalar %.0f MB/s; floors %.2fx, %.0f MB/s)\n",
+			name, ratio, l.word, l.scalar, th.MinRatio, th.MinWordMBs)
+	}
+
+	// Benchmarks present in the output but absent from the gate are worth a
+	// note — a new kernel should get a threshold in the same PR.
+	for name, l := range results {
+		if _, gated := gate.Kernels[name]; !gated && l.hasW && l.hasS {
+			fmt.Printf("note %-28s has no threshold in %s\n", name, *thresholdsPath)
+		}
+	}
+
+	if failed > 0 {
+		fatal("benchgate: %d of %d kernel gates failed", failed, len(gate.Kernels))
+	}
+	fmt.Printf("benchgate: all %d kernel gates passed\n", len(gate.Kernels))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+package bitpack
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Kernel benchmarks: every word-parallel kernel next to its retained
+// scalar reference, on the same data, reporting B/s over the dense FP32
+// side of the transform. `make bench-gate` parses the word/scalar pairs
+// and fails the build when the speedup ratio or absolute throughput drops
+// below the thresholds in bench_gate.json.
+
+const benchElems = 1 << 20
+
+func benchInput(seed int64) []float32 {
+	r := rand.New(rand.NewSource(seed))
+	xs := make([]float32, benchElems)
+	for i := range xs {
+		if r.Intn(2) == 0 {
+			xs[i] = float32(r.NormFloat64())
+		}
+	}
+	return xs
+}
+
+func BenchmarkKernelMaskFill(b *testing.B) {
+	xs := benchInput(1)
+	m := NewBitMask(benchElems)
+	run := func(b *testing.B, fill func(xs []float32, lo, hi int)) {
+		b.SetBytes(benchElems * 4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Reset(benchElems)
+			fill(xs, 0, benchElems)
+		}
+	}
+	b.Run("word", func(b *testing.B) { run(b, m.FillPositiveRange) })
+	b.Run("scalar", func(b *testing.B) { run(b, m.fillPositiveRangeScalar) })
+}
+
+func BenchmarkKernelMaskExpand(b *testing.B) {
+	m := FromPositive(benchInput(2))
+	dst := make([]float32, benchElems)
+	run := func(b *testing.B, expand func(dst []float32, lo, hi int)) {
+		b.SetBytes(benchElems * 4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			expand(dst, 0, benchElems)
+		}
+	}
+	b.Run("word", func(b *testing.B) { run(b, m.ExpandRange) })
+	b.Run("scalar", func(b *testing.B) { run(b, m.expandRangeScalar) })
+}
+
+func BenchmarkKernelMaskGate(b *testing.B) {
+	m := FromPositive(benchInput(3))
+	dy := benchInput(4)
+	dx := make([]float32, benchElems)
+	run := func(b *testing.B, gate func(dx, dy []float32)) {
+		b.SetBytes(benchElems * 4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			gate(dx, dy)
+		}
+	}
+	b.Run("word", func(b *testing.B) { run(b, m.ApplyGate) })
+	b.Run("scalar", func(b *testing.B) { run(b, m.applyGateScalar) })
+}
+
+func BenchmarkKernelMaskPopcount(b *testing.B) {
+	m := FromPositive(benchInput(5))
+	b.Run("word", func(b *testing.B) {
+		b.SetBytes(benchElems / 8)
+		for i := 0; i < b.N; i++ {
+			_ = m.PopCount()
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		b.SetBytes(benchElems / 8)
+		for i := 0; i < b.N; i++ {
+			_ = m.popCountScalar()
+		}
+	})
+}

@@ -7,7 +7,11 @@
 // compression over a stashed FP32 pool output).
 package bitpack
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
 
 // BitMask stores n boolean values packed 64 per word.
 type BitMask struct {
@@ -53,14 +57,48 @@ func (m *BitMask) Reset(n int) {
 	m.n = n
 }
 
+// positiveBit returns 1 when the float32 with the given bit pattern is
+// strictly positive and 0 otherwise, branch-free. v > 0 holds exactly for
+// bit patterns in [1, 0x7f800000] (positive denormals through +Inf; +0,
+// every negative and every NaN fall outside), so after the wrapping
+// decrement the predicate is a single unsigned compare whose borrow bit is
+// the answer.
+func positiveBit(b uint32) uint64 {
+	return (uint64(b-1) - 0x7f800000) >> 63
+}
+
 // FillPositiveRange is the chunk-range Binarize kernel: it sets bit i for
 // every i in [start, end) where xs[i] > 0. The mask words touched must be
 // all-zero beforehand (as NewBitMask leaves them), and for parallel chunks
 // start must be a multiple of 64 — and end too, unless end == Len() — so
 // each chunk owns whole words and racing writers never share one.
+//
+// Word-parallel: the aligned interior accumulates 64 predicate bits in a
+// register (branch-free sign tests on the float bit patterns) and touches
+// memory once per word; only the ragged head and tail run the scalar
+// read-modify-write. Output is bit-identical to fillPositiveRangeScalar.
 func (m *BitMask) FillPositiveRange(xs []float32, start, end int) {
 	m.checkRange(start, end)
-	for i := start; i < end; i++ {
+	i := start
+	for ; i < end && i&63 != 0; i++ {
+		if xs[i] > 0 {
+			m.words[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	for ; i+64 <= end; i += 64 {
+		lane := xs[i : i+64 : i+64]
+		// Four independent accumulators so the per-bit ORs form four short
+		// dependency chains instead of one 64-deep chain.
+		var w0, w1, w2, w3 uint64
+		for k := 0; k < 64; k += 4 {
+			w0 |= positiveBit(math.Float32bits(lane[k])) << uint(k)
+			w1 |= positiveBit(math.Float32bits(lane[k+1])) << uint(k+1)
+			w2 |= positiveBit(math.Float32bits(lane[k+2])) << uint(k+2)
+			w3 |= positiveBit(math.Float32bits(lane[k+3])) << uint(k+3)
+		}
+		m.words[i>>6] |= w0 | w1 | w2 | w3
+	}
+	for ; i < end; i++ {
 		if xs[i] > 0 {
 			m.words[i>>6] |= 1 << (uint(i) & 63)
 		}
@@ -71,9 +109,33 @@ func (m *BitMask) FillPositiveRange(xs []float32, start, end int) {
 // set and 0 elsewhere, for every i in [start, end). dst must have length
 // Len(); chunks may cover any partition of [0, Len()) since each element is
 // written independently.
+//
+// Word-parallel: the aligned interior loads each mask word once and turns
+// every bit into float bits by multiplication (bit * 0x3f800000 is +1.0 or
+// +0.0), branch-free; an all-zero word clears its 64 lanes in one call.
+// Output is bit-identical to expandRangeScalar.
 func (m *BitMask) ExpandRange(dst []float32, start, end int) {
 	m.checkRange(start, end)
-	for i := start; i < end; i++ {
+	i := start
+	for ; i < end && i&63 != 0; i++ {
+		if m.words[i>>6]&(1<<(uint(i)&63)) != 0 {
+			dst[i] = 1
+		} else {
+			dst[i] = 0
+		}
+	}
+	for ; i+64 <= end; i += 64 {
+		w := m.words[i>>6]
+		lane := dst[i : i+64 : i+64]
+		if w == 0 {
+			clear(lane)
+			continue
+		}
+		for k := range lane {
+			lane[k] = math.Float32frombits(uint32(w>>uint(k)&1) * 0x3f800000)
+		}
+	}
+	for ; i < end; i++ {
 		if m.words[i>>6]&(1<<(uint(i)&63)) != 0 {
 			dst[i] = 1
 		} else {
@@ -124,9 +186,7 @@ func (m *BitMask) check(i int) {
 func (m *BitMask) PopCount() int {
 	c := 0
 	for _, w := range m.words {
-		for ; w != 0; w &= w - 1 {
-			c++
-		}
+		c += bits.OnesCount64(w)
 	}
 	return c
 }
@@ -134,11 +194,41 @@ func (m *BitMask) PopCount() int {
 // ApplyGate writes dx[i] = dy[i] where bit i is set and 0 elsewhere: the
 // ReLU backward pass computed directly on the Binarize-encoded mask. dx and
 // dy must have length Len().
+//
+// Word-parallel: each mask word gates 64 elements by widening its bits to
+// 32-bit lane masks ANDed onto dy's bit patterns — bit-exact pass-through
+// (NaN payloads and signed zeros survive) with no branch per element.
+// All-zero and all-one words become clear and copy. Output is bit-identical
+// to applyGateScalar.
 func (m *BitMask) ApplyGate(dx, dy []float32) {
 	if len(dx) != m.n || len(dy) != m.n {
 		panic("bitpack: ApplyGate length mismatch")
 	}
-	for i := range dy {
+	i := 0
+	for ; i+64 <= m.n; i += 64 {
+		w := m.words[i>>6]
+		dxl := dx[i : i+64 : i+64]
+		if w == 0 {
+			clear(dxl)
+			continue
+		}
+		dyl := dy[i : i+64 : i+64]
+		if w == ^uint64(0) {
+			copy(dxl, dyl)
+			continue
+		}
+		for k := 0; k < 64; k += 4 {
+			m0 := uint32(0) - uint32(w>>uint(k)&1)
+			m1 := uint32(0) - uint32(w>>uint(k+1)&1)
+			m2 := uint32(0) - uint32(w>>uint(k+2)&1)
+			m3 := uint32(0) - uint32(w>>uint(k+3)&1)
+			dxl[k] = math.Float32frombits(math.Float32bits(dyl[k]) & m0)
+			dxl[k+1] = math.Float32frombits(math.Float32bits(dyl[k+1]) & m1)
+			dxl[k+2] = math.Float32frombits(math.Float32bits(dyl[k+2]) & m2)
+			dxl[k+3] = math.Float32frombits(math.Float32bits(dyl[k+3]) & m3)
+		}
+	}
+	for ; i < m.n; i++ {
 		if m.words[i>>6]&(1<<(uint(i)&63)) != 0 {
 			dx[i] = dy[i]
 		} else {

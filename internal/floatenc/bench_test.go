@@ -1,0 +1,79 @@
+package floatenc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Kernel benchmarks: the word-parallel pack/unpack/quantize kernels next to
+// their retained scalar references, reporting B/s over the dense FP32 side.
+// `make bench-gate` parses the word/scalar pairs and fails the build when
+// the speedup ratio or absolute throughput drops below the thresholds in
+// bench_gate.json.
+
+const benchElems = 1 << 20
+
+func benchInput(seed int64) []float32 {
+	r := rand.New(rand.NewSource(seed))
+	xs := make([]float32, benchElems)
+	for i := range xs {
+		if r.Intn(2) == 0 { // ReLU-style sparsity: half the elements are zero
+			xs[i] = float32(r.NormFloat64())
+		}
+	}
+	return xs
+}
+
+func benchFormats() []Format { return []Format{FP16, FP10, FP8} }
+
+func BenchmarkKernelPackEncode(b *testing.B) {
+	xs := benchInput(1)
+	for _, f := range benchFormats() {
+		p := NewPacked(f, benchElems)
+		run := func(b *testing.B, enc func(src []float32, lo, hi int)) {
+			b.SetBytes(benchElems * 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.Reset(f, benchElems)
+				enc(xs, 0, benchElems)
+			}
+		}
+		b.Run(f.String()+"/word", func(b *testing.B) { run(b, p.EncodeRange) })
+		b.Run(f.String()+"/scalar", func(b *testing.B) { run(b, p.encodeRangeScalar) })
+	}
+}
+
+func BenchmarkKernelPackDecode(b *testing.B) {
+	xs := benchInput(2)
+	dst := make([]float32, benchElems)
+	for _, f := range benchFormats() {
+		p := EncodeSlice(f, xs)
+		run := func(b *testing.B, dec func(dst []float32, lo, hi int)) {
+			b.SetBytes(benchElems * 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dec(dst, 0, benchElems)
+			}
+		}
+		b.Run(f.String()+"/word", func(b *testing.B) { run(b, p.DecodeRange) })
+		b.Run(f.String()+"/scalar", func(b *testing.B) { run(b, p.decodeRangeScalar) })
+	}
+}
+
+func BenchmarkKernelQuantize(b *testing.B) {
+	for _, f := range benchFormats() {
+		run := func(b *testing.B, quant func(f Format, xs []float32) []float32) {
+			xs := benchInput(3)
+			b.SetBytes(benchElems * 4)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				quant(f, xs) // idempotent after the first pass
+			}
+		}
+		b.Run(f.String()+"/word", func(b *testing.B) { run(b, QuantizeSlice) })
+		b.Run(f.String()+"/scalar", func(b *testing.B) { run(b, quantizeSliceScalar) })
+	}
+}

@@ -136,59 +136,18 @@ func (f Format) MinNormal() float64 {
 }
 
 // Encode converts an FP32 value to the format's bit pattern. The pattern
-// occupies the low Bits() bits of the result.
+// occupies the low Bits() bits of the result. The hot path is the
+// branch-free clamp-and-round kernel over the hoisted constant table
+// (tables.go); bit-identical to encodeScalar, which it delegates to for the
+// rare boundary inputs.
 func (f Format) Encode(v float32) uint32 {
-	if f == FP32 {
+	switch f {
+	case FP32:
 		return math.Float32bits(v)
+	case FP16, FP10, FP8:
+		return encodeFast(&fmtTab[f], f, v)
 	}
-	l := f.layout()
-	bits := math.Float32bits(v)
-	sign := (bits >> 31) << (l.expBits + l.manBits)
-
-	abs := math.Abs(float64(v))
-	if math.IsNaN(float64(v)) {
-		// Encode NaN as all-ones exponent with a non-zero mantissa.
-		return sign | (((1 << l.expBits) - 1) << l.manBits) | 1
-	}
-	if abs > f.MaxValue() {
-		// Clamp at the largest finite value (paper: "clamped at
-		// maximum/minimum value").
-		return sign | f.maxFiniteBits()
-	}
-	if abs < f.MinNormal()/2 {
-		// Underflow far below the normal range: flush to zero.
-		return sign
-	}
-
-	exp32 := int((bits >> 23) & 0xff)
-	man32 := bits & 0x7fffff
-	bias := (1 << (l.expBits - 1)) - 1
-	expT := exp32 - 127 + bias
-
-	// Round the 23-bit mantissa to manBits using round-to-nearest-even.
-	shift := 23 - l.manBits
-	man := man32 >> shift
-	rem := man32 & ((1 << shift) - 1)
-	half := uint32(1) << (shift - 1)
-	if rem > half || (rem == half && man&1 == 1) {
-		man++
-		if man == 1<<l.manBits { // mantissa overflowed into the exponent
-			man = 0
-			expT++
-		}
-	}
-	if expT <= 0 {
-		// Result is below the normal range after rounding: flush to zero
-		// unless rounding reaches the smallest normal.
-		if expT == 0 && man == 0 && abs >= f.MinNormal()*(1-math.Ldexp(1, -int(l.manBits+1))) {
-			return sign | (1 << l.manBits)
-		}
-		return sign
-	}
-	if expT >= (1<<l.expBits)-1 {
-		return sign | f.maxFiniteBits()
-	}
-	return sign | uint32(expT)<<l.manBits | man
+	return f.encodeScalar(v) // unknown formats panic in layout()
 }
 
 func (f Format) maxFiniteBits() uint32 {
@@ -196,42 +155,22 @@ func (f Format) maxFiniteBits() uint32 {
 	return (((1 << l.expBits) - 2) << l.manBits) | ((1 << l.manBits) - 1)
 }
 
-// Decode converts a bit pattern produced by Encode back to FP32.
+// Decode converts a bit pattern produced by Encode back to FP32. FP8 and
+// FP10 are one table load (tables built from the scalar reference at init);
+// FP16 uses the arithmetic re-bias kernel. Bit-identical to decodeScalar
+// for every pattern.
 func (f Format) Decode(bits uint32) float32 {
-	if f == FP32 {
+	switch f {
+	case FP32:
 		return math.Float32frombits(bits)
+	case FP16:
+		return decode16(bits)
+	case FP10:
+		return fp10LUT[bits&0x3ff]
+	case FP8:
+		return fp8LUT[bits&0xff]
 	}
-	l := f.layout()
-	total := l.expBits + l.manBits + 1
-	bits &= (1 << total) - 1
-	sign := bits >> (l.expBits + l.manBits)
-	exp := (bits >> l.manBits) & ((1 << l.expBits) - 1)
-	man := bits & ((1 << l.manBits) - 1)
-
-	if exp == (1<<l.expBits)-1 {
-		if man != 0 {
-			return float32(math.NaN())
-		}
-		// Infinity is never produced by Encode (values clamp), but decode
-		// it for completeness.
-		if sign == 1 {
-			return float32(math.Inf(-1))
-		}
-		return float32(math.Inf(1))
-	}
-	if exp == 0 {
-		// Denormals are flushed on encode; decode them as signed zero.
-		if sign == 1 {
-			return float32(math.Copysign(0, -1))
-		}
-		return 0
-	}
-	bias := (1 << (l.expBits - 1)) - 1
-	val := math.Ldexp(1+float64(man)/math.Ldexp(1, int(l.manBits)), int(exp)-bias)
-	if sign == 1 {
-		val = -val
-	}
-	return float32(val)
+	return f.decodeScalar(bits) // unknown formats panic in layout()
 }
 
 // Quantize rounds an FP32 value through the format: Decode(Encode(v)).

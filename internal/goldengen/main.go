@@ -96,4 +96,51 @@ func main() {
 		fmt.Printf("0x%08x, ", math.Float32bits(dec.Data[i]))
 	}
 	fmt.Println()
+
+	tailFixtures()
+}
+
+// tailFixtures prints the chunk-tail golden fixtures embedded in
+// internal/encoding/golden_tail_test.go: sealed checksums and per-chunk
+// CRCs for payload lengths congruent to 1, 63, 64 and 65 mod 768 — the
+// ragged tails where a word-parallel kernel off-by-one would land. Sealed
+// with a 768-element chunk size so every length spans a chunk boundary,
+// and the CRC pins every payload byte (mask words, packed words, CSR
+// arrays) without freezing full blobs.
+func tailFixtures() {
+	fmt.Println("\n// --- chunk-tail fixtures (lengths ≡ 1, 63, 64, 65 mod 768) ---")
+	cdc := encoding.Codec{ChunkElems: 768}
+	for _, n := range []int{769, 831, 832, 833} {
+		t := tensor.New(n)
+		rng := tensor.NewRNG(uint64(n))
+		for i := range t.Data {
+			v := rng.Float32()*2 - 1
+			if v < 0 {
+				v = 0
+			}
+			t.Data[i] = v
+		}
+		cases := []struct {
+			name string
+			as   *encoding.Assignment
+		}{
+			{"binarize", &encoding.Assignment{Tech: encoding.Binarize}},
+			{"ssdc-fp32", &encoding.Assignment{Tech: encoding.SSDC, Format: floatenc.FP32}},
+			{"dpr-fp16", &encoding.Assignment{Tech: encoding.DPR, Format: floatenc.FP16}},
+			{"dpr-fp10", &encoding.Assignment{Tech: encoding.DPR, Format: floatenc.FP10}},
+			{"dpr-fp8", &encoding.Assignment{Tech: encoding.DPR, Format: floatenc.FP8}},
+		}
+		for _, c := range cases {
+			e, err := cdc.EncodeStash(c.as, t)
+			if err != nil {
+				panic(fmt.Sprintf("n=%d %s: %v", n, c.name, err))
+			}
+			cdc.Seal(e)
+			fmt.Printf("{%d, %q, 0x%08x, []uint32{", n, c.name, e.Checksum)
+			for _, crc := range e.ChunkCRCs {
+				fmt.Printf("0x%08x, ", crc)
+			}
+			fmt.Println("}},")
+		}
+	}
 }

@@ -1,0 +1,60 @@
+package layers
+
+import (
+	"testing"
+
+	"gist/internal/tensor"
+)
+
+// Kernel benchmarks: the register-blocked im2col convolution against the
+// retained scalar reference. B/s is reported over the input activations so
+// word and scalar legs are directly comparable; `make bench-gate` checks
+// their ratio against bench_gate.json.
+
+func benchConvSetup() (*Conv2D, *FwdCtx, *BwdCtx) {
+	op := &Conv2D{OutC: 16, KH: 3, KW: 3, Stride: 1, Pad: 1, Algo: AlgoIm2col}
+	x := randTensor(1, 4, 8, 32, 32)
+	w := randTensor(2, op.OutC, 8, op.KH, op.KW)
+	b := randTensor(3, op.OutC)
+	outShape, err := op.OutShape([]tensor.Shape{x.Shape})
+	if err != nil {
+		panic(err)
+	}
+	y := tensor.New(outShape...)
+	dy := randTensor(4, outShape...)
+	fwd := &FwdCtx{In: []*tensor.Tensor{x}, Params: []*tensor.Tensor{w, b}, Out: y}
+	bwd := &BwdCtx{In: []*tensor.Tensor{x},
+		Params:  []*tensor.Tensor{w, b},
+		DOut:    dy,
+		DIn:     []*tensor.Tensor{tensor.New(x.Shape...)},
+		DParams: []*tensor.Tensor{tensor.New(w.Shape...), tensor.New(b.Shape...)}}
+	return op, fwd, bwd
+}
+
+func BenchmarkKernelConvFwd(b *testing.B) {
+	op, fwd, _ := benchConvSetup()
+	bytes := int64(len(fwd.In[0].Data)) * 4
+	run := func(b *testing.B, f func(*FwdCtx)) {
+		b.SetBytes(bytes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f(fwd)
+		}
+	}
+	b.Run("word", func(b *testing.B) { run(b, op.forwardIm2col) })
+	b.Run("scalar", func(b *testing.B) { run(b, op.forwardIm2colScalar) })
+}
+
+func BenchmarkKernelConvBwd(b *testing.B) {
+	op, _, bwd := benchConvSetup()
+	bytes := int64(len(bwd.In[0].Data)) * 4
+	run := func(b *testing.B, f func(*BwdCtx)) {
+		b.SetBytes(bytes)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f(bwd)
+		}
+	}
+	b.Run("word", func(b *testing.B) { run(b, op.backwardIm2col) })
+	b.Run("scalar", func(b *testing.B) { run(b, op.backwardIm2colScalar) })
+}

@@ -1,0 +1,162 @@
+package layers
+
+import (
+	"math"
+	"testing"
+
+	"gist/internal/tensor"
+)
+
+// Differential tests: the register-blocked im2col convolution against the
+// retained scalar reference, bit for bit — float32 accumulation order
+// included — across kernel/stride/pad variants, non-square kernels,
+// kdim values around the 4-tap blocking boundary, and weights seeded with
+// exact zeros to exercise the zero-skip fallback.
+
+type convCase struct {
+	outC, kh, kw, stride, pad int
+	n, inC, h, w              int
+}
+
+func diffConvCases() []convCase {
+	return []convCase{
+		{4, 3, 3, 1, 1, 2, 3, 8, 8},    // classic 3x3 same-pad
+		{2, 5, 5, 2, 2, 1, 2, 11, 11},  // strided 5x5
+		{3, 1, 1, 1, 0, 2, 4, 5, 5},    // 1x1 (kdim=4, exactly one block)
+		{2, 3, 3, 2, 0, 1, 1, 7, 9},    // stride 2, no pad, kdim=9 (ragged)
+		{2, 3, 1, 1, 0, 1, 2, 6, 6},    // non-square kernel, kdim=6
+		{1, 2, 2, 1, 0, 1, 1, 3, 3},    // kdim=4 exactly
+		{2, 2, 2, 1, 0, 1, 1, 4, 4},    // tiny
+		{1, 3, 3, 1, 2, 1, 1, 3, 3},    // pad wider than half the kernel
+		{2, 5, 5, 1, 4, 1, 1, 2, 2},    // degenerate: pad 4 on a 2x2 input
+		{2, 3, 3, 3, 1, 1, 2, 10, 10},  // stride 3
+		{4, 3, 3, 1, 1, 1, 8, 16, 16},  // kdim=72: many full blocks
+	}
+}
+
+// sparseWeights zeroes a fraction of the weights exactly, so whole blocks
+// and partial blocks hit the zero-skip path.
+func sparseWeights(seed uint64, frac float32, shape ...int) *tensor.Tensor {
+	w := randTensor(seed, shape...)
+	r := tensor.NewRNG(seed + 1000)
+	for i := range w.Data {
+		if r.Float32() < frac {
+			w.Data[i] = 0
+		}
+	}
+	return w
+}
+
+func TestDiffForwardIm2col(t *testing.T) {
+	for ci, cc := range diffConvCases() {
+		for _, wfrac := range []float32{0, 0.5, 1} {
+			op := &Conv2D{OutC: cc.outC, KH: cc.kh, KW: cc.kw,
+				Stride: cc.stride, Pad: cc.pad, Algo: AlgoIm2col}
+			x := randTensor(uint64(ci*10+1), cc.n, cc.inC, cc.h, cc.w)
+			w := sparseWeights(uint64(ci*10+2), wfrac, cc.outC, cc.inC, cc.kh, cc.kw)
+			b := randTensor(uint64(ci*10+3), cc.outC)
+
+			outShape, err := op.OutShape([]tensor.Shape{x.Shape})
+			if err != nil {
+				t.Fatalf("case %d: %v", ci, err)
+			}
+			got := tensor.New(outShape...)
+			want := tensor.New(outShape...)
+			op.forwardIm2col(&FwdCtx{In: []*tensor.Tensor{x},
+				Params: []*tensor.Tensor{w, b}, Out: got})
+			op.forwardIm2colScalar(&FwdCtx{In: []*tensor.Tensor{x},
+				Params: []*tensor.Tensor{w, b}, Out: want})
+			for i := range want.Data {
+				if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+					t.Fatalf("case %d wfrac=%v: out[%d] = %#08x, scalar %#08x",
+						ci, wfrac, i, math.Float32bits(got.Data[i]),
+						math.Float32bits(want.Data[i]))
+				}
+			}
+		}
+	}
+}
+
+func TestDiffBackwardIm2col(t *testing.T) {
+	for ci, cc := range diffConvCases() {
+		for _, wfrac := range []float32{0, 0.5} {
+			op := &Conv2D{OutC: cc.outC, KH: cc.kh, KW: cc.kw,
+				Stride: cc.stride, Pad: cc.pad, Algo: AlgoIm2col}
+			x := randTensor(uint64(ci*100+1), cc.n, cc.inC, cc.h, cc.w)
+			w := sparseWeights(uint64(ci*100+2), wfrac, cc.outC, cc.inC, cc.kh, cc.kw)
+			b := randTensor(uint64(ci*100+3), cc.outC)
+			outShape, err := op.OutShape([]tensor.Shape{x.Shape})
+			if err != nil {
+				t.Fatalf("case %d: %v", ci, err)
+			}
+			dy := randTensor(uint64(ci*100+4), outShape...)
+
+			run := func(back func(*BwdCtx)) (*tensor.Tensor, *tensor.Tensor, *tensor.Tensor) {
+				dx := tensor.New(x.Shape...)
+				dw := tensor.New(w.Shape...)
+				db := tensor.New(b.Shape...)
+				back(&BwdCtx{In: []*tensor.Tensor{x},
+					Params:  []*tensor.Tensor{w, b},
+					DOut:    dy,
+					DIn:     []*tensor.Tensor{dx},
+					DParams: []*tensor.Tensor{dw, db}})
+				return dx, dw, db
+			}
+			dx, dw, db := run(op.backwardIm2col)
+			rx, rw, rb := run(op.backwardIm2colScalar)
+			check := func(name string, got, want []float32) {
+				for i := range want {
+					if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+						t.Fatalf("case %d wfrac=%v: %s[%d] = %#08x, scalar %#08x",
+							ci, wfrac, name, i, math.Float32bits(got[i]),
+							math.Float32bits(want[i]))
+					}
+				}
+			}
+			check("dx", dx.Data, rx.Data)
+			check("dw", dw.Data, rw.Data)
+			check("db", db.Data, rb.Data)
+		}
+	}
+}
+
+// TestDiffIm2colCol2im pins the lowering kernels themselves, including the
+// stride-1 block-copy fast path against the per-element scalar.
+func TestDiffIm2colCol2im(t *testing.T) {
+	for ci, cc := range diffConvCases() {
+		op := &Conv2D{OutC: cc.outC, KH: cc.kh, KW: cc.kw, Stride: cc.stride, Pad: cc.pad}
+		oh := convOut(cc.h, cc.kh, cc.stride, cc.pad)
+		ow := convOut(cc.w, cc.kw, cc.stride, cc.pad)
+		if oh <= 0 || ow <= 0 {
+			continue
+		}
+		x := randTensor(uint64(ci*7+1), cc.inC, cc.h, cc.w)
+		kdim := cc.inC * cc.kh * cc.kw
+		got := make([]float32, kdim*oh*ow)
+		want := make([]float32, kdim*oh*ow)
+		// Poison the buffers: im2col must overwrite every slot.
+		for i := range got {
+			got[i], want[i] = 99, 99
+		}
+		op.im2col(x.Data, cc.inC, cc.h, cc.w, oh, ow, got)
+		op.im2colScalar(x.Data, cc.inC, cc.h, cc.w, oh, ow, want)
+		for i := range want {
+			if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+				t.Fatalf("case %d: im2col[%d] = %#08x, scalar %#08x",
+					ci, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+			}
+		}
+
+		dcols := randTensor(uint64(ci*7+2), kdim, oh*ow)
+		gdx := make([]float32, cc.inC*cc.h*cc.w)
+		wdx := make([]float32, cc.inC*cc.h*cc.w)
+		op.col2im(dcols.Data, cc.inC, cc.h, cc.w, oh, ow, gdx)
+		op.col2imScalar(dcols.Data, cc.inC, cc.h, cc.w, oh, ow, wdx)
+		for i := range wdx {
+			if math.Float32bits(gdx[i]) != math.Float32bits(wdx[i]) {
+				t.Fatalf("case %d: col2im[%d] = %#08x, scalar %#08x",
+					ci, i, math.Float32bits(gdx[i]), math.Float32bits(wdx[i]))
+			}
+		}
+	}
+}

@@ -54,6 +54,10 @@ func (c *Conv2D) WorkspaceBytes(in tensor.Shape) int64 {
 
 // im2col expands one image (inC x ih x iw) into the column matrix
 // (inC*kh*kw rows x oh*ow columns), with zero padding applied.
+//
+// Stride-1 rows are three block operations — clear the left padding, copy
+// the contiguous in-bounds run, clear the right padding — instead of one
+// bounds test per element; values written are identical to im2colScalar.
 func (c *Conv2D) im2col(x []float32, inC, ih, iw, oh, ow int, cols []float32) {
 	k := c.KH * c.KW
 	for ic := 0; ic < inC; ic++ {
@@ -62,18 +66,28 @@ func (c *Conv2D) im2col(x []float32, inC, ih, iw, oh, ow int, cols []float32) {
 				row := (ic*k + kh*c.KW + kw) * oh * ow
 				for yh := 0; yh < oh; yh++ {
 					xh := yh*c.Stride - c.Pad + kh
+					dst := cols[row+yh*ow : row+(yh+1)*ow : row+(yh+1)*ow]
 					if xh < 0 || xh >= ih {
-						for yw := 0; yw < ow; yw++ {
-							cols[row+yh*ow+yw] = 0
-						}
+						clear(dst)
+						continue
+					}
+					if c.Stride == 1 {
+						// xw = yw - Pad + kw is in [0, iw) exactly for
+						// yw in [lo, hi): one contiguous copy. Clamps keep
+						// degenerate wide-padding shapes in range.
+						lo := min(max(0, c.Pad-kw), ow)
+						hi := max(min(ow, iw+c.Pad-kw), lo)
+						clear(dst[:lo])
+						copy(dst[lo:hi], x[(ic*ih+xh)*iw+lo-c.Pad+kw:])
+						clear(dst[hi:])
 						continue
 					}
 					for yw := 0; yw < ow; yw++ {
 						xw := yw*c.Stride - c.Pad + kw
 						if xw < 0 || xw >= iw {
-							cols[row+yh*ow+yw] = 0
+							dst[yw] = 0
 						} else {
-							cols[row+yh*ow+yw] = x[(ic*ih+xh)*iw+xw]
+							dst[yw] = x[(ic*ih+xh)*iw+xw]
 						}
 					}
 				}
@@ -84,6 +98,10 @@ func (c *Conv2D) im2col(x []float32, inC, ih, iw, oh, ow int, cols []float32) {
 
 // col2im scatters a column-matrix gradient back into an image gradient,
 // accumulating overlapping taps.
+//
+// Stride-1 rows hoist the bounds test out of the inner loop: the in-bounds
+// yw range is contiguous, so the accumulation runs branch-free over it in
+// the same ascending order as col2imScalar — bit-identical output.
 func (c *Conv2D) col2im(cols []float32, inC, ih, iw, oh, ow int, dx []float32) {
 	k := c.KH * c.KW
 	for ic := 0; ic < inC; ic++ {
@@ -93,6 +111,17 @@ func (c *Conv2D) col2im(cols []float32, inC, ih, iw, oh, ow int, dx []float32) {
 				for yh := 0; yh < oh; yh++ {
 					xh := yh*c.Stride - c.Pad + kh
 					if xh < 0 || xh >= ih {
+						continue
+					}
+					if c.Stride == 1 {
+						lo := min(max(0, c.Pad-kw), ow)
+						hi := max(min(ow, iw+c.Pad-kw), lo)
+						src := cols[row+yh*ow : row+(yh+1)*ow : row+(yh+1)*ow]
+						xrow := dx[(ic*ih+xh)*iw : (ic*ih+xh)*iw+iw : (ic*ih+xh)*iw+iw]
+						off := kw - c.Pad
+						for yw := lo; yw < hi; yw++ {
+							xrow[yw+off] += src[yw]
+						}
 						continue
 					}
 					for yw := 0; yw < ow; yw++ {
@@ -127,13 +156,44 @@ func (c *Conv2D) forwardIm2col(ctx *FwdCtx) {
 			for j := range out {
 				out[j] = bias
 			}
-			for kk, wv := range wRow {
-				if wv == 0 {
+			// Register-blocked GEMM row: four weight taps per pass over
+			// out, one load/store of out[j] instead of four. The adds per
+			// out[j] stay in ascending-kk order and the wv == 0 skip is
+			// preserved (a block with any zero weight falls back to per-tap
+			// passes), so the float32 result is bit-identical to
+			// forwardIm2colScalar.
+			kk := 0
+			for ; kk+4 <= kdim; kk += 4 {
+				w0, w1, w2, w3 := wRow[kk], wRow[kk+1], wRow[kk+2], wRow[kk+3]
+				if w0 != 0 && w1 != 0 && w2 != 0 && w3 != 0 {
+					c0 := cols[kk*ohw : (kk+1)*ohw : (kk+1)*ohw]
+					c1 := cols[(kk+1)*ohw : (kk+2)*ohw : (kk+2)*ohw]
+					c2 := cols[(kk+2)*ohw : (kk+3)*ohw : (kk+3)*ohw]
+					c3 := cols[(kk+3)*ohw : (kk+4)*ohw : (kk+4)*ohw]
+					for j := range out {
+						s := out[j] + w0*c0[j]
+						s += w1 * c1[j]
+						s += w2 * c2[j]
+						s += w3 * c3[j]
+						out[j] = s
+					}
 					continue
 				}
-				colRow := cols[kk*ohw : (kk+1)*ohw]
-				for j, cv := range colRow {
-					out[j] += wv * cv
+				for q := kk; q < kk+4; q++ {
+					if wv := wRow[q]; wv != 0 {
+						colRow := cols[q*ohw : (q+1)*ohw : (q+1)*ohw]
+						for j, cv := range colRow {
+							out[j] += wv * cv
+						}
+					}
+				}
+			}
+			for ; kk < kdim; kk++ {
+				if wv := wRow[kk]; wv != 0 {
+					colRow := cols[kk*ohw : (kk+1)*ohw : (kk+1)*ohw]
+					for j, cv := range colRow {
+						out[j] += wv * cv
+					}
 				}
 			}
 		}
@@ -163,17 +223,45 @@ func (c *Conv2D) backwardIm2col(ctx *BwdCtx) {
 			wRow := w.Data[oc*kdim : (oc+1)*kdim]
 			dwRow := dw.Data[oc*kdim : (oc+1)*kdim]
 			var bsum float32
-			for j, gv := range g {
+			for _, gv := range g {
 				bsum += gv
-				if gv == 0 {
-					continue
-				}
-				_ = j
 			}
 			db.Data[oc] += bsum
-			for kk := 0; kk < kdim; kk++ {
-				colRow := cols[kk*ohw : (kk+1)*ohw]
-				dcolRow := dcols[kk*ohw : (kk+1)*ohw]
+			// Register-blocked dual GEMM: four taps share one pass over g,
+			// loading each gradient element once for four dW dot-product
+			// accumulators and four dCols updates. Each tap keeps its own
+			// accumulator summed in ascending-j order and owns its dcol
+			// row, so the result is bit-identical to backwardIm2colScalar.
+			kk := 0
+			for ; kk+4 <= kdim; kk += 4 {
+				c0 := cols[kk*ohw : (kk+1)*ohw : (kk+1)*ohw]
+				c1 := cols[(kk+1)*ohw : (kk+2)*ohw : (kk+2)*ohw]
+				c2 := cols[(kk+2)*ohw : (kk+3)*ohw : (kk+3)*ohw]
+				c3 := cols[(kk+3)*ohw : (kk+4)*ohw : (kk+4)*ohw]
+				d0 := dcols[kk*ohw : (kk+1)*ohw : (kk+1)*ohw]
+				d1 := dcols[(kk+1)*ohw : (kk+2)*ohw : (kk+2)*ohw]
+				d2 := dcols[(kk+2)*ohw : (kk+3)*ohw : (kk+3)*ohw]
+				d3 := dcols[(kk+3)*ohw : (kk+4)*ohw : (kk+4)*ohw]
+				w0, w1, w2, w3 := wRow[kk], wRow[kk+1], wRow[kk+2], wRow[kk+3]
+				var a0, a1, a2, a3 float32
+				for j, gv := range g {
+					a0 += gv * c0[j]
+					d0[j] += w0 * gv
+					a1 += gv * c1[j]
+					d1[j] += w1 * gv
+					a2 += gv * c2[j]
+					d2[j] += w2 * gv
+					a3 += gv * c3[j]
+					d3[j] += w3 * gv
+				}
+				dwRow[kk] += a0
+				dwRow[kk+1] += a1
+				dwRow[kk+2] += a2
+				dwRow[kk+3] += a3
+			}
+			for ; kk < kdim; kk++ {
+				colRow := cols[kk*ohw : (kk+1)*ohw : (kk+1)*ohw]
+				dcolRow := dcols[kk*ohw : (kk+1)*ohw : (kk+1)*ohw]
 				wv := wRow[kk]
 				var dwAcc float32
 				for j, gv := range g {

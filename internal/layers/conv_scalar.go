@@ -1,0 +1,137 @@
+package layers
+
+// Retained scalar reference implementation of the im2col convolution: the
+// original per-element lowering and GEMM loops, kept verbatim as the ground
+// truth of the differential tests and the `scalar` legs of the Kernel
+// benchmarks that `make bench-gate` compares against. The register-blocked
+// production kernels in conv_im2col.go must match these bit for bit —
+// float32 accumulation order included. Do not optimize these: their value
+// is being obviously correct and frozen.
+
+// im2colScalar is the original per-element column expansion.
+func (c *Conv2D) im2colScalar(x []float32, inC, ih, iw, oh, ow int, cols []float32) {
+	k := c.KH * c.KW
+	for ic := 0; ic < inC; ic++ {
+		for kh := 0; kh < c.KH; kh++ {
+			for kw := 0; kw < c.KW; kw++ {
+				row := (ic*k + kh*c.KW + kw) * oh * ow
+				for yh := 0; yh < oh; yh++ {
+					xh := yh*c.Stride - c.Pad + kh
+					if xh < 0 || xh >= ih {
+						for yw := 0; yw < ow; yw++ {
+							cols[row+yh*ow+yw] = 0
+						}
+						continue
+					}
+					for yw := 0; yw < ow; yw++ {
+						xw := yw*c.Stride - c.Pad + kw
+						if xw < 0 || xw >= iw {
+							cols[row+yh*ow+yw] = 0
+						} else {
+							cols[row+yh*ow+yw] = x[(ic*ih+xh)*iw+xw]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2imScalar is the original per-element gradient scatter.
+func (c *Conv2D) col2imScalar(cols []float32, inC, ih, iw, oh, ow int, dx []float32) {
+	k := c.KH * c.KW
+	for ic := 0; ic < inC; ic++ {
+		for kh := 0; kh < c.KH; kh++ {
+			for kw := 0; kw < c.KW; kw++ {
+				row := (ic*k + kh*c.KW + kw) * oh * ow
+				for yh := 0; yh < oh; yh++ {
+					xh := yh*c.Stride - c.Pad + kh
+					if xh < 0 || xh >= ih {
+						continue
+					}
+					for yw := 0; yw < ow; yw++ {
+						xw := yw*c.Stride - c.Pad + kw
+						if xw < 0 || xw >= iw {
+							continue
+						}
+						dx[(ic*ih+xh)*iw+xw] += cols[row+yh*ow+yw]
+					}
+				}
+			}
+		}
+	}
+}
+
+// forwardIm2colScalar is the original forward GEMM: one column row per
+// weight tap, skipping zero weights.
+func (c *Conv2D) forwardIm2colScalar(ctx *FwdCtx) {
+	x, w, b, y := ctx.In[0], ctx.Params[0], ctx.Params[1], ctx.Out
+	n, inC, ih, iw := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := y.Shape[2], y.Shape[3]
+	kdim := inC * c.KH * c.KW
+	ohw := oh * ow
+	cols := make([]float32, kdim*ohw)
+	per := inC * ih * iw
+	for ni := 0; ni < n; ni++ {
+		c.im2colScalar(x.Data[ni*per:(ni+1)*per], inC, ih, iw, oh, ow, cols)
+		for oc := 0; oc < c.OutC; oc++ {
+			wRow := w.Data[oc*kdim : (oc+1)*kdim]
+			out := y.Data[((ni*c.OutC+oc)*oh)*ow : ((ni*c.OutC+oc)*oh+oh)*ow]
+			bias := b.Data[oc]
+			for j := range out {
+				out[j] = bias
+			}
+			for kk, wv := range wRow {
+				if wv == 0 {
+					continue
+				}
+				colRow := cols[kk*ohw : (kk+1)*ohw]
+				for j, cv := range colRow {
+					out[j] += wv * cv
+				}
+			}
+		}
+	}
+}
+
+// backwardIm2colScalar is the original backward GEMM pair.
+func (c *Conv2D) backwardIm2colScalar(ctx *BwdCtx) {
+	x, w, dy := ctx.In[0], ctx.Params[0], ctx.DOut
+	dx, dw, db := ctx.DIn[0], ctx.DParams[0], ctx.DParams[1]
+	n, inC, ih, iw := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	oh, ow := dy.Shape[2], dy.Shape[3]
+	kdim := inC * c.KH * c.KW
+	ohw := oh * ow
+	cols := make([]float32, kdim*ohw)
+	dcols := make([]float32, kdim*ohw)
+	per := inC * ih * iw
+	dx.Zero()
+	dw.Zero()
+	db.Zero()
+	for ni := 0; ni < n; ni++ {
+		c.im2colScalar(x.Data[ni*per:(ni+1)*per], inC, ih, iw, oh, ow, cols)
+		clear(dcols)
+		for oc := 0; oc < c.OutC; oc++ {
+			g := dy.Data[((ni*c.OutC+oc)*oh)*ow : ((ni*c.OutC+oc)*oh+oh)*ow]
+			wRow := w.Data[oc*kdim : (oc+1)*kdim]
+			dwRow := dw.Data[oc*kdim : (oc+1)*kdim]
+			var bsum float32
+			for _, gv := range g {
+				bsum += gv
+			}
+			db.Data[oc] += bsum
+			for kk := 0; kk < kdim; kk++ {
+				colRow := cols[kk*ohw : (kk+1)*ohw]
+				dcolRow := dcols[kk*ohw : (kk+1)*ohw]
+				wv := wRow[kk]
+				var dwAcc float32
+				for j, gv := range g {
+					dwAcc += gv * colRow[j]
+					dcolRow[j] += wv * gv
+				}
+				dwRow[kk] += dwAcc
+			}
+		}
+		c.col2imScalar(dcols, inC, ih, iw, oh, ow, dx.Data[ni*per:(ni+1)*per])
+	}
+}

@@ -38,30 +38,25 @@ func EncodeCSR(xs []float32) *CSR {
 
 // EncodeCSRCols compresses xs viewed as a matrix with the given column
 // count. cols must be in (0, 256] so that column indices fit in one byte.
+//
+// Word-parallel: a branch-free count pass sizes the arrays exactly, then
+// each row gathers its non-zeros through the 64-bit mask kernel
+// (gatherRow). Output is identical to encodeCSRColsScalar field for field.
 func EncodeCSRCols(xs []float32, cols int) *CSR {
 	if cols <= 0 || cols > 256 {
 		panic(fmt.Sprintf("sparse: cols %d outside (0,256]", cols))
 	}
 	rows := (len(xs) + cols - 1) / cols
 	c := &CSR{Rows: rows, Cols: cols, N: len(xs), RowPtr: make([]int32, rows+1)}
-	nnz := 0
-	for _, v := range xs {
-		if v != 0 {
-			nnz++
-		}
-	}
-	c.ColIdx = make([]uint8, 0, nnz)
-	c.Values = make([]float32, 0, nnz)
+	nnz := countNonzeros(xs)
+	c.ColIdx = make([]uint8, nnz)
+	c.Values = make([]float32, nnz)
+	k := 0
 	for r := 0; r < rows; r++ {
 		base := r * cols
 		end := min(base+cols, len(xs))
-		for i := base; i < end; i++ {
-			if xs[i] != 0 {
-				c.ColIdx = append(c.ColIdx, uint8(i-base))
-				c.Values = append(c.Values, xs[i])
-			}
-		}
-		c.RowPtr[r+1] = int32(len(c.Values))
+		k = gatherRow(c.ColIdx, c.Values, k, xs, base, end)
+		c.RowPtr[r+1] = int32(k)
 	}
 	return c
 }
@@ -80,32 +75,23 @@ func EncodeCSRInto(c *CSR, xs []float32) {
 		c.RowPtr = c.RowPtr[:rows+1]
 		c.RowPtr[0] = 0
 	}
-	nnz := 0
-	for _, v := range xs {
-		if v != 0 {
-			nnz++
-		}
-	}
+	nnz := countNonzeros(xs)
 	if cap(c.ColIdx) < nnz {
-		c.ColIdx = make([]uint8, 0, nnz)
+		c.ColIdx = make([]uint8, nnz)
 	} else {
-		c.ColIdx = c.ColIdx[:0]
+		c.ColIdx = c.ColIdx[:nnz]
 	}
 	if cap(c.Values) < nnz {
-		c.Values = make([]float32, 0, nnz)
+		c.Values = make([]float32, nnz)
 	} else {
-		c.Values = c.Values[:0]
+		c.Values = c.Values[:nnz]
 	}
+	k := 0
 	for r := 0; r < rows; r++ {
 		base := r * cols
 		end := min(base+cols, len(xs))
-		for i := base; i < end; i++ {
-			if xs[i] != 0 {
-				c.ColIdx = append(c.ColIdx, uint8(i-base))
-				c.Values = append(c.Values, xs[i])
-			}
-		}
-		c.RowPtr[r+1] = int32(len(c.Values))
+		k = gatherRow(c.ColIdx, c.Values, k, xs, base, end)
+		c.RowPtr[r+1] = int32(k)
 	}
 }
 
@@ -156,17 +142,14 @@ func (c *CSR) Validate() error {
 // CountRowNNZ is the chunk-range count kernel of the parallel CSR builder:
 // counts[j] receives the non-zero count of row r0+j of xs viewed as a
 // matrix with the given column count. Chunks own disjoint row ranges.
+//
+// Word-parallel: each row sums the branch-free non-zero predicate
+// (countNonzeros); identical counts to countRowNNZScalar.
 func CountRowNNZ(xs []float32, cols, r0, r1 int, counts []int32) {
 	for r := r0; r < r1; r++ {
 		base := r * cols
 		end := min(base+cols, len(xs))
-		n := int32(0)
-		for i := base; i < end; i++ {
-			if xs[i] != 0 {
-				n++
-			}
-		}
-		counts[r-r0] = n
+		counts[r-r0] = int32(countNonzeros(xs[base:end]))
 	}
 }
 
@@ -174,18 +157,14 @@ func CountRowNNZ(xs []float32, cols, r0, r1 int, counts []int32) {
 // writes the ColIdx/Values segments of rows [r0, r1), whose destination
 // offsets c.RowPtr must already hold (after the builder's prefix sum).
 // Chunks own disjoint row ranges and therefore disjoint array segments.
+//
+// Word-parallel: each row gathers through the 64-bit mask kernel
+// (gatherRow); identical output to fillRowsScalar.
 func (c *CSR) FillRows(xs []float32, r0, r1 int) {
 	for r := r0; r < r1; r++ {
 		base := r * c.Cols
 		end := min(base+c.Cols, len(xs))
-		k := c.RowPtr[r]
-		for i := base; i < end; i++ {
-			if xs[i] != 0 {
-				c.ColIdx[k] = uint8(i - base)
-				c.Values[k] = xs[i]
-				k++
-			}
-		}
+		gatherRow(c.ColIdx, c.Values, int(c.RowPtr[r]), xs, base, end)
 	}
 }
 
