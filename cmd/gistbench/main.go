@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"gist/internal/bufpool"
+	"gist/internal/debugz"
 	"gist/internal/encoding"
 	"gist/internal/experiments"
 	"gist/internal/parallel"
@@ -35,7 +36,16 @@ func main() {
 	nshards := flag.Int("shards", 0, "micro-shards per step for the replica engine (0 = one per replica; pin this when comparing replica counts)")
 	traceOut := flag.String("trace-out", "", "write Chrome trace_event JSON here at exit (codec + worker-pool activity of the training-based experiments)")
 	metricsOut := flag.String("metrics-out", "", "write a text telemetry snapshot here at exit")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Parse()
+
+	if bound, stopDebug, err := debugz.Serve(*debugAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "gistbench: debug listener:", err)
+		os.Exit(1)
+	} else if bound != "" {
+		defer stopDebug()
+		fmt.Fprintf(os.Stderr, "gistbench: pprof on http://%s/debug/pprof/\n", bound)
+	}
 
 	// Applies to the training-based experiments, whose stash encode/decode
 	// runs through the shared worker pool; results are bit-identical at

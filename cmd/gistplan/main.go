@@ -19,6 +19,7 @@ import (
 
 	"gist/internal/core"
 	"gist/internal/costmodel"
+	"gist/internal/debugz"
 	"gist/internal/encoding"
 	"gist/internal/floatenc"
 	"gist/internal/graph"
@@ -68,7 +69,16 @@ func main() {
 	dot := flag.Bool("dot", false, "emit Graphviz DOT instead of the plan table")
 	jsonOut := flag.Bool("json", false, "emit the graph as JSON instead of the plan table")
 	trace := flag.String("trace", "", "render the lifetime timeline (Figure 2) of the named layer")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Parse()
+
+	if bound, stopDebug, err := debugz.Serve(*debugAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "gistplan: debug listener:", err)
+		os.Exit(1)
+	} else if bound != "" {
+		defer stopDebug()
+		fmt.Fprintf(os.Stderr, "gistplan: pprof on http://%s/debug/pprof/\n", bound)
+	}
 
 	g, err := buildNetwork(*network, *mb)
 	if err != nil {

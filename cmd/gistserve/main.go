@@ -6,12 +6,17 @@
 //
 // Quickstart:
 //
-//	gistserve -addr :8080 -mem-budget 268435456 &
+//	gistserve -addr :8080 -mem-budget 268435456 -flightrec-dir /tmp/flightrec &
 //	curl -s -X POST localhost:8080/jobs -d '{"name":"a","network":"tinycnn","steps":200,"encoding":"fp16"}'
 //	curl -s localhost:8080/jobs/j0001
-//	curl -s localhost:8080/jobs/j0001/telemetry
+//	curl -s localhost:8080/metrics              # Prometheus exposition
+//	curl -sN localhost:8080/jobs/j0001/stream   # live SSE step stream
 //	curl -s -X POST localhost:8080/jobs/j0001/cancel
 //	curl -s localhost:8080/healthz
+//
+// SIGQUIT dumps every job's flight record to -flightrec-dir without
+// stopping the server; -debug-addr serves net/http/pprof on a separate
+// listener.
 package main
 
 import (
@@ -25,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"gist/internal/debugz"
 	"gist/internal/server"
 	"gist/internal/telemetry"
 )
@@ -41,8 +47,18 @@ func main() {
 		metrics   = flag.Int("metrics-every", 25, "write per-job telemetry snapshots to stdout every N steps (0 disables)")
 		workers   = flag.Int("workers", 0, "codec worker pool shared by all jobs (0 = inline)")
 		drain     = flag.Duration("drain", 30*time.Second, "shutdown drain timeout")
+		flightDir = flag.String("flightrec-dir", "", "flight recorder dump directory (empty = recorder off)")
+		flightCap = flag.Int("flightrec-events", 0, "flight recorder ring size per job (0 = default)")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
+
+	if bound, stopDebug, err := debugz.Serve(*debugAddr); err != nil {
+		log.Fatalf("gistserve: debug listener: %v", err)
+	} else if bound != "" {
+		defer stopDebug()
+		log.Printf("gistserve: pprof on http://%s/debug/pprof/", bound)
+	}
 
 	tel := telemetry.New()
 	srv, err := server.New(server.Config{
@@ -56,6 +72,8 @@ func main() {
 		MetricsOut:      os.Stdout,
 		Workers:         *workers,
 		Telemetry:       tel,
+		FlightRecDir:    *flightDir,
+		FlightRecEvents: *flightCap,
 	})
 	if err != nil {
 		log.Fatalf("gistserve: %v", err)
@@ -65,6 +83,19 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("gistserve: listening on %s (budget %d bytes, %d slots)", *addr, *memBudget, *maxJobs)
+
+	// SIGQUIT is the live postmortem trigger: dump every job's flight
+	// record and keep serving.
+	if *flightDir != "" {
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		go func() {
+			for range quit {
+				n := srv.DumpFlightRecords("sigquit")
+				log.Printf("gistserve: SIGQUIT: dumped %d flight records to %s", n, *flightDir)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

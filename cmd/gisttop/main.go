@@ -1,0 +1,258 @@
+// Command gisttop is a live terminal view of a running gistserve: it
+// polls /healthz, /jobs and the Prometheus /metrics exposition on an
+// interval and subscribes to each running job's SSE stream, rendering a
+// per-job table of state, step rate, compression ratio and peak stash
+// bytes against the admitted reservation.
+//
+// Usage:
+//
+//	gisttop -addr localhost:8080
+//	gisttop -addr localhost:8080 -interval 500ms
+//	gisttop -addr localhost:8080 -once        # one frame, no ANSI clear
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"gist/internal/debugz"
+	"gist/internal/server"
+	"gist/internal/telemetry/promexport"
+)
+
+// live is the freshest SSE-delivered state for one job. The poll loop
+// only refreshes every interval; the stream keeps step/rate current
+// between scrapes.
+type live struct {
+	Step   int
+	Loss   float64
+	StepNS int64
+	Ratio  float64
+}
+
+type client struct {
+	base string
+	hc   *http.Client // short-deadline client for the poll endpoints
+	sse  *http.Client // no timeout: SSE streams live until the job ends
+
+	mu      sync.Mutex
+	live    map[string]live
+	streams map[string]bool // job id → stream goroutine active
+}
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "gistserve address")
+	interval := flag.Duration("interval", time.Second, "poll/redraw interval")
+	once := flag.Bool("once", false, "render a single frame and exit")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
+	flag.Parse()
+
+	if bound, stopDebug, err := debugz.Serve(*debugAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "gisttop: debug listener:", err)
+		os.Exit(1)
+	} else if bound != "" {
+		defer stopDebug()
+		fmt.Fprintf(os.Stderr, "gisttop: pprof on http://%s/debug/pprof/\n", bound)
+	}
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := &client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{Timeout: 10 * time.Second},
+		sse:     &http.Client{},
+		live:    map[string]live{},
+		streams: map[string]bool{},
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+
+	if *once {
+		v := c.scrape(ctx, *addr)
+		v.render(os.Stdout, false)
+		return
+	}
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		v := c.scrape(ctx, *addr)
+		v.render(os.Stdout, true)
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// scrape assembles one frame: health + job list + metrics-derived
+// ratios/peaks, overlaid with the freshest SSE state. Errors degrade to
+// a header line rather than killing the viewer.
+func (c *client) scrape(ctx context.Context, addr string) *view {
+	v := &view{Addr: addr}
+	if err := c.getJSON(ctx, "/healthz", &v.Health); err != nil {
+		v.Err = err.Error()
+		return v
+	}
+	var jobs []server.JobStatus
+	if err := c.getJSON(ctx, "/jobs", &jobs); err != nil {
+		v.Err = err.Error()
+		return v
+	}
+	ratios, peaks, merr := c.scrapeMetrics(ctx)
+	if merr != nil {
+		v.Err = merr.Error()
+	}
+
+	c.mu.Lock()
+	for _, st := range jobs {
+		r := row{
+			ID:       st.ID,
+			State:    string(st.State),
+			Reason:   st.Reason,
+			Encoding: st.Encoding,
+			Degraded: st.Degraded,
+			Step:     st.Step,
+			Loss:     st.Loss,
+			Ratio:    ratios[st.ID],
+			Peak:     int64(peaks[st.ID]),
+			Resv:     st.FootprintBytes,
+		}
+		if lv, ok := c.live[st.ID]; ok {
+			if lv.Step > r.Step {
+				r.Step = lv.Step
+				r.Loss = fmt.Sprintf("%.4f", lv.Loss)
+			}
+			if lv.StepNS > 0 {
+				r.RateHz = 1e9 / float64(lv.StepNS)
+			}
+			if r.Ratio == 0 && lv.Ratio > 0 {
+				r.Ratio = lv.Ratio
+			}
+		}
+		v.Rows = append(v.Rows, r)
+		if st.State == server.StateRunning && !c.streams[st.ID] {
+			c.streams[st.ID] = true
+			go c.stream(ctx, st.ID)
+		}
+	}
+	c.mu.Unlock()
+	return v
+}
+
+// scrapeMetrics pulls /metrics through the strict exposition parser and
+// derives, per job_id: the stash compression ratio (sum of raw over sum
+// of held across techniques) and the peak held-bytes gauge.
+func (c *client) scrapeMetrics(ctx context.Context) (ratios, peaks map[string]float64, err error) {
+	resp, err := c.get(ctx, "/metrics")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	fams, err := promexport.Parse(resp.Body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("/metrics: %w", err)
+	}
+	raw, held := map[string]float64{}, map[string]float64{}
+	sumByJob := func(fam string, into map[string]float64) {
+		f := promexport.Find(fams, fam)
+		if f == nil {
+			return
+		}
+		for _, s := range f.Samples {
+			if id := s.Labels["job_id"]; id != "" {
+				into[id] += s.Value
+			}
+		}
+	}
+	sumByJob("gist_stash_raw_bytes_total", raw)
+	sumByJob("gist_stash_held_bytes_total", held)
+	ratios = map[string]float64{}
+	for id, r := range raw {
+		if h := held[id]; h > 0 {
+			ratios[id] = r / h
+		}
+	}
+	peaks = map[string]float64{}
+	sumByJob("gist_mem_peak_held_bytes", peaks)
+	return ratios, peaks, nil
+}
+
+// stream follows one job's SSE feed until it ends (terminal state or
+// connection loss), keeping c.live fresh between polls.
+func (c *client) stream(ctx context.Context, id string) {
+	defer func() {
+		c.mu.Lock()
+		delete(c.streams, id)
+		c.mu.Unlock()
+	}()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return
+	}
+	resp, err := c.sse.Do(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev server.StreamEvent
+		if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev) != nil {
+			continue
+		}
+		if ev.Step == 0 {
+			continue // final state event of an unstarted job
+		}
+		c.mu.Lock()
+		c.live[id] = live{Step: ev.Step, Loss: ev.Loss, StepNS: ev.StepNS, Ratio: ev.Ratio}
+		c.mu.Unlock()
+	}
+}
+
+func (c *client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return resp, nil
+}
+
+func (c *client) getJSON(ctx context.Context, path string, into any) error {
+	resp, err := c.get(ctx, path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(into)
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"gist/internal/server"
+)
+
+// row is one job line in the table, assembled from the /jobs listing,
+// the Prometheus scrape (ratio, peak) and the live SSE feed (rate).
+type row struct {
+	ID       string
+	State    string
+	Reason   string
+	Encoding string
+	Degraded bool
+	Step     int
+	Loss     string
+	RateHz   float64 // steps/s from the SSE step deltas; 0 = unknown
+	Ratio    float64 // stash compression ratio raw/held; 0 = unknown
+	Peak     int64   // peak held stash bytes (gist_mem_peak_held_bytes)
+	Resv     int64   // admitted footprint reservation
+}
+
+// view is everything one frame needs. It is deliberately a plain value
+// with no clocks or sockets so the renderer can be unit-tested.
+type view struct {
+	Addr   string
+	Health server.Health
+	Rows   []row
+	Err    string // last scrape error, surfaced in the header
+}
+
+const ansiClear = "\x1b[H\x1b[2J"
+
+// render writes one frame. With clear set it homes the cursor and wipes
+// the terminal first (the live mode); -once leaves the screen alone.
+func (v *view) render(w io.Writer, clear bool) {
+	if clear {
+		io.WriteString(w, ansiClear)
+	}
+	h := v.Health
+	fmt.Fprintf(w, "gisttop — %s   up %s   %s rev %s\n",
+		v.Addr, h.Uptime, h.GoVersion, h.Revision)
+	fmt.Fprintf(w, "budget %s  used %s  peak %s   running %d  queued %d  jobs %d\n",
+		mb(h.BudgetBytes), mb(h.UsedBytes), mb(h.PeakBytes), h.Running, h.Queued, h.Jobs)
+	if v.Err != "" {
+		fmt.Fprintf(w, "scrape error: %s\n", v.Err)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-7s %-12s %6s %-9s %8s %7s %16s  %-9s %s\n",
+		"JOB", "STATE", "STEP", "LOSS", "RATE", "RATIO", "PEAK/RESV", "ENC", "REASON")
+
+	rows := append([]row(nil), v.Rows...)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ID < rows[j].ID })
+	for _, r := range rows {
+		rate, ratio, loss := "-", "-", r.Loss
+		if r.RateHz > 0 {
+			rate = fmt.Sprintf("%.1f/s", r.RateHz)
+		}
+		if r.Ratio > 0 {
+			ratio = fmt.Sprintf("%.2fx", r.Ratio)
+		}
+		if loss == "" {
+			loss = "-"
+		}
+		enc := r.Encoding
+		if r.Degraded {
+			enc += "!"
+		}
+		fmt.Fprintf(w, "%-7s %-12s %6d %-9s %8s %7s %16s  %-9s %s\n",
+			r.ID, r.State, r.Step, loss, rate, ratio,
+			mb(r.Peak)+"/"+mb(r.Resv), enc, r.Reason)
+	}
+}
+
+// mb renders a byte count at whichever of B/K/M keeps it readable.
+func mb(b int64) string {
+	switch {
+	case b >= 1e6:
+		return fmt.Sprintf("%.1fM", float64(b)/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.0fK", float64(b)/1e3)
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

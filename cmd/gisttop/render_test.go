@@ -1,0 +1,118 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"gist/internal/server"
+)
+
+func TestRenderTable(t *testing.T) {
+	v := &view{
+		Addr: "localhost:8080",
+		Health: server.Health{
+			BudgetBytes: 256e6, UsedBytes: 128e6, PeakBytes: 200e6,
+			Running: 2, Queued: 1, Jobs: 3,
+			Uptime: "5m0s", GoVersion: "go1.22.0", Revision: "abcdef123456",
+		},
+		Rows: []row{
+			{ID: "j0002", State: "quarantined", Step: 37, Encoding: "lossless",
+				Reason: "watchdog: no progress", Peak: 4.1e6, Resv: 8e6},
+			{ID: "j0001", State: "running", Step: 142, Loss: "0.0231",
+				RateHz: 85.25, Ratio: 3.914, Peak: 12.3e6, Resv: 24e6,
+				Encoding: "fp16", Degraded: true},
+		},
+	}
+	var b strings.Builder
+	v.render(&b, false)
+	out := b.String()
+
+	if strings.Contains(out, ansiClear) {
+		t.Fatalf("clear=false frame contains ANSI clear:\n%s", out)
+	}
+	for _, want := range []string{
+		"gisttop — localhost:8080",
+		"go1.22.0 rev abcdef123456",
+		"budget 256.0M  used 128.0M  peak 200.0M   running 2  queued 1  jobs 3",
+		"85.2/s", "3.91x", "12.3M/24.0M", "fp16!", // degraded marker
+		"watchdog: no progress",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	// Rows sort by ID regardless of input order; unknown rate/ratio render
+	// as "-".
+	i1, i2 := strings.Index(out, "j0001"), strings.Index(out, "j0002")
+	if i1 < 0 || i2 < 0 || i1 > i2 {
+		t.Fatalf("rows out of order (j0001 at %d, j0002 at %d):\n%s", i1, i2, out)
+	}
+	line2 := out[i2:]
+	if !strings.Contains(line2[:strings.IndexByte(line2, '\n')], "-") {
+		t.Errorf("quarantined row should render unknown rate as -:\n%s", out)
+	}
+
+	var c strings.Builder
+	v.render(&c, true)
+	if !strings.HasPrefix(c.String(), ansiClear) {
+		t.Error("clear=true frame must start with the ANSI clear sequence")
+	}
+}
+
+// TestScrapeAgainstStub drives the full poll path (healthz, jobs,
+// metrics) against a canned gistserve lookalike and checks the derived
+// ratio and peak columns.
+func TestScrapeAgainstStub(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"budget_bytes":1000,"used_bytes":10,"peak_bytes":20,"running":1,"queued":0,"jobs":1,"uptime":"1s","go_version":"go1.22.0","revision":"deadbeef"}`))
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`[{"id":"j0001","spec":{},"state":"completed","encoding":"fp16","footprint_bytes":500,"step":9,"submitted":"x"}]`))
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write([]byte(`# TYPE gist_stash_raw_bytes_total counter
+gist_stash_raw_bytes_total{job_id="j0001",technique="dpr"} 4000
+gist_stash_raw_bytes_total{job_id="j0001",technique="ssdc"} 2000
+# TYPE gist_stash_held_bytes_total counter
+gist_stash_held_bytes_total{job_id="j0001",technique="dpr"} 1000
+gist_stash_held_bytes_total{job_id="j0001",technique="ssdc"} 1000
+# TYPE gist_mem_peak_held_bytes gauge
+gist_mem_peak_held_bytes{job_id="j0001"} 450
+`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c := &client{
+		base: ts.URL, hc: ts.Client(), sse: ts.Client(),
+		live:    map[string]live{},
+		streams: map[string]bool{},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	v := c.scrape(ctx, "stub")
+	if v.Err != "" {
+		t.Fatalf("scrape error: %s", v.Err)
+	}
+	if len(v.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(v.Rows))
+	}
+	r := v.Rows[0]
+	if r.ID != "j0001" || r.State != "completed" || r.Step != 9 {
+		t.Errorf("row = %+v", r)
+	}
+	if r.Ratio != 3 { // (4000+2000)/(1000+1000)
+		t.Errorf("ratio = %v, want 3", r.Ratio)
+	}
+	if r.Peak != 450 || r.Resv != 500 {
+		t.Errorf("peak/resv = %d/%d, want 450/500", r.Peak, r.Resv)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"gist/internal/bufpool"
+	"gist/internal/debugz"
 	"gist/internal/encoding"
 	"gist/internal/experiments"
 	"gist/internal/parallel"
@@ -51,7 +52,16 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write Chrome trace_event JSON here at exit (load in chrome://tracing or ui.perfetto.dev)")
 	metricsOut := flag.String("metrics-out", "", "write a text telemetry snapshot here at exit")
 	metricsEvery := flag.Int("metrics-every", 0, "also append a snapshot to -metrics-out every N steps (robust; 0 = exit only)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Parse()
+
+	if bound, stopDebug, err := debugz.Serve(*debugAddr); err != nil {
+		fmt.Fprintln(os.Stderr, "gisttrain: debug listener:", err)
+		os.Exit(1)
+	} else if bound != "" {
+		defer stopDebug()
+		fmt.Fprintf(os.Stderr, "gisttrain: pprof on http://%s/debug/pprof/\n", bound)
+	}
 
 	// Encode/decode parallelism is process-wide: the shared worker pool
 	// backs every codec chunk and the executor's decode overlap. Output is

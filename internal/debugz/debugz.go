@@ -1,0 +1,36 @@
+// Package debugz serves net/http/pprof on an explicitly opted-in
+// address. The profiling endpoints are never mounted on the main API mux
+// — pprof on a public listener is an information leak and a DoS lever —
+// so every binary takes a separate -debug-addr flag and passes it here;
+// empty means off.
+package debugz
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Serve starts the pprof listener on addr ("" = disabled: returns
+// ("", nil, nil)). The returned addr is the bound address (useful with
+// ":0"), and stop closes the listener.
+func Serve(addr string) (boundAddr string, stop func(), err error) {
+	if addr == "" {
+		return "", func() {}, nil
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,33 @@
+package debugz
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDisabled(t *testing.T) {
+	addr, stop, err := Serve("")
+	if err != nil || addr != "" {
+		t.Fatalf("Serve(\"\") = %q, %v", addr, err)
+	}
+	stop() // must be callable
+}
+
+func TestServesPprofIndex(t *testing.T) {
+	addr, stop, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index: code %d body %q", resp.StatusCode, body[:min(len(body), 200)])
+	}
+}

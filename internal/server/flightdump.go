@@ -1,0 +1,97 @@
+package server
+
+// Flight-recorder dumps. When Config.FlightRecDir is set, every job gets
+// a fixed-size flightrec ring tapping its telemetry sink; the moment a
+// job fails, stalls into quarantine, or is cancelled for missing its
+// deadline, the ring is serialized to <dir>/<jobid>.flightrec.json
+// together with the job's final status, the server's admission-ledger
+// state, and the training loop's last RecoveryReport. DumpFlightRecords
+// does the same for every job at once — the daemon wires it to SIGQUIT.
+//
+// A queued job whose deadline lapses before it ever starts is
+// deliberately not dumped: it never trained, so its ring is empty and
+// the JobStatus already says everything there is to say.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"gist/internal/train"
+)
+
+// flightMeta is the meta block of a dump: the job's (final) status, the
+// server ledger at dump time, and the last recovery report if the run
+// produced one.
+type flightMeta struct {
+	Job      *JobStatus            `json:"job"`
+	Ledger   Health                `json:"ledger"`
+	Recovery *train.RecoveryReport `json:"recovery,omitempty"`
+}
+
+// shouldDump reports whether a terminal classification warrants a dump.
+func shouldDump(state State, reason string) bool {
+	switch state {
+	case StateFailed, StateQuarantined:
+		return true
+	case StateCancelled:
+		return reason == "deadline exceeded"
+	}
+	return false
+}
+
+// dumpFlightRecord writes one job's flight record. state/reason are
+// passed explicitly because the dump happens just before setState — so a
+// caller that observed the job terminal (via Wait) is guaranteed the
+// file already exists.
+func (s *Server) dumpFlightRecord(j *job, state State, reason string) {
+	if j.rec == nil || s.cfg.FlightRecDir == "" {
+		return
+	}
+	st := j.status()
+	st.State, st.Reason = state, reason
+	meta := flightMeta{Job: st, Ledger: s.Health(), Recovery: j.recoveryReport()}
+	path := filepath.Join(s.cfg.FlightRecDir, j.id+".flightrec.json")
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	if j.rec.WriteJSON(f, fmt.Sprintf("%s: %s", state, reason), meta) == nil {
+		s.flightDumps.Inc()
+	}
+}
+
+// DumpFlightRecords dumps every job that has a recorder, whatever its
+// state — the SIGQUIT "what is the server doing right now" snapshot.
+// Returns how many dumps were written.
+func (s *Server) DumpFlightRecords(reason string) int {
+	if s.cfg.FlightRecDir == "" {
+		return 0
+	}
+	s.mu.Lock()
+	js := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		js = append(js, s.jobs[id])
+	}
+	s.mu.Unlock()
+	n := 0
+	for _, j := range js {
+		if j.rec == nil {
+			continue
+		}
+		st := j.status()
+		meta := flightMeta{Job: st, Ledger: s.Health(), Recovery: j.recoveryReport()}
+		path := filepath.Join(s.cfg.FlightRecDir, j.id+".flightrec.json")
+		f, err := os.Create(path)
+		if err != nil {
+			continue
+		}
+		if j.rec.WriteJSON(f, reason, meta) == nil {
+			n++
+			s.flightDumps.Inc()
+		}
+		f.Close()
+	}
+	return n
+}

@@ -2,8 +2,11 @@ package server
 
 // The HTTP/JSON surface. Routes (Go 1.22 pattern matching):
 //
-//	GET  /healthz             — admission ledger (budget, used, peak, counts)
-//	GET  /metrics             — server-level telemetry snapshot (text)
+//	GET  /healthz             — admission ledger + build info
+//	GET  /metrics             — Prometheus text exposition (v0.0.4): the
+//	                            server sink plus every job sink, labeled
+//	                            by job_id/tenant/technique
+//	GET  /metrics/text        — the legacy expvar-style text snapshot
 //	POST /jobs                — submit a JobSpec, returns its JobStatus
 //	GET  /jobs                — list all jobs
 //	GET  /jobs/{id}           — one job's status
@@ -11,6 +14,8 @@ package server
 //	POST /jobs/{id}/pause     — checkpoint and release a running job
 //	POST /jobs/{id}/resume    — re-admit a paused job from its checkpoint
 //	GET  /jobs/{id}/telemetry — live per-job telemetry snapshot (text)
+//	GET  /jobs/{id}/stream    — Server-Sent Events: one "step" event per
+//	                            completed step, one final "state" event
 //
 // Queued submissions answer 202 with a Retry-After header derived from
 // the queue-position backoff hint; rejected ones answer 409.
@@ -22,11 +27,16 @@ import (
 	"strconv"
 )
 
+// contentTypeProm is the Prometheus text exposition media type; the
+// version parameter is part of the scrape contract.
+const contentTypeProm = "text/plain; version=0.0.4; charset=utf-8"
+
 // Handler returns the server's HTTP mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics/text", s.handleMetricsText)
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
@@ -34,6 +44,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /jobs/{id}/pause", s.handleVerb(s.Pause))
 	mux.HandleFunc("POST /jobs/{id}/resume", s.handleVerb(s.Resume))
 	mux.HandleFunc("GET /jobs/{id}/telemetry", s.handleJobTelemetry)
+	mux.HandleFunc("GET /jobs/{id}/stream", s.handleStream)
 	return mux
 }
 
@@ -65,6 +76,11 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", contentTypeProm)
+	_ = s.reg.Write(w)
+}
+
+func (s *Server) handleMetricsText(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.cfg.Telemetry != nil {
 		_ = s.cfg.Telemetry.WriteSnapshot(w)
@@ -136,4 +152,69 @@ func (s *Server) handleJobTelemetry(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	_ = tel.WriteSnapshot(w)
+}
+
+// handleStream renders a job's step stream as Server-Sent Events: one
+// "step" event per completed step, then one final "state" event with the
+// terminal status. Slow consumers lose step events (counted under
+// server.sse.dropped), never the final state.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	sub, err := s.Subscribe(id, 0)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	defer sub.Close()
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported"})
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	send := func(event string, v any) bool {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := w.Write([]byte("event: " + event + "\ndata: " + string(b) + "\n\n")); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	for {
+		select {
+		case ev := <-sub.C:
+			if !send("step", ev) {
+				return
+			}
+		case <-sub.Done:
+			// Drain whatever was buffered before the terminal transition,
+			// then close with the final status.
+			for {
+				select {
+				case ev := <-sub.C:
+					if !send("step", ev) {
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			if st, err := s.Get(id); err == nil {
+				send("state", st)
+			}
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
 }

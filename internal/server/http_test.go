@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"gist/internal/telemetry"
+	"gist/internal/telemetry/promexport"
 )
 
 func httpJSON[T any](t *testing.T, client *http.Client, method, url string, body any, wantCode int) T {
@@ -73,6 +74,9 @@ func TestHTTPSubmitLifecycle(t *testing.T) {
 	if h.Jobs != 1 || h.BudgetBytes <= 0 {
 		t.Fatalf("healthz = %+v", h)
 	}
+	if h.GoVersion == "" || h.Revision == "" {
+		t.Fatalf("healthz missing build info: %+v", h)
+	}
 
 	// Per-job telemetry snapshot: the fp16 run must have exercised the
 	// encode pipeline, so the text snapshot is non-empty.
@@ -86,15 +90,45 @@ func TestHTTPSubmitLifecycle(t *testing.T) {
 		t.Fatalf("telemetry: code %d, %d bytes", resp.StatusCode, len(snap))
 	}
 
-	// Server-level metrics include the admission counters.
+	// /metrics is Prometheus text exposition now: correct media type,
+	// strictly parseable, with the admission counter and the job's own
+	// series labeled by job_id.
 	resp, err = c.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Header.Get("Content-Type"); got != contentTypeProm {
+		t.Fatalf("/metrics Content-Type = %q, want %q", got, contentTypeProm)
+	}
+	fams, err := promexport.Parse(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("/metrics does not parse strictly: %v", err)
+	}
+	adm := promexport.Find(fams, "gist_server_jobs_admitted_total")
+	if adm == nil || len(adm.Samples) == 0 || adm.Samples[0].Value < 1 {
+		t.Fatalf("missing admission counter in exposition: %+v", adm)
+	}
+	steps := promexport.Find(fams, "gist_train_steps_total")
+	if steps == nil {
+		t.Fatal("missing per-job train.steps family")
+	}
+	if got, ok := steps.Get("job_id", st.ID); !ok || got.Value != 6 {
+		t.Fatalf("per-job steps{job_id=%s} = %+v ok=%v, want 6", st.ID, got, ok)
+	}
+
+	// The legacy text snapshot moved to /metrics/text.
+	resp, err = c.Get(ts.URL + "/metrics/text")
 	if err != nil {
 		t.Fatal(err)
 	}
 	metrics, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); !strings.HasPrefix(got, "text/plain") {
+		t.Fatalf("/metrics/text Content-Type = %q", got)
+	}
 	if !strings.Contains(string(metrics), "server.jobs.admitted") {
-		t.Fatalf("metrics snapshot missing admission counter:\n%s", metrics)
+		t.Fatalf("legacy snapshot missing admission counter:\n%s", metrics)
 	}
 
 	// Pausing a completed job is a 409; an unknown id is a 404.

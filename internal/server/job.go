@@ -20,6 +20,8 @@ import (
 
 	"gist/internal/faults"
 	"gist/internal/telemetry"
+	"gist/internal/telemetry/flightrec"
+	"gist/internal/train"
 )
 
 // State is a job's lifecycle state. Queued, Running and Paused are
@@ -186,6 +188,32 @@ type job struct {
 	tel  *telemetry.Sink
 	ckpt string        // checkpoint path ("" until first save)
 	done chan struct{} // closed when the job reaches a terminal state
+
+	// rec taps tel's span/instant/mem stream when flight recording is on.
+	rec *flightrec.Recorder
+	// report is the last recovery report the training loop produced
+	// (single-executor runs only); guarded by mu.
+	report *train.RecoveryReport
+
+	// Live streaming: subscribers receive one StreamEvent per completed
+	// step; lastStepNS times the delta between steps.
+	subMu      sync.Mutex
+	subs       map[*subscriber]struct{}
+	lastStepNS atomic.Int64
+}
+
+// setReport stores the run's recovery report for flight dumps.
+func (j *job) setReport(r *train.RecoveryReport) {
+	j.mu.Lock()
+	j.report = r
+	j.mu.Unlock()
+}
+
+// recoveryReport returns the last stored recovery report (nil if none).
+func (j *job) recoveryReport() *train.RecoveryReport {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.report
 }
 
 // setState transitions the job. Terminal states latch: once a job is

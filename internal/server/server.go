@@ -29,6 +29,8 @@ import (
 	"gist/internal/faults"
 	"gist/internal/parallel"
 	"gist/internal/telemetry"
+	"gist/internal/telemetry/flightrec"
+	"gist/internal/telemetry/promexport"
 	"gist/internal/train"
 )
 
@@ -83,6 +85,13 @@ type Config struct {
 	// Blocking here stalls the job (which is exactly what the watchdog
 	// tests want); honor ctx to unblock.
 	OnStep func(ctx context.Context, jobID string, step int)
+	// FlightRecDir, when set, arms a per-job flight recorder: the last
+	// FlightRecEvents telemetry events are dumped there as JSON when a
+	// job fails, stalls into quarantine, or misses its deadline (and on
+	// demand via DumpFlightRecords). FlightRecEvents defaults to
+	// flightrec.DefaultEvents.
+	FlightRecDir    string
+	FlightRecEvents int
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +147,12 @@ type Server struct {
 	quarantined *telemetry.Counter
 	usedGauge   *telemetry.Gauge
 	queueGauge  *telemetry.Gauge
+	sseDropped  *telemetry.Counter
+	flightDumps *telemetry.Counter
+
+	// reg aggregates the server sink plus every job sink (labeled by
+	// job_id/tenant) into the Prometheus /metrics exposition.
+	reg *promexport.Registry
 }
 
 // New builds and starts a server (its watchdog runs until Shutdown).
@@ -151,6 +166,11 @@ func New(cfg Config) (*Server, error) {
 		cfg.CheckpointDir = dir
 	} else if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
 		return nil, err
+	}
+	if cfg.FlightRecDir != "" {
+		if err := os.MkdirAll(cfg.FlightRecDir, 0o755); err != nil {
+			return nil, err
+		}
 	}
 	s := &Server{
 		cfg:          cfg,
@@ -170,6 +190,10 @@ func New(cfg Config) (*Server, error) {
 	s.quarantined = cfg.Telemetry.Counter("server.jobs.quarantined")
 	s.usedGauge = cfg.Telemetry.Gauge("server.mem.used_bytes")
 	s.queueGauge = cfg.Telemetry.Gauge("server.queue.depth")
+	s.sseDropped = cfg.Telemetry.Counter("server.sse.dropped")
+	s.flightDumps = cfg.Telemetry.Counter("server.flightrec.dumps")
+	s.reg = promexport.NewRegistry()
+	s.reg.Register(cfg.Telemetry)
 	go s.watchdog()
 	return s, nil
 }
@@ -209,8 +233,15 @@ func (s *Server) Submit(spec JobSpec) (*JobStatus, error) {
 	if spec.DeadlineMS > 0 {
 		j.deadline = j.submitted.Add(time.Duration(spec.DeadlineMS) * time.Millisecond)
 	}
+	if s.cfg.FlightRecDir != "" {
+		j.rec = flightrec.New(s.cfg.FlightRecEvents)
+		j.tel.SetObserver(j.rec)
+	}
 	s.jobs[j.id] = j
 	s.order = append(s.order, j.id)
+	s.reg.Register(j.tel,
+		promexport.Label{Key: "job_id", Value: j.id},
+		promexport.Label{Key: "tenant", Value: spec.Tenant})
 
 	switch {
 	case !fits:
@@ -374,6 +405,11 @@ func (s *Server) runJob(j *job, ctx context.Context, cancel context.CancelCauseF
 		if state == StateQuarantined {
 			s.quarantined.Inc()
 		}
+		// Dump before the terminal transition so anyone unblocked by Wait
+		// already finds the flight record on disk.
+		if shouldDump(state, reason) {
+			s.dumpFlightRecord(j, state, reason)
+		}
 		j.setState(state, reason)
 	}
 	s.mu.Lock()
@@ -434,6 +470,7 @@ func (s *Server) train(ctx context.Context, j *job) (State, string) {
 			j.step.Store(int64(step))
 			j.lossBits.Store(math.Float64bits(loss))
 			j.progress.Store(time.Now().UnixNano())
+			s.publishStep(j, step, loss)
 			if s.cfg.OnStep != nil {
 				s.cfg.OnStep(ctx, j.id, step)
 			}
@@ -491,6 +528,7 @@ func (s *Server) train(ctx context.Context, j *job) (State, string) {
 		}
 		var report *train.RecoveryReport
 		_, report, runErr = train.RunRecoverable(ctx, e, d, runCfg, rcfg)
+		j.setReport(report)
 		if report != nil && report.CheckpointSaves > 0 {
 			j.setCkpt(ckptPath)
 		}
@@ -671,7 +709,8 @@ func (s *Server) Wait(id string) error {
 	return nil
 }
 
-// Health is the /healthz payload.
+// Health is the /healthz payload: the admission ledger plus a build_info
+// line (Go version and VCS revision when the binary carries a stamp).
 type Health struct {
 	BudgetBytes int64  `json:"budget_bytes"`
 	UsedBytes   int64  `json:"used_bytes"`
@@ -680,10 +719,13 @@ type Health struct {
 	Queued      int    `json:"queued"`
 	Jobs        int    `json:"jobs"`
 	Uptime      string `json:"uptime"`
+	GoVersion   string `json:"go_version"`
+	Revision    string `json:"revision"`
 }
 
 // Health reports the server's admission ledger.
 func (s *Server) Health() Health {
+	goVersion, revision := promexport.Build()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Health{
@@ -694,6 +736,8 @@ func (s *Server) Health() Health {
 		Queued:      len(s.queue),
 		Jobs:        len(s.jobs),
 		Uptime:      time.Since(s.started).Round(time.Millisecond).String(),
+		GoVersion:   goVersion,
+		Revision:    revision,
 	}
 }
 

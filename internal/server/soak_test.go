@@ -12,15 +12,21 @@ package server
 // soak-short`) runs a 12-job edition sized for the race detector in CI.
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
 	"gist/internal/faults"
 	"gist/internal/telemetry"
+	"gist/internal/telemetry/promexport"
 )
 
 // soakSpec derives a deterministic mixed-workload spec from its index.
@@ -106,13 +112,91 @@ func TestSoakChaos(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The HTTP front end runs for the whole soak: /metrics is scraped and
+	// strict-parsed mid-chaos, and a few undisturbed jobs get live SSE
+	// subscribers. Closed before the goroutine-leak check.
+	ts := httptest.NewServer(s.Handler())
+	scrape := func() error {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if ct := resp.Header.Get("Content-Type"); ct != contentTypeProm {
+			return fmt.Errorf("scrape Content-Type %q", ct)
+		}
+		_, err = promexport.Parse(resp.Body)
+		return err
+	}
+
 	ids := make([]string, 0, jobs)
+	type sseResult struct {
+		id    string
+		steps map[int]bool
+		final JobStatus
+		err   error
+	}
+	var (
+		sseMu      sync.Mutex
+		sseResults []sseResult
+		sseWG      sync.WaitGroup
+	)
+	watchSSE := func(id string) {
+		defer sseWG.Done()
+		res := sseResult{id: id, steps: map[int]bool{}}
+		defer func() {
+			sseMu.Lock()
+			sseResults = append(sseResults, res)
+			sseMu.Unlock()
+		}()
+		resp, err := http.Get(ts.URL + "/jobs/" + id + "/stream")
+		if err != nil {
+			res.err = err
+			return
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		event, data := "", ""
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case line == "":
+				switch event {
+				case "step":
+					var ev StreamEvent
+					if json.Unmarshal([]byte(data), &ev) == nil {
+						res.steps[ev.Step] = true
+					}
+				case "state":
+					_ = json.Unmarshal([]byte(data), &res.final)
+				}
+				event, data = "", ""
+			case len(line) > 7 && line[:7] == "event: ":
+				event = line[7:]
+			case len(line) > 6 && line[:6] == "data: ":
+				data = line[6:]
+			}
+		}
+	}
+
+	subscribed := 0
 	for i := 0; i < jobs; i++ {
 		st, err := s.Submit(soakSpec(i))
 		if err != nil {
 			t.Fatalf("submit %d: %v", i, err)
 		}
 		ids = append(ids, st.ID)
+		// Subscribe to undisturbed, deadline-free jobs (the back half of
+		// the fleet; chaos targets the front half): every step they
+		// complete while subscribed must stream out.
+		if i >= jobs/2 && i%7 != 3 && subscribed < 4 {
+			subscribed++
+			sseWG.Add(1)
+			go watchSSE(st.ID)
+		}
+	}
+	if subscribed == 0 {
+		t.Fatal("soak subscribed to no jobs")
 	}
 
 	// Seeded chaos: random lifecycle verbs against a random half of the
@@ -131,6 +215,13 @@ func TestSoakChaos(t *testing.T) {
 			_ = s.Pause(id)
 		default:
 			_ = s.Resume(id)
+		}
+		// Scrape mid-chaos: the exposition must parse strictly at any
+		// instant, not just at rest.
+		if i%(chaosIters/4) == chaosIters/8 {
+			if err := scrape(); err != nil {
+				t.Fatalf("mid-chaos /metrics scrape (iter %d): %v", i, err)
+			}
 		}
 		time.Sleep(time.Duration(rng.Intn(2)+1) * time.Millisecond)
 	}
@@ -164,6 +255,49 @@ func TestSoakChaos(t *testing.T) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+
+	// The settled fleet's terminal events have flushed every subscribed
+	// stream; join the SSE readers and verify coverage: every step a job
+	// completed while its subscriber was attached produced an event, with
+	// no gaps, and the stream closed with the job's terminal state.
+	sseWG.Wait()
+	sawSteps := false
+	for _, res := range sseResults {
+		if res.err != nil {
+			t.Errorf("SSE %s: %v", res.id, res.err)
+			continue
+		}
+		if !res.final.State.Terminal() {
+			t.Errorf("SSE %s: stream ended without a terminal state event (%+v)", res.id, res.final)
+			continue
+		}
+		if len(res.steps) == 0 {
+			continue // job finished before the subscription attached
+		}
+		sawSteps = true
+		first := -1
+		for st := range res.steps {
+			if first == -1 || st < first {
+				first = st
+			}
+		}
+		for st := first; st <= res.final.Step; st++ {
+			if !res.steps[st] {
+				t.Errorf("SSE %s: missing step %d (observed from %d, final %d)",
+					res.id, st, first, res.final.Step)
+			}
+		}
+	}
+	if !sawSteps {
+		t.Error("no SSE subscriber observed any step event")
+	}
+
+	// One last strict scrape at rest, then drop the HTTP front end before
+	// the goroutine accounting.
+	if err := scrape(); err != nil {
+		t.Fatalf("final /metrics scrape: %v", err)
+	}
+	ts.Close()
 
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()

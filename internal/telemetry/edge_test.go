@@ -1,0 +1,244 @@
+package telemetry
+
+// Edge-case coverage for the histogram quantile/mean math (empty, clamped
+// quantiles, single-bucket, top-bucket overflow) and for the memory
+// timeline's bounded ring (wraparound keeps totals and newest samples),
+// plus the observer tap the flight recorder hangs off.
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if got := h.Mean(); got != 0 {
+		t.Errorf("empty Mean = %v, want 0", got)
+	}
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, got)
+		}
+	}
+	var nilH *Histogram
+	if nilH.Mean() != 0 || nilH.Quantile(0.5) != 0 {
+		t.Error("nil histogram must answer 0")
+	}
+}
+
+func TestHistogramQuantileClamping(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []int64{1, 100, 10000} {
+		h.Observe(v)
+	}
+	// q <= 0 clamps to the first observation's bucket; its top is capped at
+	// the true max when the bucket's edge exceeds it.
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %d, want 1", got)
+	}
+	if got := h.Quantile(-3); got != 1 {
+		t.Errorf("Quantile(-3) = %d, want 1", got)
+	}
+	// q >= 1 answers the maximum observation.
+	if got := h.Quantile(1); got != 10000 {
+		t.Errorf("Quantile(1) = %d, want 10000", got)
+	}
+	if got := h.Quantile(7.5); got != 10000 {
+		t.Errorf("Quantile(7.5) = %d, want 10000", got)
+	}
+}
+
+func TestHistogramSingleBucket(t *testing.T) {
+	h := &Histogram{}
+	// All observations in bucket 7 ([64, 127]).
+	for v := int64(64); v < 128; v += 8 {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		got := h.Quantile(q)
+		if got < 64 || got > 127 {
+			t.Errorf("Quantile(%v) = %d outside the only populated bucket [64,127]", q, got)
+		}
+	}
+	if got := h.Quantile(0.99); got != h.Max() {
+		t.Errorf("single-bucket p99 = %d, want capped at max %d", got, h.Max())
+	}
+}
+
+func TestHistogramMaxBucketNoOverflow(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(math.MaxInt64)
+	// Bucket 63's nominal top is 2^63-1; the old 1<<i edge computation
+	// overflowed int64 and answered a negative quantile.
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != math.MaxInt64 {
+			t.Errorf("Quantile(%v) = %d, want MaxInt64", q, got)
+		}
+	}
+	if got := h.Snapshot().Quantile(0.5); got != math.MaxInt64 {
+		t.Errorf("Snapshot Quantile(0.5) = %d, want MaxInt64", got)
+	}
+}
+
+func TestHistogramNonPositiveBucket(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(-5)
+	h.Observe(0)
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("non-positive median = %d, want 0", got)
+	}
+	sn := h.Snapshot()
+	if sn.Buckets[0] != 2 || sn.Count != 2 {
+		t.Errorf("bucket0 = %d count = %d, want 2/2", sn.Buckets[0], sn.Count)
+	}
+	if sn.Mean() != -2.5 {
+		t.Errorf("Mean = %v, want -2.5", sn.Mean())
+	}
+}
+
+func TestBucketUpperEdges(t *testing.T) {
+	if BucketUpperEdge(0) != 0 || BucketUpperEdge(-1) != 0 {
+		t.Error("bucket 0 edge must be 0")
+	}
+	if got := BucketUpperEdge(1); got != 1 {
+		t.Errorf("bucket 1 edge = %d, want 1", got)
+	}
+	if got := BucketUpperEdge(10); got != 1023 {
+		t.Errorf("bucket 10 edge = %d, want 1023", got)
+	}
+	if got := BucketUpperEdge(63); got != math.MaxInt64 {
+		t.Errorf("bucket 63 edge = %d, want MaxInt64", got)
+	}
+	if got := BucketUpperEdge(64); got != math.MaxInt64 {
+		t.Errorf("bucket 64 edge = %d, want MaxInt64", got)
+	}
+	// Edges must be strictly increasing over the usable range so the
+	// Prometheus buckets render monotone.
+	for i := 1; i < 64; i++ {
+		if BucketUpperEdge(i) <= BucketUpperEdge(i-1) {
+			t.Fatalf("edges not increasing at %d", i)
+		}
+	}
+}
+
+func TestMemSamplesRingWraparound(t *testing.T) {
+	s := New()
+	const extra = 37
+	total := memTimelineCap + extra
+	var wantRaw, wantHeld int64
+	for i := 1; i <= total; i++ {
+		s.RecordMemSample(MemSample{
+			Step:      i,
+			RawBytes:  int64(i),
+			HeldBytes: int64(i) / 2,
+			ByTech:    []TechBytes{{Tech: "DPR", RawBytes: int64(i), HeldBytes: int64(i) / 2}},
+		})
+		wantRaw += int64(i)
+		wantHeld += int64(i) / 2
+	}
+	samples, gotTotal := s.MemSamples()
+	if gotTotal != total {
+		t.Fatalf("total = %d, want %d", gotTotal, total)
+	}
+	if len(samples) != memTimelineCap {
+		t.Fatalf("retained = %d, want ring cap %d", len(samples), memTimelineCap)
+	}
+	// The ring keeps the newest cap samples in order.
+	if samples[0].Step != extra+1 || samples[len(samples)-1].Step != total {
+		t.Fatalf("ring spans steps [%d,%d], want [%d,%d]",
+			samples[0].Step, samples[len(samples)-1].Step, extra+1, total)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Step != samples[i-1].Step+1 {
+			t.Fatalf("ring out of order at %d: %d after %d", i, samples[i].Step, samples[i-1].Step)
+		}
+	}
+	// Aggregates cover the whole run regardless of eviction.
+	if got := s.Counter("stash.DPR.raw_bytes").Value(); got != wantRaw {
+		t.Errorf("cumulative raw = %d, want %d", got, wantRaw)
+	}
+	if got := s.Counter("stash.DPR.held_bytes").Value(); got != wantHeld {
+		t.Errorf("cumulative held = %d, want %d", got, wantHeld)
+	}
+	if got := s.Counter("stash.samples").Value(); got != int64(total) {
+		t.Errorf("sample counter = %d, want %d", got, total)
+	}
+	if got := s.Gauge("mem.peak_raw_bytes").Value(); got != int64(total) {
+		t.Errorf("peak raw = %d, want %d", got, total)
+	}
+	last, ok := s.LastMemSample()
+	if !ok || last.Step != total {
+		t.Errorf("LastMemSample = (%+v, %v), want step %d", last, ok, total)
+	}
+}
+
+// recObserver is a minimal Observer for the tap tests.
+type recObserver struct {
+	mu       sync.Mutex
+	spans    []string
+	instants []string
+	mems     int
+}
+
+func (r *recObserver) ObserveSpan(cat, name string, start, dur int64) {
+	r.mu.Lock()
+	r.spans = append(r.spans, cat+"/"+name)
+	r.mu.Unlock()
+}
+func (r *recObserver) ObserveInstant(cat, name string, ts int64) {
+	r.mu.Lock()
+	r.instants = append(r.instants, cat+"/"+name)
+	r.mu.Unlock()
+}
+func (r *recObserver) ObserveMem(sm MemSample, ts int64) {
+	r.mu.Lock()
+	r.mems++
+	r.mu.Unlock()
+}
+
+// TestObserverTapWithoutTracing: an attached observer receives spans,
+// instants and memory samples even with Chrome tracing off, and detaching
+// returns Begin to the nil fast path.
+func TestObserverTapWithoutTracing(t *testing.T) {
+	s := New()
+	ob := &recObserver{}
+	s.SetObserver(ob)
+
+	sp := s.Begin("train", "step")
+	if sp == nil {
+		t.Fatal("Begin returned nil with an observer attached")
+	}
+	child := sp.Begin("train", "forward")
+	child.End()
+	sp.End()
+	s.Instant("faults", "bit-flip")
+	s.Complete("codec", "encode.DPR", time.Now())
+	s.RecordMemSample(MemSample{Step: 1, RawBytes: 100, HeldBytes: 50})
+
+	ob.mu.Lock()
+	wantSpans := []string{"train/forward", "train/step", "codec/encode.DPR"}
+	if fmt.Sprint(ob.spans) != fmt.Sprint(wantSpans) {
+		t.Errorf("spans = %v, want %v", ob.spans, wantSpans)
+	}
+	if len(ob.instants) != 1 || ob.instants[0] != "faults/bit-flip" {
+		t.Errorf("instants = %v", ob.instants)
+	}
+	if ob.mems != 1 {
+		t.Errorf("mems = %d, want 1", ob.mems)
+	}
+	ob.mu.Unlock()
+
+	s.SetObserver(nil)
+	if sp := s.Begin("train", "step"); sp != nil {
+		t.Fatal("Begin must return nil after the observer detaches")
+	}
+	s.Instant("faults", "bit-flip") // must not reach the detached observer
+	ob.mu.Lock()
+	if len(ob.instants) != 1 {
+		t.Errorf("detached observer still received instants: %v", ob.instants)
+	}
+	ob.mu.Unlock()
+}

@@ -1,0 +1,149 @@
+package flightrec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"gist/internal/telemetry"
+)
+
+func TestRingKeepsNewest(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 20; i++ {
+		r.ObserveInstant("t", fmt.Sprintf("e%d", i), int64(i))
+	}
+	if r.Total() != 20 {
+		t.Fatalf("total = %d, want 20", r.Total())
+	}
+	evs := r.Events()
+	if len(evs) != 8 {
+		t.Fatalf("retained %d, want ring cap 8", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := uint64(12 + i)
+		if ev.Seq != wantSeq || ev.Name != fmt.Sprintf("e%d", wantSeq) {
+			t.Fatalf("event %d = seq %d name %q, want seq %d", i, ev.Seq, ev.Name, wantSeq)
+		}
+	}
+}
+
+func TestCapacityRounding(t *testing.T) {
+	if n := len(New(0).ring); n != DefaultEvents {
+		t.Errorf("cap 0 → %d, want %d", n, DefaultEvents)
+	}
+	if n := len(New(5).ring); n != 8 {
+		t.Errorf("cap 5 → %d, want 8", n)
+	}
+	if n := len(New(8).ring); n != 8 {
+		t.Errorf("cap 8 → %d, want 8", n)
+	}
+}
+
+func TestObserverWiring(t *testing.T) {
+	s := telemetry.New()
+	r := New(64)
+	s.SetObserver(r)
+
+	sp := s.Begin("train", "step")
+	sp.End()
+	s.Instant("faults", "bit-flip")
+	s.RecordMemSample(telemetry.MemSample{Step: 3, RawBytes: 100, HeldBytes: 25})
+
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("recorded %d events, want 3: %+v", len(evs), evs)
+	}
+	if evs[0].Kind != "span" || evs[0].Cat != "train" || evs[0].Name != "step" {
+		t.Errorf("span event wrong: %+v", evs[0])
+	}
+	if evs[1].Kind != "instant" || evs[1].Name != "bit-flip" {
+		t.Errorf("instant event wrong: %+v", evs[1])
+	}
+	if evs[2].Kind != "mem" || evs[2].Mem == nil || evs[2].Mem.Step != 3 {
+		t.Errorf("mem event wrong: %+v", evs[2])
+	}
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	r := New(16)
+	r.ObserveSpan("train", "step", 100, 50)
+	r.ObserveInstant("faults", "encode-fail", 200)
+
+	var buf bytes.Buffer
+	meta := map[string]any{"job": "j1", "state": "failed"}
+	if err := r.WriteJSON(&buf, "job failed", meta); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var d Dump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if d.Reason != "job failed" || d.EventsTotal != 2 || len(d.Events) != 2 {
+		t.Fatalf("dump = %+v", d)
+	}
+	if d.Events[1].Kind != "instant" || d.Events[1].Name != "encode-fail" {
+		t.Fatalf("last event = %+v", d.Events[1])
+	}
+	if d.Meta == nil {
+		t.Fatal("meta dropped")
+	}
+}
+
+// TestConcurrentRecordAndDump hammers the ring from many writers while a
+// reader dumps repeatedly; under -race this pins the lock-free claim that
+// dumping mid-flight is safe, and every dump must be sorted and
+// duplicate-free.
+func TestConcurrentRecordAndDump(t *testing.T) {
+	r := New(64)
+	const writers, events = 8, 500
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				r.ObserveSpan("w", fmt.Sprintf("s%d", w), int64(i), 1)
+			}
+		}(w)
+	}
+	var rg sync.WaitGroup
+	rg.Add(1)
+	go func() {
+		defer rg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			evs := r.Events()
+			for i := 1; i < len(evs); i++ {
+				if evs[i].Seq <= evs[i-1].Seq {
+					t.Errorf("dump not strictly ordered at %d: %d after %d", i, evs[i].Seq, evs[i-1].Seq)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+
+	if r.Total() != writers*events {
+		t.Fatalf("total = %d, want %d", r.Total(), writers*events)
+	}
+	if evs := r.Events(); len(evs) != 64 {
+		t.Fatalf("retained %d, want 64", len(evs))
+	}
+}
+
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	if r.Total() != 0 || r.Events() != nil {
+		t.Fatal("nil recorder must answer zero")
+	}
+}

@@ -1,0 +1,419 @@
+package promexport
+
+// A strict parser for the subset of the Prometheus text exposition format
+// the renderer emits. It is deliberately unforgiving: every line must
+// parse, a TYPE declaration must precede its samples, histogram buckets
+// must be cumulative and monotone with ascending le edges, and +Inf must
+// be present and equal _count. The tests, the soak harness's mid-run
+// scrape and gisttop all consume /metrics through it, so a malformed
+// exposition fails loudly instead of being silently half-scraped.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed series within a family.
+type Sample struct {
+	Labels map[string]string
+	Value  float64
+}
+
+// Family is one parsed metric family.
+type Family struct {
+	Name    string
+	Type    string // "counter", "gauge", "histogram", "summary", "untyped"
+	Samples []Sample
+}
+
+// Get returns the first sample whose labels contain every given key=value
+// pair (extra labels on the sample are allowed).
+func (f *Family) Get(kv ...string) (Sample, bool) {
+	if len(kv)%2 != 0 {
+		return Sample{}, false
+	}
+outer:
+	for _, s := range f.Samples {
+		for i := 0; i < len(kv); i += 2 {
+			if s.Labels[kv[i]] != kv[i+1] {
+				continue outer
+			}
+		}
+		return s, true
+	}
+	return Sample{}, false
+}
+
+// Parse reads a full exposition document and validates it. Families are
+// returned in document order.
+func Parse(r io.Reader) ([]Family, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	var fams []*Family
+	byName := map[string]*Family{}
+	types := map[string]string{}
+	lineNo := 0
+
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			name, typ, ok, err := parseTypeLine(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			if !ok {
+				continue // HELP or free comment
+			}
+			if _, dup := types[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+			}
+			types[name] = typ
+			f := &Family{Name: name, Type: typ}
+			fams = append(fams, f)
+			byName[name] = f
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyFor(name, types)
+		if fam == "" {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE declaration", lineNo, name)
+		}
+		f := byName[fam]
+		switch types[fam] {
+		case "histogram":
+			ok := name == fam+"_bucket" || name == fam+"_sum" || name == fam+"_count"
+			if !ok {
+				return nil, fmt.Errorf("line %d: %q is not a valid series of histogram %q", lineNo, name, fam)
+			}
+			if name == fam+"_bucket" {
+				if _, hasLe := labels["le"]; !hasLe {
+					return nil, fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+			}
+		case "counter":
+			if value < 0 {
+				return nil, fmt.Errorf("line %d: counter %q is negative (%v)", lineNo, name, value)
+			}
+		}
+		// Keep the series name distinguishable for histogram children by
+		// stashing it in a reserved label.
+		if types[fam] == "histogram" {
+			labels["__series__"] = strings.TrimPrefix(name, fam)
+		}
+		f.Samples = append(f.Samples, Sample{Labels: labels, Value: value})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make([]Family, 0, len(fams))
+	for _, f := range fams {
+		if f.Type == "histogram" {
+			if err := validateHistogram(f); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, *f)
+	}
+	return out, nil
+}
+
+// Find returns the family with the given name, or nil.
+func Find(fams []Family, name string) *Family {
+	for i := range fams {
+		if fams[i].Name == name {
+			return &fams[i]
+		}
+	}
+	return nil
+}
+
+// familyFor maps a sample name to its declared family: exact match, or the
+// _bucket/_sum/_count child of a declared histogram.
+func familyFor(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			base := strings.TrimSuffix(name, suf)
+			if types[base] == "histogram" || types[base] == "summary" {
+				return base
+			}
+		}
+	}
+	return ""
+}
+
+// parseTypeLine handles comment lines; returns ok=false for non-TYPE
+// comments and an error for malformed TYPE declarations.
+func parseTypeLine(line string) (name, typ string, ok bool, err error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || fields[1] != "TYPE" {
+		return "", "", false, nil
+	}
+	if len(fields) != 4 {
+		return "", "", false, fmt.Errorf("malformed TYPE line %q", line)
+	}
+	switch fields[3] {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+	default:
+		return "", "", false, fmt.Errorf("unknown metric type %q", fields[3])
+	}
+	return fields[2], fields[3], true, nil
+}
+
+// parseSample parses `name{k="v",...} value` (labels optional). The value
+// may be any Go float, including +Inf/NaN spellings Prometheus allows.
+func parseSample(line string) (string, map[string]string, float64, error) {
+	labels := map[string]string{}
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	var name string
+	if brace >= 0 {
+		name = rest[:brace]
+		end := strings.LastIndexByte(rest, '}')
+		if end < brace {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		var err error
+		labels, err = parseLabels(rest[brace+1 : end])
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[end+1:]
+	} else {
+		sp := strings.IndexAny(rest, " \t")
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("no value in %q", line)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	v, err := parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	return name, labels, v, nil
+}
+
+// parseLabels parses the inside of a {...} label set.
+func parseLabels(s string) (map[string]string, error) {
+	labels := map[string]string{}
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("malformed label pair")
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !validLabelName(key) {
+			return nil, fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %q value not quoted", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("dangling escape in label %q", key)
+				}
+				i++
+				switch s[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %q", s[i], key)
+				}
+				continue
+			}
+			if c == '"' {
+				closed = true
+				s = s[i+1:]
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated value for label %q", key)
+		}
+		if _, dup := labels[key]; dup {
+			return nil, fmt.Errorf("duplicate label %q", key)
+		}
+		labels[key] = val.String()
+		s = strings.TrimSpace(s)
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("expected ',' after label %q", key)
+			}
+			s = strings.TrimSpace(s[1:])
+		}
+	}
+	return labels, nil
+}
+
+// parseValue accepts decimal floats plus the exposition spellings of
+// infinity and NaN.
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") && s != "__name__" {
+		// Reserved double-underscore space; our own __series__ stash is
+		// added after parsing, never read from the wire.
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validateHistogram checks, per label set (excluding le): ascending le
+// edges, monotone non-decreasing cumulative bucket counts, +Inf present,
+// _count present and equal to the +Inf bucket, _sum present.
+func validateHistogram(f *Family) error {
+	type series struct {
+		les    []float64
+		counts []float64
+		sum    *float64
+		count  *float64
+		inf    *float64
+	}
+	groups := map[string]*series{}
+	keyOf := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k == "le" || k == "__series__" {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(labels[k])
+			b.WriteByte(';')
+		}
+		return b.String()
+	}
+
+	for i := range f.Samples {
+		s := &f.Samples[i]
+		key := keyOf(s.Labels)
+		g := groups[key]
+		if g == nil {
+			g = &series{}
+			groups[key] = g
+		}
+		v := s.Value
+		switch s.Labels["__series__"] {
+		case "_bucket":
+			le, err := parseValue(s.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le %q", f.Name, s.Labels["le"])
+			}
+			if math.IsInf(le, 1) {
+				g.inf = &v
+			}
+			g.les = append(g.les, le)
+			g.counts = append(g.counts, v)
+		case "_sum":
+			g.sum = &v
+		case "_count":
+			g.count = &v
+		}
+	}
+
+	for key, g := range groups {
+		if len(g.les) == 0 {
+			return fmt.Errorf("histogram %s{%s}: no buckets", f.Name, key)
+		}
+		for i := 1; i < len(g.les); i++ {
+			if g.les[i] <= g.les[i-1] {
+				return fmt.Errorf("histogram %s{%s}: le edges not ascending (%v after %v)",
+					f.Name, key, g.les[i], g.les[i-1])
+			}
+			if g.counts[i] < g.counts[i-1] {
+				return fmt.Errorf("histogram %s{%s}: cumulative counts decrease (%v after %v at le=%v)",
+					f.Name, key, g.counts[i], g.counts[i-1], g.les[i])
+			}
+		}
+		if g.inf == nil {
+			return fmt.Errorf("histogram %s{%s}: missing le=\"+Inf\" bucket", f.Name, key)
+		}
+		if g.count == nil {
+			return fmt.Errorf("histogram %s{%s}: missing _count", f.Name, key)
+		}
+		if g.sum == nil {
+			return fmt.Errorf("histogram %s{%s}: missing _sum", f.Name, key)
+		}
+		if *g.count != *g.inf {
+			return fmt.Errorf("histogram %s{%s}: _count (%v) != +Inf bucket (%v)",
+				f.Name, key, *g.count, *g.inf)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,337 @@
+// Package promexport renders telemetry sinks in the Prometheus text
+// exposition format (version 0.0.4) and parses it back strictly.
+//
+// The Registry is the labeled aggregation layer the job server needs: each
+// registered sink carries a base label set (job_id, tenant; none for the
+// server-level sink), and well-known dotted-name patterns from the
+// telemetry layer are rewritten into labeled families — stash.DPR.raw_bytes
+// becomes gist_stash_raw_bytes_total{technique="DPR"} — so one /metrics
+// scrape carries every job's per-technique compression time-series without
+// the sinks themselves ever learning about labels. The hot path is
+// untouched: instruments stay the nil-safe atomics they were; the registry
+// only reads them at scrape time.
+//
+// Histograms render as cumulative _bucket/_sum/_count series. The
+// underlying histograms are power-of-two, so bucket i's inclusive upper
+// edge is telemetry.BucketUpperEdge(i); only populated buckets are emitted
+// (cumulative counts stay monotone regardless) plus the mandatory +Inf.
+package promexport
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+
+	"gist/internal/telemetry"
+)
+
+// Label is one key/value pair. Label sets are kept sorted by key.
+type Label struct{ Key, Value string }
+
+// Registry aggregates any number of sinks, each under a base label set,
+// into one exposition document.
+type Registry struct {
+	mu      sync.Mutex
+	entries []entry
+}
+
+type entry struct {
+	sink   *telemetry.Sink
+	labels []Label
+}
+
+// NewRegistry returns an empty registry. Write on it still emits the
+// build_info family.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a sink under the given base labels. Registering the same
+// sink again replaces its labels. Nil sinks are ignored.
+func (r *Registry) Register(s *telemetry.Sink, labels ...Label) {
+	if r == nil || s == nil {
+		return
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.entries {
+		if r.entries[i].sink == s {
+			r.entries[i].labels = ls
+			return
+		}
+	}
+	r.entries = append(r.entries, entry{sink: s, labels: ls})
+}
+
+// Unregister removes a sink; its series disappear from the next scrape.
+func (r *Registry) Unregister(s *telemetry.Sink) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.entries {
+		if r.entries[i].sink == s {
+			r.entries = append(r.entries[:i], r.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// sample is one rendered series: a label set and either a scalar value or
+// a histogram snapshot.
+type sample struct {
+	labels []Label
+	value  int64
+	hist   *telemetry.HistogramSnapshot
+}
+
+// family is one metric family: every sample across every sink that mapped
+// to the same exposition name.
+type family struct {
+	name    string
+	typ     string // "counter", "gauge", "histogram"
+	samples []sample
+}
+
+// Write renders the registry's current state as Prometheus text
+// exposition v0.0.4, one TYPE line per family, samples sorted by label.
+func (r *Registry) Write(w io.Writer) error {
+	fams := map[string]*family{}
+	add := func(name, typ string, s sample) {
+		f := fams[name]
+		if f == nil {
+			f = &family{name: name, typ: typ}
+			fams[name] = f
+		}
+		if f.typ != typ {
+			// A name that maps to two instrument kinds across sinks would
+			// produce an invalid exposition; first registration wins.
+			return
+		}
+		f.samples = append(f.samples, s)
+	}
+
+	r.mu.Lock()
+	entries := append([]entry(nil), r.entries...)
+	r.mu.Unlock()
+
+	for _, e := range entries {
+		m := e.sink.Gather()
+		for name, v := range m.Counters {
+			pn, extra := promName(name, "counter")
+			add(pn, "counter", sample{labels: mergeLabels(e.labels, extra), value: v})
+		}
+		for name, v := range m.Gauges {
+			pn, extra := promName(name, "gauge")
+			add(pn, "gauge", sample{labels: mergeLabels(e.labels, extra), value: v})
+		}
+		for name, h := range m.Histograms {
+			h := h
+			pn, extra := promName(name, "histogram")
+			add(pn, "histogram", sample{labels: mergeLabels(e.labels, extra), hist: &h})
+		}
+	}
+
+	// build_info is registry-level: one series, value 1, identity in labels.
+	goVersion, revision := Build()
+	add("gist_build_info", "gauge", sample{labels: []Label{
+		{Key: "goversion", Value: goVersion},
+		{Key: "revision", Value: revision},
+	}, value: 1})
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		f := fams[name]
+		sort.Slice(f.samples, func(i, j int) bool {
+			return labelString(f.samples[i].labels) < labelString(f.samples[j].labels)
+		})
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.samples {
+			if f.typ == "histogram" {
+				writeHistogram(&b, f.name, s)
+				continue
+			}
+			fmt.Fprintf(&b, "%s%s %d\n", f.name, labelString(s.labels), s.value)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram emits the cumulative _bucket series (populated buckets
+// plus +Inf), then _sum and _count. A concurrent Observe can leave the
+// bucket sum momentarily below Count; +Inf and _count use Count, which
+// keeps the cumulative sequence monotone.
+func writeHistogram(b *strings.Builder, name string, s sample) {
+	var cum int64
+	for i := 0; i < telemetry.HistBuckets; i++ {
+		n := s.hist.Buckets[i]
+		if n == 0 {
+			continue
+		}
+		cum += n
+		le := fmt.Sprintf("%d", telemetry.BucketUpperEdge(i))
+		fmt.Fprintf(b, "%s_bucket%s %d\n",
+			name, labelString(append(s.labels, Label{Key: "le", Value: le})), cum)
+	}
+	count := s.hist.Count
+	if cum > count {
+		count = cum
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n",
+		name, labelString(append(s.labels, Label{Key: "le", Value: "+Inf"})), count)
+	fmt.Fprintf(b, "%s_sum%s %d\n", name, labelString(s.labels), s.hist.Sum)
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labelString(s.labels), count)
+}
+
+// mergeLabels combines a sink's base labels with pattern-extracted ones,
+// sorted by key. Base labels win on key collision.
+func mergeLabels(base, extra []Label) []Label {
+	if len(extra) == 0 {
+		return base
+	}
+	out := append([]Label(nil), base...)
+	for _, l := range extra {
+		dup := false
+		for _, have := range base {
+			if have.Key == l.Key {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// labelString renders a label set as {k="v",...}, or "" when empty.
+func labelString(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel applies the exposition format's label-value escapes.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// promName maps a dotted telemetry name to its exposition family name plus
+// any labels extracted from well-known patterns:
+//
+//	stash.<tech>.raw_bytes      → gist_stash_raw_bytes_total{technique}
+//	codec.encode.<tech>.<what>  → gist_codec_encode_<what>{technique}
+//	codec.decode.<tech>.<what>  → gist_codec_decode_<what>{technique}
+//	faults.injected.<kind>      → gist_faults_injected_total{kind}
+//
+// Everything else is sanitized verbatim. Counters get a _total suffix.
+func promName(name, typ string) (string, []Label) {
+	var labels []Label
+	switch {
+	case strings.HasPrefix(name, "stash."):
+		rest := strings.TrimPrefix(name, "stash.")
+		if i := strings.IndexByte(rest, '.'); i > 0 {
+			labels = []Label{{Key: "technique", Value: rest[:i]}}
+			name = "stash." + rest[i+1:]
+		}
+	case strings.HasPrefix(name, "codec.encode."), strings.HasPrefix(name, "codec.decode."):
+		op := name[:len("codec.encode.")]
+		rest := name[len(op):]
+		if i := strings.IndexByte(rest, '.'); i > 0 {
+			labels = []Label{{Key: "technique", Value: rest[:i]}}
+			name = op + rest[i+1:]
+		}
+	case strings.HasPrefix(name, "faults.injected."):
+		labels = []Label{{Key: "kind", Value: strings.TrimPrefix(name, "faults.injected.")}}
+		name = "faults.injected"
+	}
+	out := "gist_" + sanitize(name)
+	if typ == "counter" && !strings.HasSuffix(out, "_total") {
+		out += "_total"
+	}
+	return out, labels
+}
+
+// sanitize maps a dotted name onto the exposition charset
+// [a-zA-Z0-9_:]; dots and anything else invalid become underscores.
+func sanitize(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// Build reports the running binary's Go version and VCS revision
+// ("unknown" when the build carries no VCS stamp) — the /healthz
+// build_info line and the gist_build_info series share it.
+func Build() (goVersion, revision string) {
+	goVersion = runtime.Version()
+	revision = "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+				if len(revision) > 12 {
+					revision = revision[:12]
+				}
+			}
+		}
+	}
+	return goVersion, revision
+}

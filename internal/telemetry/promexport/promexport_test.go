@@ -1,0 +1,239 @@
+package promexport
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"gist/internal/telemetry"
+)
+
+// render writes the registry and strict-parses the result; any exposition
+// defect fails the test here.
+func render(t *testing.T, r *Registry) ([]Family, string) {
+	t.Helper()
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	fams, err := Parse(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("render does not round-trip: %v\n%s", err, b.String())
+	}
+	return fams, b.String()
+}
+
+func TestEmptyRegistryStillExposesBuildInfo(t *testing.T) {
+	fams, _ := render(t, NewRegistry())
+	bi := Find(fams, "gist_build_info")
+	if bi == nil || bi.Type != "gauge" {
+		t.Fatalf("missing gist_build_info gauge, got %+v", fams)
+	}
+	if len(bi.Samples) != 1 || bi.Samples[0].Value != 1 {
+		t.Fatalf("build_info samples %+v", bi.Samples)
+	}
+	if bi.Samples[0].Labels["goversion"] == "" {
+		t.Fatal("build_info missing goversion label")
+	}
+}
+
+func TestCounterGaugeRendering(t *testing.T) {
+	s := telemetry.New()
+	s.Counter("server.jobs.admitted").Add(7)
+	s.Gauge("server.queue.depth").Set(3)
+	r := NewRegistry()
+	r.Register(s)
+
+	fams, text := render(t, r)
+	adm := Find(fams, "gist_server_jobs_admitted_total")
+	if adm == nil || adm.Type != "counter" {
+		t.Fatalf("admitted counter missing:\n%s", text)
+	}
+	if adm.Samples[0].Value != 7 {
+		t.Fatalf("admitted = %v, want 7", adm.Samples[0].Value)
+	}
+	q := Find(fams, "gist_server_queue_depth")
+	if q == nil || q.Type != "gauge" || q.Samples[0].Value != 3 {
+		t.Fatalf("queue gauge wrong:\n%s", text)
+	}
+	if strings.Contains(text, "gist_server_queue_depth_total") {
+		t.Fatal("gauges must not get the _total suffix")
+	}
+}
+
+func TestLabelExtractionPatterns(t *testing.T) {
+	s := telemetry.New()
+	s.Counter("stash.DPR.raw_bytes").Add(1000)
+	s.Counter("stash.DPR.held_bytes").Add(250)
+	s.Counter("stash.samples").Add(4) // no technique segment: stays plain
+	s.Counter("codec.encode.DPR.bytes").Add(512)
+	s.Counter("codec.encode.fallbacks").Add(2) // one segment: stays plain
+	s.Counter("faults.injected.bit-flip").Inc()
+	r := NewRegistry()
+	r.Register(s, Label{Key: "job_id", Value: "j1"})
+
+	fams, text := render(t, r)
+
+	raw := Find(fams, "gist_stash_raw_bytes_total")
+	if raw == nil {
+		t.Fatalf("no stash raw family:\n%s", text)
+	}
+	if got, ok := raw.Get("technique", "DPR", "job_id", "j1"); !ok || got.Value != 1000 {
+		t.Fatalf("stash raw{DPR,j1} = %+v ok=%v", got, ok)
+	}
+	if f := Find(fams, "gist_stash_samples_total"); f == nil {
+		t.Fatalf("stash.samples must stay unlabeled:\n%s", text)
+	}
+	enc := Find(fams, "gist_codec_encode_bytes_total")
+	if enc == nil {
+		t.Fatalf("no codec encode bytes family:\n%s", text)
+	}
+	if got, ok := enc.Get("technique", "DPR"); !ok || got.Value != 512 {
+		t.Fatalf("codec encode{DPR} = %+v ok=%v", got, ok)
+	}
+	if f := Find(fams, "gist_codec_encode_fallbacks_total"); f == nil {
+		t.Fatalf("codec.encode.fallbacks must stay unlabeled:\n%s", text)
+	}
+	fi := Find(fams, "gist_faults_injected_total")
+	if fi == nil {
+		t.Fatalf("no faults family:\n%s", text)
+	}
+	if got, ok := fi.Get("kind", "bit-flip"); !ok || got.Value != 1 {
+		t.Fatalf("faults{bit-flip} = %+v ok=%v", got, ok)
+	}
+}
+
+func TestMultiSinkAggregation(t *testing.T) {
+	server := telemetry.New()
+	server.Counter("server.jobs.admitted").Add(2)
+	j1 := telemetry.New()
+	j1.Counter("train.steps").Add(10)
+	j2 := telemetry.New()
+	j2.Counter("train.steps").Add(20)
+
+	r := NewRegistry()
+	r.Register(server)
+	r.Register(j1, Label{Key: "job_id", Value: "job-1"})
+	r.Register(j2, Label{Key: "job_id", Value: "job-2"})
+
+	fams, text := render(t, r)
+	steps := Find(fams, "gist_train_steps_total")
+	if steps == nil || len(steps.Samples) != 2 {
+		t.Fatalf("want one family with 2 samples:\n%s", text)
+	}
+	a, _ := steps.Get("job_id", "job-1")
+	b, _ := steps.Get("job_id", "job-2")
+	if a.Value != 10 || b.Value != 20 {
+		t.Fatalf("per-job steps %v/%v, want 10/20", a.Value, b.Value)
+	}
+	if n := strings.Count(text, "# TYPE gist_train_steps_total"); n != 1 {
+		t.Fatalf("TYPE line emitted %d times, want 1", n)
+	}
+
+	// Unregister drops the series on the next scrape.
+	r.Unregister(j1)
+	fams, _ = render(t, r)
+	steps = Find(fams, "gist_train_steps_total")
+	if len(steps.Samples) != 1 {
+		t.Fatalf("after unregister: %d samples, want 1", len(steps.Samples))
+	}
+}
+
+func TestHistogramRendering(t *testing.T) {
+	s := telemetry.New()
+	h := s.Histogram("train.step.ns")
+	for _, v := range []int64{-1, 0, 1, 3, 100, 100, 5000, math.MaxInt64} {
+		h.Observe(v)
+	}
+	r := NewRegistry()
+	r.Register(s, Label{Key: "job_id", Value: "j"})
+
+	fams, text := render(t, r) // Parse already enforces monotone + +Inf==count
+	f := Find(fams, "gist_train_step_ns")
+	if f == nil || f.Type != "histogram" {
+		t.Fatalf("histogram family missing:\n%s", text)
+	}
+	inf, ok := f.Get("le", "+Inf")
+	if !ok || inf.Value != 8 {
+		t.Fatalf("+Inf bucket = %+v ok=%v, want 8", inf, ok)
+	}
+	// Bucket 0 holds the two non-positive observations.
+	b0, ok := f.Get("le", "0")
+	if !ok || b0.Value != 2 {
+		t.Fatalf("le=0 bucket = %+v ok=%v, want cumulative 2", b0, ok)
+	}
+	// MaxInt64 lands in the top bucket; its le must be MaxInt64, not a
+	// negative overflow.
+	if strings.Contains(text, `le="-`) {
+		t.Fatalf("negative bucket edge leaked:\n%s", text)
+	}
+	cnt, ok := f.Get("__series__", "_count", "job_id", "j")
+	if !ok || cnt.Value != 8 {
+		t.Fatalf("_count = %+v ok=%v, want 8", cnt, ok)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	s := telemetry.New()
+	s.Counter("train.steps").Inc()
+	r := NewRegistry()
+	r.Register(s, Label{Key: "job_id", Value: "a\"b\\c\nd"})
+
+	fams, _ := render(t, r)
+	f := Find(fams, "gist_train_steps_total")
+	if f == nil {
+		t.Fatal("family missing")
+	}
+	if got := f.Samples[0].Labels["job_id"]; got != "a\"b\\c\nd" {
+		t.Fatalf("escaped label round-trip = %q", got)
+	}
+}
+
+func TestParserRejectsMalformed(t *testing.T) {
+	bad := []struct{ name, doc string }{
+		{"no type", "gist_x_total 1\n"},
+		{"garbage", "# TYPE gist_x counter\nnot a metric line!\n"},
+		{"bad value", "# TYPE gist_x counter\ngist_x_total zebra\n"},
+		{"negative counter", "# TYPE gist_x counter\ngist_x -1\n"},
+		{"unterminated labels", "# TYPE gist_x counter\ngist_x{a=\"b\" 1\n"},
+		{"dup type", "# TYPE gist_x counter\n# TYPE gist_x counter\n"},
+		{"hist no inf", "# TYPE gist_h histogram\ngist_h_bucket{le=\"1\"} 1\ngist_h_sum 1\ngist_h_count 1\n"},
+		{"hist non-monotone", "# TYPE gist_h histogram\n" +
+			"gist_h_bucket{le=\"1\"} 5\ngist_h_bucket{le=\"2\"} 3\ngist_h_bucket{le=\"+Inf\"} 5\n" +
+			"gist_h_sum 9\ngist_h_count 5\n"},
+		{"hist count mismatch", "# TYPE gist_h histogram\n" +
+			"gist_h_bucket{le=\"+Inf\"} 5\ngist_h_sum 9\ngist_h_count 6\n"},
+		{"hist descending le", "# TYPE gist_h histogram\n" +
+			"gist_h_bucket{le=\"2\"} 1\ngist_h_bucket{le=\"1\"} 2\ngist_h_bucket{le=\"+Inf\"} 2\n" +
+			"gist_h_sum 3\ngist_h_count 2\n"},
+	}
+	for _, tc := range bad {
+		if _, err := Parse(strings.NewReader(tc.doc)); err == nil {
+			t.Errorf("%s: parser accepted malformed document:\n%s", tc.name, tc.doc)
+		}
+	}
+}
+
+func TestParserAcceptsValid(t *testing.T) {
+	doc := "# HELP gist_x something\n# TYPE gist_x counter\ngist_x{a=\"b\"} 1 1700000000\n\n" +
+		"# TYPE gist_h histogram\n" +
+		"gist_h_bucket{le=\"1\"} 1\ngist_h_bucket{le=\"+Inf\"} 2\ngist_h_sum 12\ngist_h_count 2\n"
+	fams, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	if len(fams) != 2 {
+		t.Fatalf("parsed %d families, want 2", len(fams))
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Register(telemetry.New()) // must not panic
+	r.Unregister(nil)
+	live := NewRegistry()
+	live.Register(nil) // nil sink ignored
+	if _, text := render(t, live); !strings.Contains(text, "gist_build_info") {
+		t.Fatal("nil-sink registration corrupted the registry")
+	}
+}

@@ -63,8 +63,10 @@ func (s *Sink) WriteSnapshot(w io.Writer) error {
 			return err
 		}
 	}
-	if d := s.TraceDropped(); d > 0 {
-		if _, err := fmt.Fprintf(w, "counter trace.dropped_events %d\n", d); err != nil {
+	// With tracing armed, the bounded buffer's drop count is always shown
+	// (zero included) so silent truncation at the cap cannot hide.
+	if s.TracingEnabled() {
+		if _, err := fmt.Fprintf(w, "counter telemetry.trace.dropped %d\n", s.TraceDropped()); err != nil {
 			return err
 		}
 	}

@@ -16,6 +16,7 @@
 package telemetry
 
 import (
+	"math"
 	"math/bits"
 	"sync"
 	"sync/atomic"
@@ -156,6 +157,7 @@ func (h *Histogram) Mean() float64 {
 // Quantile returns an upper bound on the q-quantile (0 <= q <= 1): the top
 // of the bucket where the cumulative count crosses q. Within a factor of 2
 // of the true value, which is all a power-of-two histogram promises.
+// q <= 0 answers the smallest populated bucket's top; q >= 1 the maximum.
 func (h *Histogram) Quantile(q float64) int64 {
 	n := h.Count()
 	if n == 0 {
@@ -172,7 +174,7 @@ func (h *Histogram) Quantile(q float64) int64 {
 			if i == 0 {
 				return 0
 			}
-			hi := int64(1) << uint(i) // exclusive top of bucket i
+			hi := BucketUpperEdge(i) // inclusive top of bucket i
 			if m := h.Max(); m < hi {
 				return m
 			}
@@ -180,6 +182,81 @@ func (h *Histogram) Quantile(q float64) int64 {
 		}
 	}
 	return h.Max()
+}
+
+// HistBuckets is the exported bucket count of every histogram (bucket i
+// counts observations v with bits.Len64(v) == i; see BucketUpperEdge).
+const HistBuckets = histBuckets
+
+// BucketUpperEdge returns the largest value bucket i holds: 0 for bucket 0
+// (non-positive observations), 2^i - 1 for 1 <= i < 63, and MaxInt64 for
+// the top buckets (where 1<<i would overflow int64).
+func BucketUpperEdge(i int) int64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= 63:
+		return math.MaxInt64
+	}
+	return int64(1)<<uint(i) - 1
+}
+
+// HistogramSnapshot is a point-in-time copy of one histogram, the unit the
+// Prometheus exporter and the text snapshot render from. Buckets[i] counts
+// observations in (BucketUpperEdge(i-1), BucketUpperEdge(i)].
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets [HistBuckets]int64
+}
+
+// Snapshot copies the histogram's current state. A snapshot taken while
+// writers are mid-Observe may momentarily hold fewer bucket counts than
+// Count (count is incremented before the bucket); never more.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
+	for i := range s.Buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Mean returns the snapshot's average observation (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Quantile mirrors Histogram.Quantile over the frozen bucket counts.
+func (s HistogramSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(q*float64(s.Count) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < HistBuckets; i++ {
+		cum += s.Buckets[i]
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			hi := BucketUpperEdge(i)
+			if s.Max < hi {
+				return s.Max
+			}
+			return hi
+		}
+	}
+	return s.Max
 }
 
 // Sink is a registry of named instruments plus the trace buffer and the
@@ -194,9 +271,49 @@ type Sink struct {
 	hists    map[string]*Histogram
 
 	trace atomic.Pointer[traceBuf]
+	obs   atomic.Pointer[observerRef]
 
 	memMu sync.Mutex
 	mem   memTimeline
+}
+
+// Observer receives a live copy of every span, instant and memory sample
+// the sink records — the flight recorder's tap. Implementations must be
+// safe for concurrent use and must not call back into the sink.
+// Timestamps are nanoseconds since the sink's epoch.
+type Observer interface {
+	ObserveSpan(cat, name string, startNS, durNS int64)
+	ObserveInstant(cat, name string, tsNS int64)
+	ObserveMem(sm MemSample, tsNS int64)
+}
+
+// observerRef boxes the interface so it fits an atomic.Pointer.
+type observerRef struct{ o Observer }
+
+// SetObserver attaches (or, with nil, detaches) the sink's observer. With
+// an observer attached, spans are delivered even when Chrome tracing is
+// off — Begin returns a live span either way. Uninstrumented call sites
+// still pay only an atomic load.
+func (s *Sink) SetObserver(o Observer) {
+	if s == nil {
+		return
+	}
+	if o == nil {
+		s.obs.Store(nil)
+		return
+	}
+	s.obs.Store(&observerRef{o: o})
+}
+
+// observer returns the attached observer, or nil.
+func (s *Sink) observer() Observer {
+	if s == nil {
+		return nil
+	}
+	if r := s.obs.Load(); r != nil {
+		return r.o
+	}
+	return nil
 }
 
 // New returns an empty sink. Tracing is off until EnableTracing.
@@ -277,6 +394,48 @@ func (s *Sink) Values() map[string]int64 {
 	return m
 }
 
+// Metrics is a point-in-time copy of every instrument in the sink, keyed
+// by name — the unit the Prometheus exporter gathers. When tracing is
+// armed, the bounded trace buffer's drop count rides along as the
+// "telemetry.trace.dropped" counter so silent truncation is visible.
+type Metrics struct {
+	Counters   map[string]int64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Gather snapshots every counter, gauge and histogram. Returns the zero
+// Metrics on a nil sink.
+func (s *Sink) Gather() Metrics {
+	if s == nil {
+		return Metrics{}
+	}
+	s.mu.Lock()
+	m := Metrics{
+		Counters:   make(map[string]int64, len(s.counters)+1),
+		Gauges:     make(map[string]int64, len(s.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.hists)),
+	}
+	for name, c := range s.counters {
+		m.Counters[name] = c.Value()
+	}
+	for name, g := range s.gauges {
+		m.Gauges[name] = g.Value()
+	}
+	hists := make(map[string]*Histogram, len(s.hists))
+	for name, h := range s.hists {
+		hists[name] = h
+	}
+	s.mu.Unlock()
+	for name, h := range hists {
+		m.Histograms[name] = h.Snapshot()
+	}
+	if s.TracingEnabled() {
+		m.Counters["telemetry.trace.dropped"] = s.TraceDropped()
+	}
+	return m
+}
+
 // now returns nanoseconds since the sink's epoch (trace timestamps).
 func (s *Sink) now() int64 { return time.Since(s.epoch).Nanoseconds() }
 
@@ -340,6 +499,10 @@ func (s *Sink) RecordMemSample(sm MemSample) {
 	}
 	s.memMu.Unlock()
 
+	if ob := s.observer(); ob != nil {
+		ob.ObserveMem(sm, s.now())
+	}
+
 	if s.TracingEnabled() {
 		s.CounterEvent("stash bytes",
 			Int("raw", sm.RawBytes), Int("held", sm.HeldBytes))
@@ -362,4 +525,18 @@ func (s *Sink) MemSamples() ([]MemSample, int) {
 	s.memMu.Lock()
 	defer s.memMu.Unlock()
 	return append([]MemSample(nil), s.mem.samples...), s.mem.total
+}
+
+// LastMemSample returns the most recent memory sample without copying the
+// whole ring — the SSE stream reads it once per step.
+func (s *Sink) LastMemSample() (MemSample, bool) {
+	if s == nil {
+		return MemSample{}, false
+	}
+	s.memMu.Lock()
+	defer s.memMu.Unlock()
+	if n := len(s.mem.samples); n > 0 {
+		return s.mem.samples[n-1], true
+	}
+	return MemSample{}, false
 }

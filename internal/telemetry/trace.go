@@ -116,7 +116,8 @@ func (tb *traceBuf) append(ev event) {
 // no-ops, so call sites never branch on whether tracing is live.
 type Span struct {
 	s     *Sink
-	tb    *traceBuf
+	tb    *traceBuf // nil when only an observer is listening
+	ob    Observer  // nil when only tracing is live
 	name  string
 	cat   string
 	start int64
@@ -126,19 +127,23 @@ type Span struct {
 }
 
 // Begin opens a root span on its own track. Returns nil (valid, no-op)
-// when the sink is nil or tracing is off.
+// when the sink is nil and neither tracing nor an observer is armed.
 func (s *Sink) Begin(cat, name string, args ...Arg) *Span {
 	if s == nil {
 		return nil
 	}
 	tb := s.trace.Load()
-	if tb == nil {
+	ob := s.observer()
+	if tb == nil && ob == nil {
 		return nil
 	}
-	tb.mu.Lock()
-	tid := tb.acquireTid()
-	tb.mu.Unlock()
-	return &Span{s: s, tb: tb, name: name, cat: cat, start: s.now(), tid: tid, root: true, args: args}
+	tid := 0
+	if tb != nil {
+		tb.mu.Lock()
+		tid = tb.acquireTid()
+		tb.mu.Unlock()
+	}
+	return &Span{s: s, tb: tb, ob: ob, name: name, cat: cat, start: s.now(), tid: tid, root: true, args: args}
 }
 
 // Begin opens a child span on the parent's track, so the pair renders as
@@ -147,7 +152,7 @@ func (sp *Span) Begin(cat, name string, args ...Arg) *Span {
 	if sp == nil {
 		return nil
 	}
-	return &Span{s: sp.s, tb: sp.tb, name: name, cat: cat, start: sp.s.now(), tid: sp.tid, args: args}
+	return &Span{s: sp.s, tb: sp.tb, ob: sp.ob, name: name, cat: cat, start: sp.s.now(), tid: sp.tid, args: args}
 }
 
 // End closes the span, recording one complete event. Root spans release
@@ -157,12 +162,17 @@ func (sp *Span) End() {
 		return
 	}
 	end := sp.s.now()
-	sp.tb.mu.Lock()
-	sp.tb.append(event{name: sp.name, cat: sp.cat, ph: 'X', ts: sp.start, dur: end - sp.start, tid: sp.tid, args: sp.args})
-	if sp.root {
-		sp.tb.releaseTid(sp.tid)
+	if sp.tb != nil {
+		sp.tb.mu.Lock()
+		sp.tb.append(event{name: sp.name, cat: sp.cat, ph: 'X', ts: sp.start, dur: end - sp.start, tid: sp.tid, args: sp.args})
+		if sp.root {
+			sp.tb.releaseTid(sp.tid)
+		}
+		sp.tb.mu.Unlock()
 	}
-	sp.tb.mu.Unlock()
+	if sp.ob != nil {
+		sp.ob.ObserveSpan(sp.cat, sp.name, sp.start, end-sp.start)
+	}
 }
 
 // Complete records an already-finished operation as one complete event on
@@ -174,16 +184,22 @@ func (s *Sink) Complete(cat, name string, start time.Time, args ...Arg) {
 		return
 	}
 	tb := s.trace.Load()
-	if tb == nil {
+	ob := s.observer()
+	if tb == nil && ob == nil {
 		return
 	}
 	ts := s.since(start)
 	dur := s.now() - ts
-	tb.mu.Lock()
-	tid := tb.acquireTid()
-	tb.append(event{name: name, cat: cat, ph: 'X', ts: ts, dur: dur, tid: tid, args: args})
-	tb.releaseTid(tid)
-	tb.mu.Unlock()
+	if tb != nil {
+		tb.mu.Lock()
+		tid := tb.acquireTid()
+		tb.append(event{name: name, cat: cat, ph: 'X', ts: ts, dur: dur, tid: tid, args: args})
+		tb.releaseTid(tid)
+		tb.mu.Unlock()
+	}
+	if ob != nil {
+		ob.ObserveSpan(cat, name, ts, dur)
+	}
 }
 
 // Instant records a point event (rendered as a flagpole in the viewer).
@@ -192,12 +208,19 @@ func (s *Sink) Instant(cat, name string, args ...Arg) {
 		return
 	}
 	tb := s.trace.Load()
-	if tb == nil {
+	ob := s.observer()
+	if tb == nil && ob == nil {
 		return
 	}
-	tb.mu.Lock()
-	tb.append(event{name: name, cat: cat, ph: 'i', ts: s.now(), args: args})
-	tb.mu.Unlock()
+	now := s.now()
+	if tb != nil {
+		tb.mu.Lock()
+		tb.append(event{name: name, cat: cat, ph: 'i', ts: now, args: args})
+		tb.mu.Unlock()
+	}
+	if ob != nil {
+		ob.ObserveInstant(cat, name, now)
+	}
 }
 
 // CounterEvent records a counter sample; Chrome renders successive samples

@@ -155,7 +155,7 @@ func TestTraceDropCap(t *testing.T) {
 	if err := s.WriteSnapshot(&sb); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Contains(sb.Bytes(), []byte("trace.dropped_events 12")) {
+	if !bytes.Contains(sb.Bytes(), []byte("telemetry.trace.dropped 12")) {
 		t.Fatalf("snapshot missing drop counter:\n%s", sb.String())
 	}
 }
@@ -165,7 +165,7 @@ func TestTraceDisabledBeginIsNil(t *testing.T) {
 	if sp := s.Begin("t", "x"); sp != nil {
 		t.Fatal("Begin must return nil with tracing off")
 	}
-	s.Instant("t", "x")   // must not panic or record
+	s.Instant("t", "x") // must not panic or record
 	s.Complete("t", "x", time.Now())
 	if err := s.WriteTrace(&bytes.Buffer{}); err == nil {
 		t.Fatal("WriteTrace must error when tracing was never enabled")
