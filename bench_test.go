@@ -334,6 +334,22 @@ func BenchmarkTrainStep(b *testing.B) {
 	}
 	b.Run("baseline", func(b *testing.B) { run(b, false) })
 	b.Run("gist", func(b *testing.B) { run(b, true) })
+	// gist-adaptive swaps the fixed technique ladder for the per-layer
+	// minimum-bytes selection across the lossless tier (SSDC/ZVC/entropy/
+	// dense); its delta against "gist" is the price of the adaptive
+	// encoders on the step path.
+	b.Run("gist-adaptive", func(b *testing.B) {
+		g := networks.TinyCNN(8, 4)
+		cfg := encoding.LossyLossless(floatenc.FP16)
+		cfg.AdaptiveSet = encoding.AdaptiveAll()
+		e := train.NewExecutor(g, train.Options{Seed: 1, Encodings: encoding.Analyze(g, cfg)})
+		d := train.NewDataset(4, 3, 16, 0.4, 2)
+		x, labels := d.Batch(8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Step(x, labels, 0.01)
+		}
+	})
 	b.Run("gist-parallel", func(b *testing.B) {
 		encoding.SetDefaultCodec(encoding.Codec{Pool: parallel.NewPool(4)})
 		defer encoding.SetDefaultCodec(encoding.Codec{})

@@ -27,11 +27,12 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "", "experiment ID (fig1, fig3, table1, fig8..fig17, recompute, workspace, cdma); empty runs all")
+	experiment := flag.String("experiment", "", "experiment ID (fig1, fig3, table1, fig8..fig17, recompute, workspace, cdma, ratio); empty runs all")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	csvOut := flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 	par := flag.Int("parallel", 0, "encode/decode worker count (0 = GOMAXPROCS, 1 = serial)")
 	usePool := flag.Bool("pool", false, "recycle the training-based experiments' per-step tensors through the shared buffer pool (byte-identical results)")
+	technique := flag.String("technique", "", "narrow the training-based experiments' stash encoding to one technique (binarize|ssdc|dpr|zvc|entropy), or \"adaptive\" for per-layer minimum-bytes selection; empty = experiment defaults")
 	replicas := flag.Int("replicas", 0, "run the training-based experiments on this many data-parallel executor replicas (0/1 = single executor)")
 	nshards := flag.Int("shards", 0, "micro-shards per step for the replica engine (0 = one per replica; pin this when comparing replica counts)")
 	traceOut := flag.String("trace-out", "", "write Chrome trace_event JSON here at exit (codec + worker-pool activity of the training-based experiments)")
@@ -55,6 +56,10 @@ func main() {
 		experiments.SetTrainingPool(bufpool.Shared())
 	}
 	experiments.SetTrainingReplicas(*replicas, *nshards)
+	if err := experiments.SetTrainingTechnique(*technique); err != nil {
+		fmt.Fprintln(os.Stderr, "gistbench:", err)
+		os.Exit(1)
+	}
 
 	// Either telemetry flag instruments the process-wide worker pool and
 	// codec; the default stays the zero-overhead nil sink.

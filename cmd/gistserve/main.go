@@ -8,6 +8,7 @@
 //
 //	gistserve -addr :8080 -mem-budget 268435456 -flightrec-dir /tmp/flightrec &
 //	curl -s -X POST localhost:8080/jobs -d '{"name":"a","network":"tinycnn","steps":200,"encoding":"fp16"}'
+//	curl -s -X POST localhost:8080/jobs -d '{"name":"b","steps":200,"encoding":"fp16","technique":"adaptive"}'
 //	curl -s localhost:8080/jobs/j0001
 //	curl -s localhost:8080/metrics              # Prometheus exposition
 //	curl -sN localhost:8080/jobs/j0001/stream   # live SSE step stream

@@ -34,6 +34,7 @@ func main() {
 	replicas := flag.Int("replicas", 0, "data-parallel executor replicas (0/1 = single executor; results are bit-identical at every count for a fixed -shards)")
 	nshards := flag.Int("shards", 0, "micro-shards per step for the replica engine (0 = one per replica; pin this when comparing replica counts)")
 	usePool := flag.Bool("pool", false, "recycle per-step tensors through the shared buffer pool (byte-identical results, near-zero steady-state allocation)")
+	technique := flag.String("technique", "", "narrow the training experiments' stash encoding to one technique (binarize|ssdc|dpr|zvc|entropy), or \"adaptive\" for per-layer minimum-bytes selection; empty = experiment defaults")
 
 	// Fault-injection flags (robust experiment).
 	bitflip := flag.Float64("bitflip", -1, "per-stash bit-flip probability (robust; <0 = default)")
@@ -75,6 +76,10 @@ func main() {
 	// so weights are bit-identical at every -replicas and -parallel value
 	// once -shards is pinned.
 	experiments.SetTrainingReplicas(*replicas, *nshards)
+	if err := experiments.SetTrainingTechnique(*technique); err != nil {
+		fmt.Fprintln(os.Stderr, "gisttrain:", err)
+		os.Exit(1)
+	}
 
 	var sink *telemetry.Sink
 	var metricsFile *os.File

@@ -60,7 +60,33 @@ type (
 	Format = floatenc.Format
 	// Device models an accelerator for performance estimates.
 	Device = costmodel.Device
+	// Technique identifies one Gist encoding (Binarize, SSDC, DPR, ZVC,
+	// Entropy).
+	Technique = encoding.Technique
 )
+
+// Encoding techniques, selectable per layer by the adaptive planner or
+// forced globally with WithTechnique.
+const (
+	// Binarize is the 1-bit ReLU-Pool encoding.
+	Binarize = encoding.Binarize
+	// SSDC stores sparse stashes in narrow CSR, decoded dense for compute.
+	SSDC = encoding.SSDC
+	// DPR reduces stash precision after the last forward use.
+	DPR = encoding.DPR
+	// ZVC is zero-value compression: nonzero bitmask + compacted values.
+	ZVC = encoding.ZVC
+	// Entropy is the ZRL+Huffman stage over packed stash bytes.
+	Entropy = encoding.Entropy
+)
+
+// ParseTechnique resolves a technique by name (case-insensitive; "none"
+// accepted), as the consolidated -technique CLI flags do.
+func ParseTechnique(s string) (Technique, error) { return encoding.ParseTechnique(s) }
+
+// RegisteredTechniques lists every technique in the codec registry, in
+// identifier order.
+func RegisteredTechniques() []Technique { return encoding.RegisteredTechniques() }
 
 // Allocation modes.
 const (

@@ -68,6 +68,53 @@ func BenchmarkKernelMaskGate(b *testing.B) {
 	b.Run("scalar", func(b *testing.B) { run(b, m.applyGateScalar) })
 }
 
+func BenchmarkKernelNonzeroFill(b *testing.B) {
+	xs := benchInput(6)
+	m := NewBitMask(benchElems)
+	run := func(b *testing.B, fill func(xs []float32, lo, hi int)) {
+		b.SetBytes(benchElems * 4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Reset(benchElems)
+			fill(xs, 0, benchElems)
+		}
+	}
+	b.Run("word", func(b *testing.B) { run(b, m.FillNonzeroRange) })
+	b.Run("scalar", func(b *testing.B) { run(b, m.fillNonzeroRangeScalar) })
+}
+
+func BenchmarkKernelZVCGather(b *testing.B) {
+	xs := benchInput(7)
+	m := FromNonzero(xs)
+	dst := make([]float32, m.PopCount())
+	run := func(b *testing.B, gather func(xs []float32, lo, hi int, dst []float32) int) {
+		b.SetBytes(benchElems * 4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			gather(xs, 0, benchElems, dst)
+		}
+	}
+	b.Run("word", func(b *testing.B) { run(b, m.GatherNonzero) })
+	b.Run("scalar", func(b *testing.B) { run(b, m.gatherNonzeroScalar) })
+}
+
+func BenchmarkKernelZVCScatter(b *testing.B) {
+	xs := benchInput(8)
+	m := FromNonzero(xs)
+	vals := make([]float32, m.PopCount())
+	m.GatherNonzero(xs, 0, benchElems, vals)
+	dst := make([]float32, benchElems)
+	run := func(b *testing.B, scatter func(dst []float32, lo, hi int, vals []float32) int) {
+		b.SetBytes(benchElems * 4)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			scatter(dst, 0, benchElems, vals)
+		}
+	}
+	b.Run("word", func(b *testing.B) { run(b, m.ScatterNonzero) })
+	b.Run("scalar", func(b *testing.B) { run(b, m.scatterNonzeroScalar) })
+}
+
 func BenchmarkKernelMaskPopcount(b *testing.B) {
 	m := FromPositive(benchInput(5))
 	b.Run("word", func(b *testing.B) {

@@ -55,3 +55,55 @@ func (m *BitMask) popCountScalar() int {
 	}
 	return c
 }
+
+// fillNonzeroRangeScalar is the scalar reference of FillNonzeroRange:
+// one IEEE compare and conditional read-modify-write per element.
+func (m *BitMask) fillNonzeroRangeScalar(xs []float32, start, end int) {
+	m.checkRange(start, end)
+	for i := start; i < end; i++ {
+		if xs[i] != 0 {
+			m.words[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+}
+
+// popCountRangeScalar is the scalar reference of PopCountRange: one Get
+// per bit.
+func (m *BitMask) popCountRangeScalar(start, end int) int {
+	m.checkRange(start, end)
+	c := 0
+	for i := start; i < end; i++ {
+		if m.words[i>>6]&(1<<(uint(i)&63)) != 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// gatherNonzeroScalar is the scalar reference of GatherNonzero.
+func (m *BitMask) gatherNonzeroScalar(xs []float32, start, end int, dst []float32) int {
+	m.checkRange(start, end)
+	k := 0
+	for i := start; i < end; i++ {
+		if m.words[i>>6]&(1<<(uint(i)&63)) != 0 {
+			dst[k] = xs[i]
+			k++
+		}
+	}
+	return k
+}
+
+// scatterNonzeroScalar is the scalar reference of ScatterNonzero.
+func (m *BitMask) scatterNonzeroScalar(dst []float32, start, end int, vals []float32) int {
+	m.checkRange(start, end)
+	k := 0
+	for i := start; i < end; i++ {
+		if m.words[i>>6]&(1<<(uint(i)&63)) != 0 {
+			dst[i] = vals[k]
+			k++
+		} else {
+			dst[i] = 0
+		}
+	}
+	return k
+}

@@ -113,7 +113,9 @@ func (d Device) streamTime(bytes int64) float64 {
 }
 
 // EncodingOverhead models the extra time Gist's encode/decode kernels add
-// to one minibatch, and the bandwidth credit Binarize earns.
+// to one minibatch, and the bandwidth credit Binarize earns. The per-
+// technique arithmetic lives with each technique in the encoding
+// registry (encoding.AddOverheadTime); in outline:
 //
 //   - Binarize: the mask is built inside the ReLU forward kernel (one
 //     extra 1-bit write per element) and the ReLU/pool backward kernels
@@ -123,26 +125,16 @@ func (d Device) streamTime(bytes int64) float64 {
 //     CSR→dense pass at decode, via cuSPARSE-style kernels; modeled as
 //     three streaming passes over the dense size.
 //   - DPR: one conversion pass each way over the affected bytes.
+//   - ZVC: a mask-build + compaction pass at encode and an expansion pass
+//     at decode, streaming the dense data plus the compacted payload.
+//   - Entropy: byte-serial (de)coding priced at a fraction of streaming
+//     bandwidth — the expensive tier, paid only where ratio wins justify
+//     it.
 func (d Device) EncodingOverhead(a *encoding.Analysis) float64 {
 	var t float64
 	for _, as := range a.ByNode {
 		dense := as.Node.OutShape.Bytes()
-		switch as.Tech {
-		case encoding.Binarize:
-			// Extra mask write at encode...
-			t += d.streamTime(as.EncodedBytes)
-			// ...minus the backward reads of the two FP32 maps that the
-			// 1-bit mask replaces (the ReLU backward becomes lighter).
-			t -= d.streamTime(dense-as.EncodedBytes) / 2
-		case encoding.SSDC:
-			t += 3 * d.streamTime(dense)
-			// Decode writes the dense staging buffer.
-			t += d.streamTime(dense)
-		case encoding.DPR:
-			// Quantize pass (read FP32, write packed) + decode pass.
-			t += d.streamTime(dense + as.EncodedBytes)
-			t += d.streamTime(dense + as.EncodedBytes)
-		}
+		t = encoding.AddOverheadTime(as.Tech, t, d.streamTime, dense, as.EncodedBytes)
 	}
 	// Pool argmax maps replace a window rescan over X in the pool
 	// backward with a nibble read: small saving.

@@ -3,7 +3,6 @@ package encoding
 import (
 	"errors"
 	"fmt"
-	"hash/crc32"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -207,52 +206,22 @@ func (cdc Codec) EncodeStashInto(e *EncodedStash, as *Assignment, t *tensor.Tens
 }
 
 func (cdc Codec) encodeStashInto(e *EncodedStash, as *Assignment, t *tensor.Tensor) error {
-	e.Tech = as.Tech
+	return cdc.encodeTechInto(e, as.Tech, as, t)
+}
+
+// encodeTechInto encodes with an explicit technique, which may differ from
+// as.Tech: the adaptive fallback chain re-encodes the same assignment at
+// each of its fallback techniques without mutating the shared Assignment.
+func (cdc Codec) encodeTechInto(e *EncodedStash, tech Technique, as *Assignment, t *tensor.Tensor) error {
+	impl, ok := techImpl(tech)
+	if !ok {
+		return fmt.Errorf("%w (technique %v)", ErrNoTechnique, tech)
+	}
+	e.Tech = tech
 	e.Shape = append(e.Shape[:0], t.Shape...)
 	e.ChunkElems = cdc.chunkElems()
 	e.Checksum, e.ChunkCRCs, e.sealed = 0, nil, false
-	switch as.Tech {
-	case Binarize:
-		e.Mask = cdc.fromPositiveInto(e.Mask, t.Data)
-	case SSDC:
-		// Sparse storage; DPR layered on the value array when configured.
-		// Quantizing before CSR encoding preserves the zero pattern
-		// exactly (quantization maps 0 to 0).
-		data := t.Data
-		pooledScratch := false
-		if as.Format != floatenc.FP32 {
-			data = cdc.quantizedCopy(as.Format, t.Data)
-			pooledScratch = cdc.Buf != nil
-		}
-		if e.CSR == nil {
-			e.CSR = &sparse.CSR{}
-		}
-		sparse.EncodeCSRChunkedInto(e.CSR, data, cdc.pool(), cdc.chunkElems()/sparse.NarrowCols)
-		if pooledScratch {
-			// The quantize scratch dies the moment the CSR exists.
-			cdc.Buf.RecycleSlice(data)
-		}
-		// Compare against the dense DPR alternative using the same cost
-		// model as the static analysis (ssdcBytes): when DPR is layered on
-		// SSDC the CSR value array would also shrink to the packed width, so
-		// credit that saving before declaring CSR uncompetitive.
-		effective := e.CSR.Bytes()
-		if as.Format != floatenc.FP32 {
-			nnz := int64(e.CSR.NNZ())
-			effective -= nnz*4 - as.Format.PackedBytes(int(nnz))
-		}
-		if dense := as.Format.PackedBytes(len(t.Data)); effective >= dense {
-			// A static error, not fmt.Errorf with the sizes: the adaptive
-			// encoder hits this on every step a stash stays dense, and the
-			// pooled hot path cannot afford an allocation per fallback.
-			return errCSRLargerThanDense
-		}
-	case DPR:
-		e.Packed = cdc.encodePackedInto(e.Packed, as.Format, t.Data)
-	default:
-		return fmt.Errorf("%w (technique %v)", ErrNoTechnique, as.Tech)
-	}
-	return nil
+	return impl.encodeInto(cdc, e, as, t)
 }
 
 // EncodeDense builds the dense fallback stash chunk-parallel; see the
@@ -297,29 +266,58 @@ func (cdc Codec) observe(op string, tech Technique, start time.Time, bytes int64
 	cdc.Tel.Complete("codec", name, start)
 }
 
-// EncodeStashAdaptive encodes per the assignment, degrading an oversized
-// SSDC stash to the dense encoding; see the package-level variant.
-func (cdc Codec) EncodeStashAdaptive(as *Assignment, t *tensor.Tensor) (e *EncodedStash, fellBack bool, err error) {
-	e, err = cdc.EncodeStash(as, t)
-	if errors.Is(err, ErrStashTooLarge) {
-		cdc.Tel.Counter("codec.encode.fallbacks").Inc()
-		return cdc.EncodeDense(as.Format, t), true, nil
+// encodeTechObserved is encodeTechInto wrapped with the same telemetry
+// EncodeStashInto records, keyed by the technique actually attempted — the
+// adaptive chain uses it so each fallback step shows up under its own name.
+func (cdc Codec) encodeTechObserved(e *EncodedStash, tech Technique, as *Assignment, t *tensor.Tensor) error {
+	if cdc.Tel == nil {
+		return cdc.encodeTechInto(e, tech, as, t)
 	}
-	return e, false, err
+	start := time.Now()
+	err := cdc.encodeTechInto(e, tech, as, t)
+	var held int64
+	if err == nil {
+		held = e.Bytes()
+	}
+	cdc.observe("encode", tech, start, held, err)
+	return err
+}
+
+// EncodeStashAdaptive encodes per the assignment, walking the assignment's
+// fallback chain when the runtime data defeats the planned encoding; see
+// the package-level variant.
+func (cdc Codec) EncodeStashAdaptive(as *Assignment, t *tensor.Tensor) (e *EncodedStash, fellBack bool, err error) {
+	e = &EncodedStash{}
+	fellBack, err = cdc.EncodeStashAdaptiveInto(e, as, t)
+	if err != nil {
+		return nil, fellBack, err
+	}
+	return e, fellBack, nil
 }
 
 // EncodeStashAdaptiveInto is EncodeStashAdaptive building into a
-// caller-owned container: an SSDC encode whose runtime CSR form is larger
-// than its dense DPR alternative is rebuilt in the same container as the
-// dense encoding.
+// caller-owned container. The planned technique is tried first; each
+// ErrStashTooLarge steps to the next entry of as.Fallbacks (cheaper
+// predicted encodings the planner ranked behind the primary), and when the
+// chain is exhausted the stash is rebuilt in the same container as the
+// dense DPR encoding, which cannot fail. Every step is counted on
+// codec.encode.fallbacks.
 func (cdc Codec) EncodeStashAdaptiveInto(e *EncodedStash, as *Assignment, t *tensor.Tensor) (fellBack bool, err error) {
 	err = cdc.EncodeStashInto(e, as, t)
+	for _, tech := range as.Fallbacks {
+		if !errors.Is(err, ErrStashTooLarge) {
+			break
+		}
+		cdc.Tel.Counter("codec.encode.fallbacks").Inc()
+		fellBack = true
+		err = cdc.encodeTechObserved(e, tech, as, t)
+	}
 	if errors.Is(err, ErrStashTooLarge) {
 		cdc.Tel.Counter("codec.encode.fallbacks").Inc()
 		cdc.EncodeDenseInto(e, as.Format, t)
 		return true, nil
 	}
-	return false, err
+	return fellBack, err
 }
 
 // fromPositiveInto builds the Binarize mask chunk-parallel into m (a nil m
@@ -443,53 +441,11 @@ func (cdc Codec) decodeInto(out *tensor.Tensor, e *EncodedStash) error {
 	if !out.Shape.Equal(e.Shape) {
 		return fmt.Errorf("%w: destination shape %v, stash shape %v", ErrShapeMismatch, out.Shape, e.Shape)
 	}
-	switch e.Tech {
-	case Binarize:
-		if e.Mask == nil || e.Mask.Len() != len(out.Data) {
-			return fmt.Errorf("%w: mask %d bits, shape %v", ErrShapeMismatch, maskBits(e.Mask), e.Shape)
-		}
-		if ce, serial := cdc.serialChunks(len(out.Data)); serial {
-			for lo := 0; lo < len(out.Data); lo += ce {
-				e.Mask.ExpandRange(out.Data, lo, min(lo+ce, len(out.Data)))
-			}
-		} else {
-			cdc.forChunks(len(out.Data), func(lo, hi int) {
-				e.Mask.ExpandRange(out.Data, lo, hi)
-			})
-		}
-	case SSDC:
-		if e.CSR == nil || e.CSR.N != len(out.Data) {
-			return fmt.Errorf("%w: CSR over %d elements, shape %v", ErrShapeMismatch, csrN(e.CSR), e.Shape)
-		}
-		if err := e.CSR.Validate(); err != nil {
-			return fmt.Errorf("%w: %v", ErrCorruptStash, err)
-		}
-		e.CSR.DecodeChunked(out.Data, cdc.pool(), cdc.chunkElems()/e.CSR.Cols)
-	case DPR:
-		if e.Packed == nil || e.Packed.N != len(out.Data) {
-			return fmt.Errorf("%w: packed %d elements, shape %v", ErrShapeMismatch, packedN(e.Packed), e.Shape)
-		}
-		vpw, ok := packedValuesPerWord(e.Packed.Format)
-		if !ok {
-			return fmt.Errorf("%w: unknown packed format %d", ErrCorruptStash, int(e.Packed.Format))
-		}
-		if len(e.Packed.Words) != (e.Packed.N+vpw-1)/vpw {
-			return fmt.Errorf("%w: %d packed words for %d %s values",
-				ErrCorruptStash, len(e.Packed.Words), e.Packed.N, e.Packed.Format)
-		}
-		if ce, serial := cdc.serialChunks(len(out.Data)); serial {
-			for lo := 0; lo < len(out.Data); lo += ce {
-				e.Packed.DecodeRange(out.Data, lo, min(lo+ce, len(out.Data)))
-			}
-		} else {
-			cdc.forChunks(len(out.Data), func(lo, hi int) {
-				e.Packed.DecodeRange(out.Data, lo, hi)
-			})
-		}
-	default:
+	impl, ok := techImpl(e.Tech)
+	if !ok {
 		return fmt.Errorf("%w (technique %v)", ErrNoTechnique, e.Tech)
 	}
-	return nil
+	return impl.decodeInto(cdc, out, e)
 }
 
 // nil-tolerant accessors for error messages on malformed stashes.
@@ -647,19 +603,8 @@ func CorruptedChunk(err error) (chunk int, ok bool) {
 // payloadElems returns the element count the chunk layout spans for each
 // technique (mask bits, CSR logical elements, packed values).
 func (e *EncodedStash) payloadElems() int {
-	switch e.Tech {
-	case Binarize:
-		if e.Mask != nil {
-			return e.Mask.Len()
-		}
-	case SSDC:
-		if e.CSR != nil {
-			return e.CSR.N
-		}
-	case DPR:
-		if e.Packed != nil {
-			return e.Packed.N
-		}
+	if impl, ok := techImpl(e.Tech); ok {
+		return impl.payloadElems(e)
 	}
 	return 0
 }
@@ -672,11 +617,11 @@ func (e *EncodedStash) NumChunks() int {
 }
 
 // ChunkSpan returns the payload element range [elemLo, elemHi) chunk c
-// covers and, when the technique keeps its payload in a single word array
-// (Binarize mask words, DPR packed words), the byte offsets [byteLo, byteHi)
-// of that range within the array — the word-aligned region whose CRC the
-// chunk seals. SSDC chunks span three backing arrays (RowPtr, ColIdx,
-// Values), so their byte offsets are reported as -1.
+// covers and, when the technique keeps its payload in a single byte-
+// addressable array (Binarize mask words, DPR packed words, entropy
+// streams), the byte offsets [byteLo, byteHi) of that range within the
+// array — the region whose CRC the chunk seals. Techniques whose chunks
+// span several backing arrays (SSDC, ZVC) report byte offsets of -1.
 func (e *EncodedStash) ChunkSpan(c int) (elemLo, elemHi int, byteLo, byteHi int64) {
 	ce := normalizeChunkElems(e.ChunkElems)
 	n := e.payloadElems()
@@ -686,19 +631,8 @@ func (e *EncodedStash) ChunkSpan(c int) (elemLo, elemHi int, byteLo, byteHi int6
 	if elemHi <= elemLo {
 		return elemLo, elemHi, byteLo, byteHi
 	}
-	switch e.Tech {
-	case Binarize:
-		w0 := elemLo / 64
-		w1 := (elemHi + 63) / 64
-		return elemLo, elemHi, int64(w0) * 8, int64(w1) * 8
-	case DPR:
-		vpw, ok := packedValuesPerWord(e.Packed.Format)
-		if !ok {
-			return elemLo, elemHi, byteLo, byteHi
-		}
-		w0 := elemLo / vpw
-		w1 := (elemHi + vpw - 1) / vpw
-		return elemLo, elemHi, int64(w0) * 4, int64(w1) * 4
+	if impl, ok := techImpl(e.Tech); ok {
+		byteLo, byteHi = impl.chunkSpanBytes(e, elemLo, elemHi)
 	}
 	return elemLo, elemHi, byteLo, byteHi
 }
@@ -713,43 +647,8 @@ func (e *EncodedStash) ChunkOfBit(i int) int {
 	}
 	ce := normalizeChunkElems(e.ChunkElems)
 	nc := e.NumChunks()
-	clamp := func(c int) int {
-		if c >= nc {
-			return nc - 1
-		}
-		return c
-	}
-	switch e.Tech {
-	case Binarize:
-		// Bit i is element i; padding bits of the last word clamp into the
-		// final chunk.
-		n := e.Mask.Len()
-		return clamp(min(i, n-1) / ce)
-	case SSDC:
-		if n := len(e.CSR.RowPtr) * 32; i < n {
-			// RowPtr[p] is written when row p-1 is encoded; entry 0 is the
-			// constant leading zero owned by chunk 0.
-			r := i/32 - 1
-			if r < 0 {
-				r = 0
-			}
-			return clamp(r * e.CSR.Cols / ce)
-		} else {
-			i -= n
-		}
-		if n := len(e.CSR.ColIdx) * 8; i < n {
-			return spanOf(i/8, len(e.CSR.ColIdx), nc)
-		} else {
-			i -= n
-		}
-		return spanOf(i/32, len(e.CSR.Values), nc)
-	case DPR:
-		vpw := e.Packed.Format.ValuesPerWord()
-		elem := (i / 32) * vpw
-		n := e.Packed.N
-		return clamp(min(elem, n-1) / ce)
-	}
-	return 0
+	impl, _ := techImpl(e.Tech) // PayloadBits > 0 implies a registered technique
+	return impl.chunkOfBit(e, i, ce, nc)
 }
 
 // spanOf inverts the proportional span partition spanBounds: the chunk c
@@ -772,129 +671,9 @@ func spanBounds(c, length, nc int) (lo, hi int) {
 // chunk layout — wrong backing-array lengths for the element count — and
 // the caller must fall back to the serial whole-payload checksum.
 func (cdc Codec) chunkChecksums(e *EncodedStash) (full uint32, chunks []uint32, ok bool) {
-	ce := normalizeChunkElems(e.ChunkElems)
-	hcrc := e.headerCRC()
-	switch e.Tech {
-	case Binarize:
-		if e.Mask == nil {
-			return 0, nil, false
-		}
-		n := e.Mask.Len()
-		words := e.Mask.Words()
-		if len(words) != (n+63)/64 {
-			return 0, nil, false
-		}
-		if n == 0 {
-			return hcrc, nil, true
-		}
-		nc := (n + ce - 1) / ce
-		crcs := make([]uint32, nc)
-		lens := make([]int64, nc)
-		cdc.pool().ForEach(nc, func(c int) {
-			w0 := c * ce / 64
-			w1 := (min((c+1)*ce, n) + 63) / 64
-			crcs[c] = crcUint64s(words[w0:w1])
-			lens[c] = int64(w1-w0) * 8
-		})
-		full = hcrc
-		for c := range crcs {
-			full = crc32Combine(full, crcs[c], lens[c])
-		}
-		return full, crcs, true
-
-	case SSDC:
-		csr := e.CSR
-		if csr == nil {
-			return 0, nil, false
-		}
-		cols, n := csr.Cols, csr.N
-		if cols <= 0 || ce%cols != 0 || n <= 0 {
-			return 0, nil, false
-		}
-		rows := (n + cols - 1) / cols
-		if csr.Rows != rows || len(csr.RowPtr) != rows+1 || len(csr.ColIdx) != len(csr.Values) {
-			return 0, nil, false
-		}
-		nc := (n + ce - 1) / ce
-		rowsPer := ce / cols
-		// Three piece arrays per chunk: its RowPtr slice (by row range,
-		// chunk 0 owning the constant leading zero), and proportional
-		// index spans of ColIdx and Values.
-		rp := make([]uint32, nc)
-		rpLen := make([]int64, nc)
-		ci := make([]uint32, nc)
-		ciLen := make([]int64, nc)
-		va := make([]uint32, nc)
-		vaLen := make([]int64, nc)
-		cdc.pool().ForEach(3*nc, func(t int) {
-			c := t % nc
-			switch t / nc {
-			case 0:
-				r0 := c * rowsPer
-				r1 := min(r0+rowsPer, rows)
-				lo := r0 + 1
-				if c == 0 {
-					lo = 0
-				}
-				rp[c] = crcInt32s(csr.RowPtr[lo : r1+1])
-				rpLen[c] = int64(r1+1-lo) * 4
-			case 1:
-				lo, hi := spanBounds(c, len(csr.ColIdx), nc)
-				ci[c] = crc32.Update(0, crcTable, csr.ColIdx[lo:hi])
-				ciLen[c] = int64(hi - lo)
-			case 2:
-				lo, hi := spanBounds(c, len(csr.Values), nc)
-				va[c] = crcFloat32s(csr.Values[lo:hi])
-				vaLen[c] = int64(hi-lo) * 4
-			}
-		})
-		full = hcrc
-		for c := 0; c < nc; c++ {
-			full = crc32Combine(full, rp[c], rpLen[c])
-		}
-		for c := 0; c < nc; c++ {
-			full = crc32Combine(full, ci[c], ciLen[c])
-		}
-		for c := 0; c < nc; c++ {
-			full = crc32Combine(full, va[c], vaLen[c])
-		}
-		chunks = make([]uint32, nc)
-		for c := 0; c < nc; c++ {
-			crc := crc32Combine(rp[c], ci[c], ciLen[c])
-			chunks[c] = crc32Combine(crc, va[c], vaLen[c])
-		}
-		return full, chunks, true
-
-	case DPR:
-		p := e.Packed
-		if p == nil {
-			return 0, nil, false
-		}
-		vpw, okFmt := packedValuesPerWord(p.Format)
-		if !okFmt {
-			return 0, nil, false
-		}
-		n := p.N
-		if len(p.Words) != (n+vpw-1)/vpw {
-			return 0, nil, false
-		}
-		if n == 0 {
-			return hcrc, nil, true
-		}
-		nc := (n + ce - 1) / ce
-		crcs := make([]uint32, nc)
-		lens := make([]int64, nc)
-		cdc.pool().ForEach(nc, func(c int) {
-			w0 := c * ce / vpw
-			w1 := (min((c+1)*ce, n) + vpw - 1) / vpw
-			crcs[c] = crcUint32s(p.Words[w0:w1])
-			lens[c] = int64(w1-w0) * 4
-		})
-		full = hcrc
-		for c := range crcs {
-			full = crc32Combine(full, crcs[c], lens[c])
-		}
-		return full, crcs, true
+	impl, okT := techImpl(e.Tech)
+	if !okT {
+		return 0, nil, false
 	}
-	return 0, nil, false
+	return impl.chunkChecksums(cdc, e, normalizeChunkElems(e.ChunkElems), e.headerCRC())
 }

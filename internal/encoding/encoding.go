@@ -22,7 +22,9 @@ package encoding
 import (
 	"fmt"
 	"math"
+	"sort"
 
+	"gist/internal/entropy"
 	"gist/internal/floatenc"
 	"gist/internal/graph"
 	"gist/internal/layers"
@@ -32,25 +34,28 @@ import (
 // Technique identifies which Gist encoding a stashed feature map uses.
 type Technique int
 
-// Techniques, in priority order.
+// Techniques, in priority order. Binarize/SSDC/DPR are the paper's three
+// encodings; ZVC (zero-value compression: nonzero bitmask + compacted
+// values) and Entropy (zero-run-length + Huffman over the packed bytes)
+// are the lossless tier layered on top, selectable per layer by the
+// adaptive planner.
 const (
 	None Technique = iota
 	Binarize
 	SSDC
 	DPR
+	ZVC
+	Entropy
 )
 
-// String returns the paper's name for the technique.
+// String returns the paper's name for the technique, resolved through the
+// technique registry.
 func (t Technique) String() string {
-	switch t {
-	case None:
+	if t == None {
 		return "None"
-	case Binarize:
-		return "Binarize"
-	case SSDC:
-		return "SSDC"
-	case DPR:
-		return "DPR"
+	}
+	if impl, ok := techImpl(t); ok {
+		return impl.name()
 	}
 	return fmt.Sprintf("Technique(%d)", int(t))
 }
@@ -64,6 +69,19 @@ type Config struct {
 	// DPR, when not FP32, applies delayed precision reduction at the given
 	// format to all remaining stashes and to SSDC value arrays.
 	DPR floatenc.Format
+	// ZVC enables zero-value compression (nonzero bitmask + compacted
+	// values) for sparse stashes SSDC did not claim.
+	ZVC bool
+	// Entropy enables the generic ZRL+Huffman stage over packed stash
+	// bytes — the expensive, highest-ratio lossless tier.
+	Entropy bool
+	// AdaptiveSet, when non-empty, replaces the fixed SSDC/ZVC/Entropy
+	// priority passes with per-layer minimum-predicted-bytes selection
+	// among the listed techniques; the runner-up techniques become the
+	// assignment's runtime fallback chain. Binarize still runs first (it
+	// rewrites backward needs, which runtime selection cannot), and DPR in
+	// the set means "dense packed" as a selectable terminal.
+	AdaptiveSet []Technique
 	// Inplace enables ReLU inplace computation (an optimization for
 	// immediately consumed data, not an encoding, but applied by the same
 	// Schedule Builder pass).
@@ -76,6 +94,46 @@ type Config struct {
 	// time. Nil uses DefaultSparsity.
 	Sparsity func(n *graph.Node) float64
 }
+
+// WithTechnique returns a copy of the configuration narrowed to one
+// technique: every technique selection is cleared, then only the named
+// technique's pass is re-enabled. DPR keeps the configured format but
+// defaults to FP16 when the base left precision reduction off (a DPR
+// selection that reduced nothing would be a no-op); None turns every
+// encoding off. The consolidated -technique flags resolve through this.
+func (c Config) WithTechnique(t Technique) Config {
+	c.Binarize, c.SSDC, c.ZVC, c.Entropy, c.AdaptiveSet = false, false, false, false, nil
+	switch t {
+	case Binarize:
+		c.Binarize = true
+	case SSDC:
+		c.SSDC = true
+	case ZVC:
+		c.ZVC = true
+	case Entropy:
+		c.Entropy = true
+	case DPR:
+		if c.DPR == floatenc.FP32 {
+			c.DPR = floatenc.FP16
+		}
+	case None:
+		c.DPR = floatenc.FP32
+		c.Inplace = false
+	}
+	return c
+}
+
+// Enabled reports whether the configuration selects any encoding, rewrite
+// or adaptive set at all (the zero Config is the no-encoding baseline).
+func (c Config) Enabled() bool {
+	return c.Binarize || c.SSDC || c.ZVC || c.Entropy || c.Inplace ||
+		c.DPR != floatenc.FP32 || len(c.AdaptiveSet) > 0
+}
+
+// AdaptiveAll is the full lossless-tier adaptive set the consolidated
+// -technique flags name "adaptive": per-layer minimum-predicted-bytes
+// selection among SSDC, ZVC, Entropy and dense DPR.
+func AdaptiveAll() []Technique { return []Technique{SSDC, ZVC, Entropy, DPR} }
 
 // Lossless is the paper's "lossless" configuration: Binarize + SSDC +
 // inplace.
@@ -127,9 +185,16 @@ type Assignment struct {
 	// between the two uses.
 	EncodedBytes int64
 	// NeedsDecode reports whether a transient FP32 staging buffer is
-	// materialized before the backward use (true for SSDC and DPR; false
-	// for Binarize, whose backward kernels consume the mask directly).
+	// materialized before the backward use (true for SSDC, ZVC, Entropy
+	// and DPR; false for Binarize, whose backward kernels consume the mask
+	// directly).
 	NeedsDecode bool
+	// Fallbacks is the runtime degradation chain for adaptive encoding:
+	// when the primary technique's cost guard fires (runtime sparsity
+	// defeated the plan), these techniques are tried in order before the
+	// dense DPR terminal. Populated by adaptive-set planning; empty
+	// otherwise.
+	Fallbacks []Technique
 }
 
 // Analysis is the output of the Gist static analysis over one graph.
@@ -177,6 +242,50 @@ func convLike(cfg Config, k layers.Kind) bool {
 		return true
 	}
 	return cfg.FCIsConvLike && k == layers.FC
+}
+
+// sparseStash reports whether node n's output carries a ReLU-induced zero
+// pattern (a ReLU, or a MaxPool fed directly by one) — the precondition
+// for the sparsity-exploiting encodings.
+func sparseStash(n *graph.Node) bool {
+	if n.Kind() == layers.ReLU {
+		return true
+	}
+	return n.Kind() == layers.MaxPool && len(n.Inputs) == 1 && n.Inputs[0].Kind() == layers.ReLU
+}
+
+// adaptiveEligible reports whether the technique can serve node n's stash
+// at planning time; the runtime cost guards still apply at encode.
+func adaptiveEligible(cfg Config, n *graph.Node, tech Technique, s float64) bool {
+	switch tech {
+	case SSDC:
+		if !sparseStash(n) || s < sparse.BreakEvenSparsity(1) {
+			return false
+		}
+		for _, c := range n.Consumers() {
+			if convLike(cfg, c.Kind()) && c.Op.Needs().X {
+				return true
+			}
+		}
+		return false
+	case ZVC:
+		return sparseStash(n)
+	case Entropy:
+		return true
+	case DPR:
+		return cfg.DPR != floatenc.FP32
+	default:
+		// Binarize rewrites backward needs in its own pass; None and
+		// unknown techniques are never adaptive candidates.
+		return false
+	}
+}
+
+// runtimeFallback reports whether the technique's encoder carries a cost
+// guard and so can be retried at runtime (dense DPR always succeeds;
+// Binarize needs the analysis rewrite and cannot be chosen after the fact).
+func runtimeFallback(t Technique) bool {
+	return t == SSDC || t == ZVC || t == Entropy
 }
 
 // Analyze runs the Gist pattern analysis over the graph and assigns an
@@ -238,6 +347,59 @@ func Analyze(g *graph.Graph, cfg Config) *Analysis {
 		}
 	}
 
+	// Pass 3a — adaptive selection: when an adaptive set is configured it
+	// replaces the fixed SSDC/ZVC/Entropy priority passes below. Each
+	// stashed node gets the minimum-predicted-bytes eligible technique;
+	// the beaten runtime-retryable candidates become the fallback chain,
+	// ordered by predicted size, so the encoder degrades along the
+	// planner's own ranking when the runtime zero pattern disappoints.
+	if len(cfg.AdaptiveSet) > 0 {
+		for _, n := range g.Nodes {
+			if _, done := a.ByNode[n.ID]; done {
+				continue
+			}
+			if !a.OutputStashed(n) {
+				continue
+			}
+			s := cfg.Sparsity(n)
+			elems := n.OutShape.NumElements()
+			type candidate struct {
+				tech  Technique
+				bytes int64
+			}
+			var cands []candidate
+			for _, tech := range cfg.AdaptiveSet {
+				if !adaptiveEligible(cfg, n, tech, s) {
+					continue
+				}
+				b := PlanBytes(tech, elems, s, cfg.DPR)
+				if b >= n.OutShape.Bytes() {
+					continue // would not beat the raw FP32 stash
+				}
+				cands = append(cands, candidate{tech, b})
+			}
+			if len(cands) == 0 {
+				continue // pass 4 may still DPR it
+			}
+			sort.SliceStable(cands, func(i, j int) bool { return cands[i].bytes < cands[j].bytes })
+			var fbs []Technique
+			for _, c := range cands[1:] {
+				if runtimeFallback(c.tech) {
+					fbs = append(fbs, c.tech)
+				}
+			}
+			a.ByNode[n.ID] = &Assignment{
+				Node:         n,
+				Tech:         cands[0].tech,
+				Format:       cfg.DPR,
+				Sparsity:     s,
+				EncodedBytes: cands[0].bytes,
+				NeedsDecode:  true,
+				Fallbacks:    fbs,
+			}
+		}
+	}
+
 	// Pass 3 — SSDC: ReLU or (ReLU-fed) MaxPool outputs whose backward
 	// readers include a convolution and whose predicted sparsity clears
 	// the narrow-CSR break-even point.
@@ -278,6 +440,63 @@ func Analyze(g *graph.Graph, cfg Config) *Analysis {
 			a.ByNode[n.ID] = &Assignment{
 				Node:         n,
 				Tech:         SSDC,
+				Format:       cfg.DPR,
+				Sparsity:     s,
+				EncodedBytes: enc,
+				NeedsDecode:  true,
+			}
+		}
+	}
+
+	// Pass 3b — ZVC: sparse stashes SSDC did not claim (any backward
+	// reader qualifies — ZVC decodes to dense for whoever reads it) whose
+	// predicted footprint beats the dense alternative at the same format.
+	if cfg.ZVC {
+		for _, n := range g.Nodes {
+			if _, done := a.ByNode[n.ID]; done {
+				continue
+			}
+			if !sparseStash(n) || !a.OutputStashed(n) {
+				continue
+			}
+			s := cfg.Sparsity(n)
+			elems := n.OutShape.NumElements()
+			enc := zvcBytes(elems, s, cfg.DPR)
+			if enc >= cfg.DPR.PackedBytes(elems) {
+				continue // the dense (possibly DPR-packed) stash is smaller
+			}
+			a.ByNode[n.ID] = &Assignment{
+				Node:         n,
+				Tech:         ZVC,
+				Format:       cfg.DPR,
+				Sparsity:     s,
+				EncodedBytes: enc,
+				NeedsDecode:  true,
+			}
+		}
+	}
+
+	// Pass 3c — Entropy: any remaining stash whose predicted ZRL+Huffman
+	// stream beats the dense alternative. Nothing structural rules the
+	// generic stage out; the cost model's heavy compute charge is what
+	// keeps it from being picked when speed matters.
+	if cfg.Entropy {
+		for _, n := range g.Nodes {
+			if _, done := a.ByNode[n.ID]; done {
+				continue
+			}
+			if !a.OutputStashed(n) {
+				continue
+			}
+			s := cfg.Sparsity(n)
+			elems := n.OutShape.NumElements()
+			enc := entropyBytes(elems, s, cfg.DPR)
+			if enc >= cfg.DPR.PackedBytes(elems) {
+				continue
+			}
+			a.ByNode[n.ID] = &Assignment{
+				Node:         n,
+				Tech:         Entropy,
 				Format:       cfg.DPR,
 				Sparsity:     s,
 				EncodedBytes: enc,
@@ -329,6 +548,29 @@ func ssdcBytes(n int, sparsity float64, f floatenc.Format) int64 {
 	nnz := int64(float64(n)*(1-sparsity) + 0.5)
 	valueSavings := nnz*4 - f.PackedBytes(int(nnz))
 	return base - valueSavings
+}
+
+// zvcBytes models the ZVC footprint of an n-element stash at the given
+// sparsity: the 1-bit nonzero mask plus the surviving values, credited at
+// the packed DPR width when a format is layered on.
+func zvcBytes(n int, sparsity float64, f floatenc.Format) int64 {
+	nnz := int(float64(n)*(1-sparsity) + 0.5)
+	return binarizeMaskBytes(n) + f.PackedBytes(nnz)
+}
+
+// entropyBytes models the ZRL+Huffman stream over the packed bytes of an
+// n-element stash. Zero elements become zero bytes (≈2 bytes per 255-byte
+// run); nonzero bytes stay literals with a mild Huffman gain (7/8); each
+// chunk pays the fixed code-table overhead plus its block-length slot.
+func entropyBytes(n int, sparsity float64, f floatenc.Format) int64 {
+	if n == 0 {
+		return 0
+	}
+	packed := float64(f.PackedBytes(n))
+	zeros := packed * sparsity
+	lits := packed - zeros
+	nc := int64((n + DefaultChunkElems - 1) / DefaultChunkElems)
+	return int64(lits*7/8+zeros/255*2+0.5) + nc*int64(entropy.TableBytes+4)
 }
 
 // CompressionRatio returns FP32 bytes over encoded bytes for the

@@ -3,11 +3,7 @@ package encoding
 import (
 	"encoding/binary"
 	"fmt"
-	"math"
 
-	"gist/internal/bitpack"
-	"gist/internal/floatenc"
-	"gist/internal/sparse"
 	"gist/internal/tensor"
 )
 
@@ -16,9 +12,19 @@ import (
 // throughout and self-describing enough that UnmarshalStash can rebuild the
 // exact in-memory structures (including the seal) or reject the bytes with
 // a typed error; it never panics, whatever the input.
+//
+// Two container versions exist. "GSTS" (v1) is the original format whose
+// byte layout is frozen — every v1 blob ever written (Binarize, SSDC, DPR)
+// still parses byte-identically. "GST2" (v2) has the identical header and
+// seal layout but admits the payload techniques added after the freeze
+// (ZVC, Entropy); a v2-only technique inside a v1 container is rejected as
+// corrupt rather than misparsed.
 
-// stashMagic leads every serialized stash.
-var stashMagic = [4]byte{'G', 'S', 'T', 'S'}
+// stashMagic leads every v1 serialized stash; stashMagicV2 the v2 ones.
+var (
+	stashMagic   = [4]byte{'G', 'S', 'T', 'S'}
+	stashMagicV2 = [4]byte{'G', 'S', 'T', '2'}
+)
 
 const (
 	// maxStashDims bounds the serialized shape rank.
@@ -29,13 +35,22 @@ const (
 	maxStashElems = 1 << 24
 )
 
-// MarshalBinary serializes the stash: magic, technique, seal state, chunk
-// layout, shape, technique-specific payload, and (when sealed) the checksum
-// plus per-chunk CRCs.
+// MarshalBinary serializes the stash: magic (picked by the technique's
+// wire version), technique, seal state, chunk layout, shape,
+// technique-specific payload, and (when sealed) the checksum plus
+// per-chunk CRCs.
 func (e *EncodedStash) MarshalBinary() ([]byte, error) {
+	impl, ok := techImpl(e.Tech)
+	if !ok {
+		return nil, fmt.Errorf("%w (technique %v)", ErrNoTechnique, e.Tech)
+	}
 	var out []byte
 	u32 := func(v uint32) { out = binary.LittleEndian.AppendUint32(out, v) }
-	out = append(out, stashMagic[:]...)
+	magic := stashMagic
+	if impl.wireVersion() >= 2 {
+		magic = stashMagicV2
+	}
+	out = append(out, magic[:]...)
 	u32(uint32(e.Tech))
 	sealed := uint32(0)
 	if e.sealed {
@@ -47,40 +62,9 @@ func (e *EncodedStash) MarshalBinary() ([]byte, error) {
 	for _, d := range e.Shape {
 		u32(uint32(d))
 	}
-	switch e.Tech {
-	case Binarize:
-		if e.Mask == nil {
-			return nil, fmt.Errorf("encoding: marshal: Binarize stash without mask")
-		}
-		u32(uint32(e.Mask.Len()))
-		for _, w := range e.Mask.Words() {
-			out = binary.LittleEndian.AppendUint64(out, w)
-		}
-	case SSDC:
-		if e.CSR == nil {
-			return nil, fmt.Errorf("encoding: marshal: SSDC stash without CSR")
-		}
-		u32(uint32(e.CSR.N))
-		u32(uint32(e.CSR.Cols))
-		u32(uint32(len(e.CSR.Values)))
-		for _, p := range e.CSR.RowPtr {
-			u32(uint32(p))
-		}
-		out = append(out, e.CSR.ColIdx...)
-		for _, v := range e.CSR.Values {
-			u32(math.Float32bits(v))
-		}
-	case DPR:
-		if e.Packed == nil {
-			return nil, fmt.Errorf("encoding: marshal: DPR stash without payload")
-		}
-		u32(uint32(e.Packed.Format))
-		u32(uint32(e.Packed.N))
-		for _, w := range e.Packed.Words {
-			u32(w)
-		}
-	default:
-		return nil, fmt.Errorf("%w (technique %v)", ErrNoTechnique, e.Tech)
+	out, err := impl.marshalPayload(e, out)
+	if err != nil {
+		return nil, err
 	}
 	if e.sealed {
 		u32(e.Checksum)
@@ -160,8 +144,16 @@ func (r *stashReader) count(what string, cap, elemBytes int) int {
 // their own typed errors (bad checksum, shape mismatch, invalid CSR).
 func UnmarshalStash(data []byte) (*EncodedStash, error) {
 	r := &stashReader{data: data}
-	if m := r.bytes(4); r.err == nil && [4]byte(m) != stashMagic {
-		r.fail("bad magic %q", m)
+	version := 0
+	if m := r.bytes(4); r.err == nil {
+		switch [4]byte(m) {
+		case stashMagic:
+			version = 1
+		case stashMagicV2:
+			version = 2
+		default:
+			r.fail("bad magic %q", m)
+		}
 	}
 	tech := Technique(r.u32())
 	sealed := r.u32()
@@ -185,65 +177,15 @@ func UnmarshalStash(data []byte) (*EncodedStash, error) {
 		shape = append(shape, d)
 	}
 	e := &EncodedStash{Tech: tech, Shape: shape, ChunkElems: chunkElems}
-	switch tech {
-	case Binarize:
-		n := r.count("mask bit", maxStashElems, 0)
-		words := make([]uint64, 0, (n+63)/64)
-		for i := 0; i < (n+63)/64; i++ {
-			words = append(words, r.u64())
+	if impl, okT := techImpl(tech); okT {
+		if r.err == nil && impl.wireVersion() > version {
+			// A v2-only technique tag inside a v1 container: the bytes
+			// cannot be a stash any v1 writer produced.
+			r.fail("technique %v not valid in a v%d stash", tech, version)
 		}
-		if r.err == nil {
-			e.Mask = bitpack.MaskFromWords(n, words)
-		}
-	case SSDC:
-		n := r.count("element", maxStashElems, 0)
-		cols := int(r.u32())
-		if r.err == nil && (cols <= 0 || cols > 256) {
-			r.fail("CSR cols %d outside (0,256]", cols)
-		}
-		nnz := r.count("non-zero", maxStashElems, 5)
-		rows := 0
-		if r.err == nil {
-			rows = (n + cols - 1) / cols
-			if (rows+1)*4 > len(r.data)-r.off {
-				r.fail("row pointers for %d rows exceed remaining bytes", rows)
-			}
-		}
-		csr := &sparse.CSR{Rows: rows, Cols: cols, N: n}
-		for i := 0; i < rows+1 && r.err == nil; i++ {
-			csr.RowPtr = append(csr.RowPtr, int32(r.u32()))
-		}
-		csr.ColIdx = append([]uint8(nil), r.bytes(nnz)...)
-		for i := 0; i < nnz && r.err == nil; i++ {
-			csr.Values = append(csr.Values, math.Float32frombits(r.u32()))
-		}
-		if r.err == nil {
-			e.CSR = csr
-		}
-	case DPR:
-		f := floatenc.Format(r.u32())
-		vpw, okFmt := packedValuesPerWord(f)
-		if r.err == nil && !okFmt {
-			r.fail("unknown packed format %d", int(f))
-		}
-		n := r.count("packed value", maxStashElems, 0)
-		p := &floatenc.Packed{Format: f, N: n}
-		if r.err == nil {
-			if nw := (n + vpw - 1) / vpw; nw*4 > len(r.data)-r.off {
-				r.fail("%d packed words exceed remaining bytes", nw)
-			} else {
-				for i := 0; i < nw; i++ {
-					p.Words = append(p.Words, r.u32())
-				}
-			}
-		}
-		if r.err == nil {
-			e.Packed = p
-		}
-	default:
-		if r.err == nil {
-			return nil, fmt.Errorf("%w (technique %v)", ErrNoTechnique, tech)
-		}
+		impl.unmarshalPayload(e, r)
+	} else if r.err == nil {
+		return nil, fmt.Errorf("%w (technique %v)", ErrNoTechnique, tech)
 	}
 	if sealed != 0 && r.err == nil {
 		e.Checksum = r.u32()

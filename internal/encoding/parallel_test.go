@@ -31,7 +31,8 @@ func randStash(rng *tensor.RNG, n int, sparsity float64) []float32 {
 }
 
 // propAssignments are the technique/format combinations the property tests
-// sweep: every codec, including DPR layered on SSDC.
+// sweep: every codec, including DPR layered on SSDC/ZVC and the entropy
+// stage over both raw and DPR-packed words.
 func propAssignments() []*Assignment {
 	return []*Assignment{
 		{Tech: Binarize, Format: floatenc.FP32},
@@ -40,6 +41,10 @@ func propAssignments() []*Assignment {
 		{Tech: DPR, Format: floatenc.FP16},
 		{Tech: DPR, Format: floatenc.FP10},
 		{Tech: DPR, Format: floatenc.FP8},
+		{Tech: ZVC, Format: floatenc.FP32},
+		{Tech: ZVC, Format: floatenc.FP16},
+		{Tech: Entropy, Format: floatenc.FP32},
+		{Tech: Entropy, Format: floatenc.FP16},
 	}
 }
 
@@ -116,6 +121,44 @@ func assertStashesIdentical(t *testing.T, want, got *EncodedStash, label string)
 				t.Fatalf("%s: packed word %d = %#x, want %#x", label, i, got.Packed.Words[i], w)
 			}
 		}
+	case ZVC:
+		if want.ZVC.Mask.Len() != got.ZVC.Mask.Len() {
+			t.Fatalf("%s: zvc mask %d bits, want %d", label, got.ZVC.Mask.Len(), want.ZVC.Mask.Len())
+		}
+		for i, w := range want.ZVC.Mask.Words() {
+			if got.ZVC.Mask.Words()[i] != w {
+				t.Fatalf("%s: zvc mask word %d = %#x, want %#x", label, i, got.ZVC.Mask.Words()[i], w)
+			}
+		}
+		if len(want.ZVC.Values) != len(got.ZVC.Values) {
+			t.Fatalf("%s: %d zvc values, want %d", label, len(got.ZVC.Values), len(want.ZVC.Values))
+		}
+		for i := range want.ZVC.Values {
+			if math.Float32bits(got.ZVC.Values[i]) != math.Float32bits(want.ZVC.Values[i]) {
+				t.Fatalf("%s: zvc value %d = %v, want %v", label, i, got.ZVC.Values[i], want.ZVC.Values[i])
+			}
+		}
+	case Entropy:
+		if want.Ent.Format != got.Ent.Format || want.Ent.N != got.Ent.N {
+			t.Fatalf("%s: entropy %s/%d, want %s/%d", label,
+				got.Ent.Format, got.Ent.N, want.Ent.Format, want.Ent.N)
+		}
+		if len(want.Ent.Lens) != len(got.Ent.Lens) {
+			t.Fatalf("%s: %d entropy blocks, want %d", label, len(got.Ent.Lens), len(want.Ent.Lens))
+		}
+		for i, l := range want.Ent.Lens {
+			if got.Ent.Lens[i] != l {
+				t.Fatalf("%s: entropy block %d len %d, want %d", label, i, got.Ent.Lens[i], l)
+			}
+		}
+		if len(want.Ent.Stream) != len(got.Ent.Stream) {
+			t.Fatalf("%s: entropy stream %d bytes, want %d", label, len(got.Ent.Stream), len(want.Ent.Stream))
+		}
+		for i, b := range want.Ent.Stream {
+			if got.Ent.Stream[i] != b {
+				t.Fatalf("%s: entropy stream byte %d = %#x, want %#x", label, i, got.Ent.Stream[i], b)
+			}
+		}
 	}
 	if want.ChunkElems != got.ChunkElems {
 		t.Fatalf("%s: chunk size %d, want %d", label, got.ChunkElems, want.ChunkElems)
@@ -189,10 +232,11 @@ func TestParallelEncodeMatchesSerialByteForByte(t *testing.T) {
 }
 
 // checkRoundTrip pins decode semantics against the original input: Binarize
-// reconstructs the positivity indicator, SSDC is exact (bit-exact at FP32,
-// value-quantized when DPR is layered on), and DPR equals Format.Quantize
-// elementwise — Quantize is Decode∘Encode, so this is an equality, with the
-// format's MaxRelativeError bound double-checked on top.
+// reconstructs the positivity indicator; SSDC, ZVC and Entropy are exact
+// (bit-exact at FP32, value-quantized when DPR is layered on); and DPR
+// equals Format.Quantize elementwise — Quantize is Decode∘Encode, so this
+// is an equality, with the format's MaxRelativeError bound double-checked
+// on top.
 func checkRoundTrip(t *testing.T, as *Assignment, enc *EncodedStash, in, got []float32, label string) {
 	t.Helper()
 	if len(got) != len(in) {

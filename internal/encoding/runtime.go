@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"hash/crc32"
 	"math"
 
@@ -36,6 +37,13 @@ var (
 	// by the SSDC encoder; static because the adaptive path takes it on
 	// every step a low-sparsity stash stays dense.
 	errCSRLargerThanDense = fmt.Errorf("%w: runtime CSR form not below the dense DPR cost", ErrStashTooLarge)
+	// errZVCLargerThanDense is its ZVC counterpart: the runtime zero
+	// pattern left too many nonzeros for the bitmask+values form to beat
+	// the dense packing.
+	errZVCLargerThanDense = fmt.Errorf("%w: runtime ZVC form not below the dense DPR cost", ErrStashTooLarge)
+	// errEntropyLargerThanDense likewise: the entropy stream (tables
+	// included) came out at least as large as the packed bytes it coded.
+	errEntropyLargerThanDense = fmt.Errorf("%w: entropy stream not below the dense DPR cost", ErrStashTooLarge)
 )
 
 // EncodedStash is a materialized encoded representation of a stashed
@@ -49,6 +57,8 @@ type EncodedStash struct {
 	Mask   *bitpack.BitMask // Binarize
 	CSR    *sparse.CSR      // SSDC (values possibly DPR-quantized)
 	Packed *floatenc.Packed // DPR (also the dense-fallback container)
+	ZVC    *ZVCPayload      // ZVC (values possibly DPR-quantized)
+	Ent    *EntropyPayload  // Entropy (ZRL+Huffman over packed bytes)
 
 	// Checksum is the CRC32-C of the payload, valid only after Seal. For
 	// stashes sealed with chunk CRCs it is their crc32Combine roll-up —
@@ -125,39 +135,38 @@ func (e *EncodedStash) Verify() error {
 // modern CPUs, the conventional choice for storage integrity).
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
+// crcWriter streams payload words into a CRC exactly as the wire layout
+// orders them (little-endian), the adapter techniques hash through in
+// checksumPayload.
+type crcWriter struct {
+	h   hash.Hash32
+	buf [8]byte
+}
+
+func (w *crcWriter) u32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.h.Write(w.buf[:4])
+}
+
+func (w *crcWriter) u64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], v)
+	w.h.Write(w.buf[:8])
+}
+
+func (w *crcWriter) raw(b []byte) { w.h.Write(b) }
+
 // checksum hashes the technique, shape and payload arrays.
 func (e *EncodedStash) checksum() uint32 {
-	h := crc32.New(crcTable)
-	var buf [8]byte
-	put32 := func(v uint32) {
-		binary.LittleEndian.PutUint32(buf[:4], v)
-		h.Write(buf[:4])
-	}
-	put32(uint32(e.Tech))
-	put32(uint32(len(e.Shape)))
+	w := &crcWriter{h: crc32.New(crcTable)}
+	w.u32(uint32(e.Tech))
+	w.u32(uint32(len(e.Shape)))
 	for _, d := range e.Shape {
-		put32(uint32(d))
+		w.u32(uint32(d))
 	}
-	switch e.Tech {
-	case Binarize:
-		for _, w := range e.Mask.Words() {
-			binary.LittleEndian.PutUint64(buf[:8], w)
-			h.Write(buf[:8])
-		}
-	case SSDC:
-		for _, p := range e.CSR.RowPtr {
-			put32(uint32(p))
-		}
-		h.Write(e.CSR.ColIdx)
-		for _, v := range e.CSR.Values {
-			put32(math.Float32bits(v))
-		}
-	case DPR:
-		for _, w := range e.Packed.Words {
-			put32(w)
-		}
+	if impl, ok := techImpl(e.Tech); ok {
+		impl.checksumPayload(e, w)
 	}
-	return h.Sum32()
+	return w.h.Sum32()
 }
 
 // headerCRC hashes the header prefix of checksum() — technique, shape rank,
@@ -221,17 +230,16 @@ func crcFloat32s(vs []float32) uint32 {
 	return crc
 }
 
+func crcBytes(bs []byte) uint32 {
+	return crc32.Update(0, crcTable, bs)
+}
+
 // PayloadBits returns the number of addressable payload bits — the fault
 // injector's corruption surface (mask words, CSR meta and value arrays,
-// packed DPR words).
+// packed DPR words, ZVC mask+value arrays, entropy streams).
 func (e *EncodedStash) PayloadBits() int {
-	switch e.Tech {
-	case Binarize:
-		return len(e.Mask.Words()) * 64
-	case SSDC:
-		return len(e.CSR.RowPtr)*32 + len(e.CSR.ColIdx)*8 + len(e.CSR.Values)*32
-	case DPR:
-		return len(e.Packed.Words) * 32
+	if impl, ok := techImpl(e.Tech); ok {
+		return impl.payloadBits(e)
 	}
 	return 0
 }
@@ -242,27 +250,8 @@ func (e *EncodedStash) FlipBit(i int) {
 	if i < 0 || i >= e.PayloadBits() {
 		panic(fmt.Sprintf("encoding: FlipBit index %d out of range [0,%d)", i, e.PayloadBits()))
 	}
-	switch e.Tech {
-	case Binarize:
-		e.Mask.Words()[i/64] ^= 1 << (uint(i) % 64)
-	case SSDC:
-		if n := len(e.CSR.RowPtr) * 32; i < n {
-			e.CSR.RowPtr[i/32] ^= 1 << (uint(i) % 32)
-			return
-		} else {
-			i -= n
-		}
-		if n := len(e.CSR.ColIdx) * 8; i < n {
-			e.CSR.ColIdx[i/8] ^= 1 << (uint(i) % 8)
-			return
-		} else {
-			i -= n
-		}
-		bits := math.Float32bits(e.CSR.Values[i/32]) ^ 1<<(uint(i)%32)
-		e.CSR.Values[i/32] = math.Float32frombits(bits)
-	case DPR:
-		e.Packed.Words[i/32] ^= 1 << (uint(i) % 32)
-	}
+	impl, _ := techImpl(e.Tech) // PayloadBits > 0 implies a registered technique
+	impl.flipBit(e, i)
 }
 
 // Decode materializes the FP32 staging tensor for the backward use. For
@@ -284,13 +273,8 @@ func (e *EncodedStash) Decode() (*tensor.Tensor, error) {
 
 // Bytes returns the encoded representation's storage footprint.
 func (e *EncodedStash) Bytes() int64 {
-	switch e.Tech {
-	case Binarize:
-		return e.Mask.Bytes()
-	case SSDC:
-		return e.CSR.Bytes()
-	case DPR:
-		return e.Packed.Bytes()
+	if impl, ok := techImpl(e.Tech); ok {
+		return impl.bytes(e)
 	}
 	return 0
 }

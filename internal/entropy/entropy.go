@@ -1,0 +1,409 @@
+// Package entropy implements the byte-oriented lossless stage behind the
+// Entropy stash technique: a zero-run-length transform (DNN activation
+// payloads are dominated by zero bytes) followed by a canonical Huffman
+// code over the resulting 257-symbol alphabet. Blocks are self-contained —
+// each carries its own code-length table — so the chunked codec can
+// compress and decompress chunks independently and in parallel, and a
+// block's bytes depend only on its input, never on worker count.
+//
+// The coder is deterministic end to end: histogram ties break by symbol
+// index, code lengths are limited to maxCodeLen by count scaling, and the
+// canonical assignment orders by (length, symbol). Decode is fully
+// bounds-checked and returns typed errors on malformed input; it never
+// panics, whatever the bytes.
+package entropy
+
+import (
+	"errors"
+	"fmt"
+)
+
+const (
+	// numSymbols is the ZRL alphabet: byte literals 0-255 plus the
+	// zero-run symbol.
+	numSymbols = 257
+	// symZeroRun announces a run of zero bytes; its code is followed by 8
+	// raw bits holding the run length (1-255).
+	symZeroRun = 256
+	// maxRun caps a single zero-run symbol's length at what 8 raw bits
+	// express; longer runs split.
+	maxRun = 255
+	// maxCodeLen bounds Huffman code lengths so the decoder's canonical
+	// tables stay small and a hostile table cannot demand absurd codes.
+	maxCodeLen = 15
+	// tableBytes is the nibble-packed code-length table leading every
+	// block: 257 4-bit lengths.
+	tableBytes = (numSymbols + 1) / 2
+
+	// TableBytes is the fixed per-block table overhead, exported for
+	// planning-time size models.
+	TableBytes = tableBytes
+)
+
+// ErrCorrupt reports a malformed or truncated entropy block.
+var ErrCorrupt = errors.New("entropy: corrupt block")
+
+// MaxEncodedLen bounds Encode's output for n input bytes: the table, plus
+// in the worst case every byte as a literal at the maximum code length.
+func MaxEncodedLen(n int) int {
+	return tableBytes + (n*maxCodeLen+7)/8 + 8
+}
+
+// Encode appends the compressed block for src to dst and returns the
+// extended slice. The block is self-contained; Decode needs only the block
+// bytes and the original length. Encoding an empty src appends nothing.
+func Encode(dst []byte, src []byte) []byte {
+	if len(src) == 0 {
+		return dst
+	}
+	// ZRL symbol stream, materialized as (symbol, runLen) pairs only
+	// implicitly: one pass builds the histogram, a second emits codes.
+	var hist [numSymbols]int64
+	zrl(src, func(sym int, _ byte) {
+		hist[sym]++
+	})
+	lens := buildCodeLens(&hist)
+	codes := canonicalCodes(&lens)
+
+	// Nibble-packed code-length table.
+	base := len(dst)
+	dst = append(dst, make([]byte, tableBytes)...)
+	for s := 0; s < numSymbols; s++ {
+		dst[base+s/2] |= byte(lens[s]) << (uint(s%2) * 4)
+	}
+
+	// MSB-first bitstream.
+	w := bitWriter{dst: dst}
+	zrl(src, func(sym int, run byte) {
+		w.write(uint32(codes[sym]), int(lens[sym]))
+		if sym == symZeroRun {
+			w.write(uint32(run), 8)
+		}
+	})
+	return w.flush()
+}
+
+// Decode decompresses a block produced by Encode into dst, which must have
+// exactly the original input's length. It returns an error wrapping
+// ErrCorrupt when the block is malformed, truncated, or disagrees with
+// len(dst).
+func Decode(dst []byte, src []byte) error {
+	if len(dst) == 0 {
+		if len(src) != 0 {
+			return fmt.Errorf("%w: %d bytes for empty output", ErrCorrupt, len(src))
+		}
+		return nil
+	}
+	if len(src) < tableBytes {
+		return fmt.Errorf("%w: %d bytes, need %d for the code table", ErrCorrupt, len(src), tableBytes)
+	}
+	var lens [numSymbols]uint8
+	for s := 0; s < numSymbols; s++ {
+		lens[s] = src[s/2] >> (uint(s%2) * 4) & 0xf
+	}
+	dec, err := newDecoder(&lens)
+	if err != nil {
+		return err
+	}
+	r := bitReader{src: src[tableBytes:]}
+	out := 0
+	for out < len(dst) {
+		sym, err := dec.read(&r)
+		if err != nil {
+			return err
+		}
+		if sym == symZeroRun {
+			run, err := r.bits(8)
+			if err != nil {
+				return err
+			}
+			if run == 0 || out+int(run) > len(dst) {
+				return fmt.Errorf("%w: zero run of %d at offset %d overflows %d", ErrCorrupt, run, out, len(dst))
+			}
+			for i := 0; i < int(run); i++ {
+				dst[out] = 0
+				out++
+			}
+			continue
+		}
+		dst[out] = byte(sym)
+		out++
+	}
+	return nil
+}
+
+// zrl runs the zero-run-length transform over src, calling emit once per
+// symbol: nonzero bytes as literals, zero runs (split at maxRun) as
+// (symZeroRun, length) pairs.
+func zrl(src []byte, emit func(sym int, run byte)) {
+	for i := 0; i < len(src); {
+		if src[i] != 0 {
+			emit(int(src[i]), 0)
+			i++
+			continue
+		}
+		run := 1
+		for i+run < len(src) && run < maxRun && src[i+run] == 0 {
+			run++
+		}
+		emit(symZeroRun, byte(run))
+		i += run
+	}
+}
+
+// buildCodeLens computes length-limited Huffman code lengths for the
+// histogram. Ties break by symbol index (the package-merge-free route:
+// plain Huffman with a deterministic heap, retried with scaled counts
+// until the longest code fits maxCodeLen — scaling terminates because
+// all-equal counts yield a balanced tree of depth 9 < maxCodeLen).
+func buildCodeLens(hist *[numSymbols]int64) [numSymbols]uint8 {
+	var lens [numSymbols]uint8
+	counts := *hist
+	for {
+		lens = huffmanLens(&counts)
+		maxLen := uint8(0)
+		for _, l := range lens {
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+		if maxLen <= maxCodeLen {
+			return lens
+		}
+		for s := range counts {
+			if counts[s] > 0 {
+				counts[s] = (counts[s] + 1) / 2
+			}
+		}
+	}
+}
+
+// huffNode is one tree node: leaves carry their symbol, internal nodes -1.
+type huffNode struct {
+	weight      int64
+	order       int // creation order: deterministic tie-break after weight
+	sym         int
+	left, right int // child node indices, -1 for leaves
+}
+
+// huffmanLens builds one Huffman tree over the nonzero-count symbols and
+// returns the per-symbol code lengths (0 for absent symbols). A single
+// present symbol gets length 1.
+func huffmanLens(counts *[numSymbols]int64) [numSymbols]uint8 {
+	var lens [numSymbols]uint8
+	nodes := make([]huffNode, 0, 2*numSymbols)
+	heap := make([]int, 0, numSymbols)
+	push := func(n int) {
+		heap = append(heap, n)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !nodeLess(nodes, heap[i], heap[p]) {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	pop := func() int {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for i := 0; ; {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(heap) && nodeLess(nodes, heap[l], heap[small]) {
+				small = l
+			}
+			if r < len(heap) && nodeLess(nodes, heap[r], heap[small]) {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+		return top
+	}
+	for s := 0; s < numSymbols; s++ {
+		if counts[s] > 0 {
+			nodes = append(nodes, huffNode{weight: counts[s], order: len(nodes), sym: s, left: -1, right: -1})
+			push(len(nodes) - 1)
+		}
+	}
+	if len(heap) == 0 {
+		return lens
+	}
+	if len(heap) == 1 {
+		lens[nodes[heap[0]].sym] = 1
+		return lens
+	}
+	for len(heap) > 1 {
+		a, b := pop(), pop()
+		nodes = append(nodes, huffNode{
+			weight: nodes[a].weight + nodes[b].weight,
+			order:  len(nodes), sym: -1, left: a, right: b,
+		})
+		push(len(nodes) - 1)
+	}
+	// Iterative depth walk from the root.
+	type frame struct{ node, depth int }
+	stack := []frame{{heap[0], 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := nodes[f.node]
+		if n.left < 0 {
+			lens[n.sym] = uint8(f.depth)
+			continue
+		}
+		stack = append(stack, frame{n.left, f.depth + 1}, frame{n.right, f.depth + 1})
+	}
+	return lens
+}
+
+// nodeLess orders heap nodes by (weight, creation order) — fully
+// deterministic regardless of map/heap iteration quirks.
+func nodeLess(nodes []huffNode, a, b int) bool {
+	if nodes[a].weight != nodes[b].weight {
+		return nodes[a].weight < nodes[b].weight
+	}
+	return nodes[a].order < nodes[b].order
+}
+
+// canonicalCodes assigns canonical codes from lengths: symbols sorted by
+// (length, symbol index), codes counted up MSB-first per length.
+func canonicalCodes(lens *[numSymbols]uint8) [numSymbols]uint16 {
+	var codes [numSymbols]uint16
+	var count [maxCodeLen + 1]int
+	for _, l := range lens {
+		count[l]++
+	}
+	count[0] = 0
+	code := uint16(0)
+	var next [maxCodeLen + 1]uint16
+	for l := 1; l <= maxCodeLen; l++ {
+		code = (code + uint16(count[l-1])) << 1
+		next[l] = code
+	}
+	for s := 0; s < numSymbols; s++ {
+		if l := lens[s]; l > 0 {
+			codes[s] = next[l]
+			next[l]++
+		}
+	}
+	return codes
+}
+
+// decoder holds the canonical decode tables: per length, the first code,
+// the symbol-table offset, and the count; syms lists symbols in canonical
+// order.
+type decoder struct {
+	first  [maxCodeLen + 1]uint32
+	offset [maxCodeLen + 1]int
+	count  [maxCodeLen + 1]int
+	syms   []uint16
+}
+
+func newDecoder(lens *[numSymbols]uint8) (*decoder, error) {
+	d := &decoder{}
+	for _, l := range lens {
+		d.count[l]++
+	}
+	d.count[0] = 0
+	// Kraft check: a decodable table must not oversubscribe the code space
+	// (an incomplete table is tolerated; unused codes surface as ErrCorrupt
+	// at read time).
+	kraft := uint64(0)
+	for l := 1; l <= maxCodeLen; l++ {
+		kraft += uint64(d.count[l]) << uint(maxCodeLen-l)
+	}
+	if kraft > 1<<maxCodeLen {
+		return nil, fmt.Errorf("%w: oversubscribed code table", ErrCorrupt)
+	}
+	code := uint32(0)
+	off := 0
+	for l := 1; l <= maxCodeLen; l++ {
+		code = (code + uint32(d.count[l-1])) << 1
+		d.first[l] = code
+		d.offset[l] = off
+		off += d.count[l]
+	}
+	d.syms = make([]uint16, off)
+	var next [maxCodeLen + 1]int
+	for s := 0; s < numSymbols; s++ {
+		if l := lens[s]; l > 0 {
+			d.syms[d.offset[l]+next[l]] = uint16(s)
+			next[l]++
+		}
+	}
+	if len(d.syms) == 0 {
+		return nil, fmt.Errorf("%w: empty code table", ErrCorrupt)
+	}
+	return d, nil
+}
+
+// read decodes one symbol, lengthening the code bit by bit until it lands
+// in a populated length class.
+func (d *decoder) read(r *bitReader) (int, error) {
+	code := uint32(0)
+	for l := 1; l <= maxCodeLen; l++ {
+		b, err := r.bits(1)
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | b
+		if d.count[l] > 0 && code >= d.first[l] && code-d.first[l] < uint32(d.count[l]) {
+			return int(d.syms[d.offset[l]+int(code-d.first[l])]), nil
+		}
+	}
+	return 0, fmt.Errorf("%w: code exceeds %d bits", ErrCorrupt, maxCodeLen)
+}
+
+// bitWriter accumulates MSB-first bits into bytes appended to dst.
+type bitWriter struct {
+	dst  []byte
+	acc  uint64
+	nacc int
+}
+
+func (w *bitWriter) write(v uint32, n int) {
+	w.acc = w.acc<<uint(n) | uint64(v)
+	w.nacc += n
+	for w.nacc >= 8 {
+		w.nacc -= 8
+		w.dst = append(w.dst, byte(w.acc>>uint(w.nacc)))
+	}
+}
+
+// flush pads the final partial byte with zero bits and returns dst.
+func (w *bitWriter) flush() []byte {
+	if w.nacc > 0 {
+		w.dst = append(w.dst, byte(w.acc<<uint(8-w.nacc)))
+		w.nacc = 0
+	}
+	return w.dst
+}
+
+// bitReader serves MSB-first bits from src, erroring (never panicking) on
+// exhaustion.
+type bitReader struct {
+	src  []byte
+	off  int
+	acc  uint64
+	nacc int
+}
+
+func (r *bitReader) bits(n int) (uint32, error) {
+	for r.nacc < n {
+		if r.off >= len(r.src) {
+			return 0, fmt.Errorf("%w: truncated bitstream", ErrCorrupt)
+		}
+		r.acc = r.acc<<8 | uint64(r.src[r.off])
+		r.off++
+		r.nacc += 8
+	}
+	r.nacc -= n
+	return uint32(r.acc >> uint(r.nacc) & (1<<uint(n) - 1)), nil
+}

@@ -1,0 +1,176 @@
+package entropy
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// testInputs builds byte payloads across the profiles the stage sees:
+// all-zero, dense random, sparse (zero-dominated, the DNN activation
+// profile), single bytes, and run-boundary lengths.
+func testInputs() [][]byte {
+	r := rand.New(rand.NewSource(1))
+	sparse := func(n int, density float64) []byte {
+		b := make([]byte, n)
+		for i := range b {
+			if r.Float64() < density {
+				b[i] = byte(1 + r.Intn(255))
+			}
+		}
+		return b
+	}
+	inputs := [][]byte{
+		nil,
+		{},
+		{0},
+		{7},
+		{0, 0, 0},
+		bytes.Repeat([]byte{0}, 255),
+		bytes.Repeat([]byte{0}, 256),
+		bytes.Repeat([]byte{0}, 1024),
+		bytes.Repeat([]byte{0xab}, 300),
+	}
+	for _, n := range []int{1, 2, 63, 64, 255, 256, 257, 1000, 4096} {
+		inputs = append(inputs, sparse(n, 0.25), sparse(n, 0.9))
+	}
+	full := make([]byte, 512)
+	for i := range full {
+		full[i] = byte(i)
+	}
+	return append(inputs, full)
+}
+
+func TestRoundTrip(t *testing.T) {
+	for i, src := range testInputs() {
+		blk := Encode(nil, src)
+		if len(blk) > MaxEncodedLen(len(src)) {
+			t.Fatalf("input %d: block %d bytes exceeds MaxEncodedLen %d", i, len(blk), MaxEncodedLen(len(src)))
+		}
+		got := make([]byte, len(src))
+		for j := range got {
+			got[j] = 99 // stale bytes must be overwritten
+		}
+		if err := Decode(got, blk); err != nil {
+			t.Fatalf("input %d: decode: %v", i, err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("input %d: round-trip mismatch", i)
+		}
+	}
+}
+
+// TestDeterministic pins that encoding is a pure function of the input —
+// the property the chunked codec's parallel==serial wall rests on.
+func TestDeterministic(t *testing.T) {
+	for i, src := range testInputs() {
+		a := Encode(nil, src)
+		b := Encode(nil, src)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("input %d: two encodes differ", i)
+		}
+	}
+}
+
+// TestEncodeAppends verifies Encode appends to its dst argument, the
+// contract the chunk concatenation path uses.
+func TestEncodeAppends(t *testing.T) {
+	prefix := []byte{1, 2, 3}
+	src := []byte{0, 0, 5, 0}
+	blk := Encode(append([]byte(nil), prefix...), src)
+	if !bytes.Equal(blk[:3], prefix) {
+		t.Fatalf("prefix clobbered: %v", blk[:3])
+	}
+	got := make([]byte, len(src))
+	if err := Decode(got, blk[3:]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round-trip through appended block mismatch")
+	}
+}
+
+// TestCompressesSparse pins the point of the stage: zero-dominated
+// payloads must come out smaller than they went in.
+func TestCompressesSparse(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	src := make([]byte, 64<<10)
+	for i := range src {
+		if r.Float64() < 0.1 {
+			src[i] = byte(1 + r.Intn(255))
+		}
+	}
+	blk := Encode(nil, src)
+	if len(blk) >= len(src)/2 {
+		t.Fatalf("90%%-zero payload compressed %d -> %d, want < half", len(src), len(blk))
+	}
+}
+
+// TestDecodeNeverPanics drives truncations and single-byte corruptions of
+// valid blocks, plus garbage, through Decode: every outcome must be a nil
+// error with wrong bytes or an error wrapping ErrCorrupt — never a panic.
+func TestDecodeNeverPanics(t *testing.T) {
+	src := []byte{0, 0, 0, 9, 8, 0, 0, 7, 0, 0, 0, 0, 1, 2, 3}
+	blk := Encode(nil, src)
+	check := func(b []byte) {
+		dst := make([]byte, len(src))
+		if err := Decode(dst, b); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("error %v does not wrap ErrCorrupt", err)
+		}
+	}
+	for n := 0; n <= len(blk); n++ {
+		check(blk[:n])
+	}
+	for i := 0; i < len(blk); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), blk...)
+			mut[i] ^= 1 << bit
+			check(mut)
+		}
+	}
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		junk := make([]byte, r.Intn(400))
+		r.Read(junk)
+		check(junk)
+	}
+	// Length disagreement: a block decoded at the wrong output size.
+	short := make([]byte, len(src)-3)
+	if err := Decode(short, blk); err != nil && !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("short-output error %v does not wrap ErrCorrupt", err)
+	}
+	if err := Decode(make([]byte, 0), blk); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("empty-output with nonempty block: %v, want ErrCorrupt", err)
+	}
+}
+
+// FuzzEntropyRoundTrip holds the two invariants under arbitrary inputs:
+// Encode∘Decode is the identity, and Decode of mutated blocks never
+// panics.
+func FuzzEntropyRoundTrip(f *testing.F) {
+	for _, src := range testInputs() {
+		f.Add(src, false)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, asBlock bool) {
+		if asBlock {
+			// Treat the input as a hostile block.
+			dst := make([]byte, len(data)%512)
+			if err := Decode(dst, data); err != nil && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		blk := Encode(nil, data)
+		if len(blk) > MaxEncodedLen(len(data)) {
+			t.Fatalf("block %d bytes exceeds MaxEncodedLen %d", len(blk), MaxEncodedLen(len(data)))
+		}
+		got := make([]byte, len(data))
+		if err := Decode(got, blk); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round-trip mismatch")
+		}
+	})
+}

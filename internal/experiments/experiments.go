@@ -177,6 +177,8 @@ func Lookup(id string) func() *Result {
 		return ExtSparsitySweep
 	case "algoselect":
 		return func() *Result { return ExtAlgoSelect(DefaultMinibatch) }
+	case "ratio":
+		return func() *Result { return ExtRatio(DefaultRatioScale()) }
 	case "distributed":
 		// Real replica training, so it runs at training scale (shard batch
 		// mb/4), not the planning suite's 64-row minibatch.
@@ -193,5 +195,5 @@ func IDs() []string {
 	return []string{"fig1", "fig3", "table1", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"recompute", "workspace", "cdma", "energy", "mbsweep",
-		"sparsitysweep", "algoselect", "distributed", "summary"}
+		"sparsitysweep", "algoselect", "ratio", "distributed", "summary"}
 }

@@ -1,0 +1,182 @@
+package experiments
+
+// The compression-ratio shootout: real activations from briefly trained
+// networks, encoded per layer with every lossless-tier technique, reporting
+// the measured (not modeled) compression ratio of each. This is the table
+// the adaptive planner's per-layer selection is judged against — where ZVC
+// beats SSDC, where only Entropy compresses, and where everything loses to
+// the dense DPR stash.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gist/internal/bufpool"
+	"gist/internal/encoding"
+	"gist/internal/floatenc"
+	"gist/internal/graph"
+	"gist/internal/networks"
+	"gist/internal/train"
+)
+
+// RatioScale sizes the ratio shootout runs.
+type RatioScale struct {
+	Classes   int
+	Minibatch int
+	// Steps trains each network briefly first so the activations carry
+	// realistic (post-warmup) sparsity rather than random-weight noise.
+	Steps    int
+	LR       float32
+	NoiseStd float64
+	Seed     uint64
+	// Format is the DPR format layered under the quantized columns.
+	Format floatenc.Format
+	// Pool, when non-nil, pools the training runs' per-step tensors.
+	Pool *bufpool.Pool
+}
+
+// DefaultRatioScale trains each network for a few seconds.
+func DefaultRatioScale() RatioScale {
+	return RatioScale{
+		Classes: 4, Minibatch: 8, Steps: 60, LR: 0.05, NoiseStd: 0.4,
+		Seed: 42, Format: floatenc.FP16, Pool: trainingPool,
+	}
+}
+
+// ExtRatio runs the per-layer × per-technique compression-ratio shootout on
+// TinyCNN and TinyVGG: after a short training run, one forward pass's
+// stashed feature maps are encoded through the real codecs at every
+// lossless-tier technique and the measured ratios are tabulated. "-" marks
+// a technique whose runtime cost guard refused the layer (the encoded form
+// would not have beaten the dense alternative).
+func ExtRatio(s RatioScale) *Result {
+	r := &Result{ID: "ratio", Title: "Measured per-layer compression ratio by technique"}
+	type netSpec struct {
+		name    string
+		build   func(mb, classes int) *graph.Graph
+		imgSize int
+	}
+	nets := []netSpec{
+		{"TinyCNN", networks.TinyCNN, 16},
+		{"TinyVGG", networks.TinyVGG, 32},
+	}
+	type techSpec struct {
+		label string
+		tech  encoding.Technique
+		f     floatenc.Format
+	}
+	techs := []techSpec{
+		{"SSDC", encoding.SSDC, floatenc.FP32},
+		{"ZVC", encoding.ZVC, floatenc.FP32},
+		{"ZVC+" + s.Format.String(), encoding.ZVC, s.Format},
+		{"Entropy", encoding.Entropy, floatenc.FP32},
+		{"DPR-" + s.Format.String(), encoding.DPR, s.Format},
+	}
+
+	cdc := encoding.DefaultCodec()
+	for _, net := range nets {
+		g := net.build(s.Minibatch, s.Classes)
+		e := train.NewExecutor(g, train.Options{Seed: s.Seed, Pool: s.Pool})
+		d := train.NewDataset(s.Classes, 3, net.imgSize, s.NoiseStd, s.Seed+1)
+		train.Run(e, d, train.RunConfig{Minibatch: s.Minibatch, Steps: s.Steps, LR: s.LR})
+		x, labels := d.Batch(s.Minibatch)
+		e.Forward(x, labels, true)
+
+		// The stash set: every node whose output a backward pass reads.
+		a := encoding.Analyze(g, encoding.Config{})
+		r.add("")
+		header := fmt.Sprintf("%-22s %8s", net.name+" layer", "sparsity")
+		for _, ts := range techs {
+			header += fmt.Sprintf(" %9s", ts.label)
+		}
+		r.add("%s", header)
+		for _, n := range g.Nodes {
+			if !a.OutputStashed(n) {
+				continue
+			}
+			t := e.Output(n)
+			if t == nil {
+				continue
+			}
+			zeros := 0
+			for _, v := range t.Data {
+				if v == 0 {
+					zeros++
+				}
+			}
+			sparsity := float64(zeros) / float64(len(t.Data))
+			dense := float64(len(t.Data) * 4)
+			line := fmt.Sprintf("%-22s %7.1f%%", n.Name, 100*sparsity)
+			for _, ts := range techs {
+				as := &encoding.Assignment{Node: n, Tech: ts.tech, Format: ts.f}
+				enc, err := cdc.EncodeStash(as, t)
+				if err != nil {
+					if errors.Is(err, encoding.ErrStashTooLarge) {
+						line += fmt.Sprintf(" %9s", "-")
+						continue
+					}
+					line += fmt.Sprintf(" %9s", "err")
+					continue
+				}
+				ratio := dense / float64(enc.Bytes())
+				line += fmt.Sprintf(" %8.2fx", ratio)
+				r.set(fmt.Sprintf("%s/%s/%s", net.name, n.Name, ts.label), ratio)
+			}
+			r.add("%s", line)
+		}
+		e.ReleaseBuffers()
+	}
+
+	// Per-network summary: how often each technique wins outright.
+	r.add("")
+	wins := map[string]int{}
+	type cell struct {
+		net, layer, tech string
+		ratio            float64
+	}
+	best := map[string]cell{}
+	for k, v := range r.Values {
+		parts := splitRatioKey(k)
+		if parts == nil {
+			continue
+		}
+		netName, layer, tech := parts[0], parts[1], parts[2]
+		key := netName + "/" + layer
+		if b, ok := best[key]; !ok || v > b.ratio {
+			best[key] = cell{netName, layer, tech, v}
+		}
+	}
+	for _, b := range best {
+		wins[b.tech]++
+	}
+	var labels []string
+	for _, ts := range techs {
+		labels = append(labels, ts.label)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		r.add("best-technique wins: %-10s %d layers", l, wins[l])
+		r.set("wins/"+l, float64(wins[l]))
+	}
+	r.add("(ratios are measured on real activations; the adaptive planner's")
+	r.add(" per-layer predictions are judged against this table)")
+	return r
+}
+
+// splitRatioKey splits "net/layer/tech" (layer names contain no slashes).
+func splitRatioKey(k string) []string {
+	var parts []string
+	start := 0
+	for i := 0; i < len(k); i++ {
+		if k[i] == '/' {
+			parts = append(parts, k[start:i])
+			start = i + 1
+		}
+	}
+	parts = append(parts, k[start:])
+	if len(parts) != 3 {
+		return nil
+	}
+	return parts
+}

@@ -80,7 +80,7 @@ func Robust(s RobustScale) *Result {
 	r := &Result{ID: "robust", Title: "Fault-injected encoded training with crash-safe recovery"}
 
 	g := networks.TinyCNN(s.Minibatch, s.Classes)
-	a := encoding.Analyze(g, encoding.LossyLossless(floatenc.FP16))
+	a := encoding.Analyze(g, trainingConfig(encoding.LossyLossless(floatenc.FP16)))
 	inj := faults.New(s.Faults)
 	e := train.NewExecutor(g, train.Options{Seed: s.Seed, Encodings: a, Faults: inj, Telemetry: s.Tel, Pool: s.Pool})
 	d := train.NewDataset(s.Classes, 3, 16, s.NoiseStd, s.Seed+1)
@@ -91,6 +91,7 @@ func Robust(s RobustScale) *Result {
 		tl := graph.BuildTimeline(g)
 		plan := memplan.PlanStatic(liveness.Analyze(g, tl, liveness.Options{Analysis: a}))
 		plan.RecordTelemetry(s.Tel, "static")
+		memplan.RecordEncodingTelemetry(s.Tel, "static", a)
 		if s.Pool != nil {
 			s.Pool.SetTelemetry(s.Tel)
 		}

@@ -9,8 +9,10 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"gist/internal/bufpool"
+	"gist/internal/encoding"
 	"gist/internal/floatenc"
 	"gist/internal/graph"
 	"gist/internal/layers"
@@ -38,6 +40,37 @@ var trainingReplicas, trainingShards int
 // runners build (0/0 restores the single-executor path).
 func SetTrainingReplicas(replicas, shards int) {
 	trainingReplicas, trainingShards = replicas, shards
+}
+
+// trainingTechnique, when set, narrows the encoded training experiments'
+// stash configurations to one codec technique (or "adaptive" for the
+// per-layer minimum-bytes selection). The CLIs' consolidated -technique
+// flag sets it; "" restores each experiment's default configuration.
+var trainingTechnique string
+
+// SetTrainingTechnique names the technique the encoded training runners
+// use; an unknown name is rejected before any experiment runs.
+func SetTrainingTechnique(name string) error {
+	if name != "" && !strings.EqualFold(name, "adaptive") {
+		if _, err := encoding.ParseTechnique(name); err != nil {
+			return err
+		}
+	}
+	trainingTechnique = name
+	return nil
+}
+
+// trainingConfig applies the technique knob to a base configuration.
+func trainingConfig(cfg encoding.Config) encoding.Config {
+	if trainingTechnique == "" {
+		return cfg
+	}
+	if strings.EqualFold(trainingTechnique, "adaptive") {
+		cfg.AdaptiveSet = encoding.AdaptiveAll()
+		return cfg
+	}
+	t, _ := encoding.ParseTechnique(trainingTechnique)
+	return cfg.WithTechnique(t)
 }
 
 // newTrainEngine builds the training engine for a run: a plain executor

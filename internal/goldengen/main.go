@@ -97,6 +97,43 @@ func main() {
 	}
 	fmt.Println()
 
+	// "GST2" wire blobs for the v2 techniques: ZVC on the same 96-element
+	// feature map, Entropy (which needs multiple chunks of data to beat its
+	// per-chunk table overhead) on a 1536-element map of the same shape
+	// family.
+	z, err := encoding.EncodeStash(&encoding.Assignment{Tech: encoding.ZVC, Format: floatenc.FP32}, t)
+	if err != nil {
+		panic(err)
+	}
+	z.Seal()
+	zblob, err := z.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("zvc checksum: 0x%08x len %d\n", z.Checksum, len(zblob))
+	fmt.Printf("zvc blob: %x\n", zblob)
+
+	t2 := tensor.New(2, 3, 16, 16)
+	rng2 := tensor.NewRNG(54321)
+	for i := range t2.Data {
+		v := rng2.Float32()*2 - 1
+		if v < 0 {
+			v = 0
+		}
+		t2.Data[i] = v
+	}
+	en, err := encoding.EncodeStash(&encoding.Assignment{Tech: encoding.Entropy, Format: floatenc.FP16}, t2)
+	if err != nil {
+		panic(err)
+	}
+	en.Seal()
+	eblob, err := en.MarshalBinary()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("entropy checksum: 0x%08x len %d\n", en.Checksum, len(eblob))
+	fmt.Printf("entropy blob: %x\n", eblob)
+
 	tailFixtures()
 }
 
@@ -129,6 +166,8 @@ func tailFixtures() {
 			{"dpr-fp16", &encoding.Assignment{Tech: encoding.DPR, Format: floatenc.FP16}},
 			{"dpr-fp10", &encoding.Assignment{Tech: encoding.DPR, Format: floatenc.FP10}},
 			{"dpr-fp8", &encoding.Assignment{Tech: encoding.DPR, Format: floatenc.FP8}},
+			{"zvc-fp32", &encoding.Assignment{Tech: encoding.ZVC, Format: floatenc.FP32}},
+			{"entropy-fp16", &encoding.Assignment{Tech: encoding.Entropy, Format: floatenc.FP16}},
 		}
 		for _, c := range cases {
 			e, err := cdc.EncodeStash(c.as, t)

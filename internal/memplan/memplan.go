@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"gist/internal/encoding"
 	"gist/internal/graph"
 	"gist/internal/liveness"
 	"gist/internal/telemetry"
@@ -205,6 +206,30 @@ func (p *Plan) RecordTelemetry(s *telemetry.Sink, prefix string) {
 	for cls, b := range p.ByClass {
 		name := strings.ReplaceAll(cls.String(), " ", "_")
 		s.Gauge("plan." + prefix + "." + name + "_bytes").Set(b)
+	}
+}
+
+// RecordEncodingTelemetry publishes the analysis's predicted per-technique
+// encoded footprint as plan.<prefix>.encoded.<tech>_bytes gauges (plus a
+// stash count per technique), the planning-side half of the predicted-vs-
+// observed reconciliation: the executor's stash.<tech>.held_bytes counters
+// record what each technique actually produced, so a snapshot sets the
+// planner's sparsity-model prediction directly against runtime reality.
+// Nil analysis or sink no-ops.
+func RecordEncodingTelemetry(s *telemetry.Sink, prefix string, a *encoding.Analysis) {
+	if a == nil || s == nil {
+		return
+	}
+	bytes := map[encoding.Technique]int64{}
+	count := map[encoding.Technique]int64{}
+	for _, as := range a.ByNode {
+		bytes[as.Tech] += as.EncodedBytes
+		count[as.Tech]++
+	}
+	for tech, b := range bytes {
+		name := tech.String()
+		s.Gauge("plan." + prefix + ".encoded." + name + "_bytes").Set(b)
+		s.Gauge("plan." + prefix + ".encoded." + name + "_stashes").Set(count[tech])
 	}
 }
 

@@ -86,6 +86,13 @@ type JobSpec struct {
 	// rejecting it.
 	Encoding     string `json:"encoding"`
 	AllowDegrade bool   `json:"allow_degrade"`
+	// Technique narrows the stash configuration to one codec technique
+	// ("binarize", "ssdc", "dpr", "zvc", "entropy"), or "adaptive" for
+	// per-layer minimum-bytes selection across the lossless tier. Layered
+	// over Encoding: the rung still supplies the DPR format and the
+	// degradation ladder. As a compatibility shim, a technique name sent
+	// in the legacy Encoding field is accepted and treated as Technique.
+	Technique string `json:"technique,omitempty"`
 	// Shards > 1 runs the job as a data-parallel replica group of that
 	// many micro-shards (and replicas), multiplying both the per-step
 	// batch and the admitted footprint.
@@ -126,6 +133,11 @@ func (s JobSpec) withDefaults() JobSpec {
 	}
 	if s.LR <= 0 {
 		s.LR = 0.05
+	}
+	if s.Technique == "" && s.Encoding != "" && ladderIndex(s.Encoding) < 0 && isTechniqueName(s.Encoding) {
+		// Legacy shim: a technique name in the Encoding field moves to
+		// Technique, with the rung itself defaulting.
+		s.Technique, s.Encoding = s.Encoding, "none"
 	}
 	if s.Encoding == "" {
 		s.Encoding = "none"

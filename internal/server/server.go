@@ -427,7 +427,7 @@ func (s *Server) train(ctx context.Context, j *job) (State, string) {
 	resumeFrom := j.ckpt
 	j.mu.Unlock()
 
-	cfg, err := encodingConfig(encName)
+	cfg, err := jobConfig(spec, encName)
 	if err != nil {
 		return StateFailed, err.Error()
 	}
@@ -436,7 +436,7 @@ func (s *Server) train(ctx context.Context, j *job) (State, string) {
 		return StateFailed, err.Error()
 	}
 	var analysis *encoding.Analysis
-	if cfg.Binarize || cfg.SSDC || cfg.DPR != 0 || cfg.Inplace {
+	if cfg.Enabled() {
 		analysis = encoding.Analyze(g, cfg)
 	}
 	opts := train.Options{

@@ -76,17 +76,19 @@ func SharedBufferPool() *BufferPool { return bufpool.Shared() }
 
 // trainerConfig accumulates the functional options.
 type trainerConfig struct {
-	seed       uint64
-	encodings  *Config
-	integrity  bool
-	workers    int
-	hasWorkers bool
-	tel        *telemetry.Sink
-	pool       *bufpool.Pool
-	faults     *faults.Injector
-	replicas   int
-	shards     int
-	maxRetries int
+	seed        uint64
+	encodings   *Config
+	technique   *Technique
+	adaptiveSet []Technique
+	integrity   bool
+	workers     int
+	hasWorkers  bool
+	tel         *telemetry.Sink
+	pool        *bufpool.Pool
+	faults      *faults.Injector
+	replicas    int
+	shards      int
+	maxRetries  int
 }
 
 // TrainerOption configures a Trainer at construction.
@@ -103,6 +105,26 @@ func WithSeed(seed uint64) TrainerOption {
 // the given configuration — e.g. Lossless() or LossyLossless(FP16).
 func WithEncodings(cfg Config) TrainerOption {
 	return func(c *trainerConfig) { c.encodings = &cfg }
+}
+
+// WithTechnique narrows the encoding configuration to one technique: the
+// lossless-tier flags are cleared and only the named technique's pass
+// runs (DPR keeps the configured format, defaulting to FP16 when the base
+// configuration left precision reduction off; None disables encoding
+// entirely). It composes with WithEncodings — the base configuration
+// supplies the DPR format and sparsity model — and with no WithEncodings
+// it starts from a zero configuration. The consolidated -technique CLI
+// flags resolve to this option.
+func WithTechnique(t Technique) TrainerOption {
+	return func(c *trainerConfig) { c.technique = &t }
+}
+
+// WithAdaptiveSet has the planner choose per layer among the given
+// techniques by minimum predicted encoded bytes, recording the beaten
+// candidates as each assignment's runtime fallback chain. It overrides any
+// technique selection in the base configuration.
+func WithAdaptiveSet(set ...Technique) TrainerOption {
+	return func(c *trainerConfig) { c.adaptiveSet = set }
 }
 
 // WithIntegrity seals every encoded stash with a CRC32-C checksum and
@@ -202,8 +224,18 @@ func NewTrainer(g *Graph, options ...TrainerOption) *Trainer {
 	}
 
 	var analysis *encoding.Analysis
-	if cfg.encodings != nil {
-		analysis = encoding.Analyze(g, *cfg.encodings)
+	if cfg.encodings != nil || cfg.technique != nil || len(cfg.adaptiveSet) > 0 {
+		enc := Config{DPR: FP32}
+		if cfg.encodings != nil {
+			enc = *cfg.encodings
+		}
+		if cfg.technique != nil {
+			enc = enc.WithTechnique(*cfg.technique)
+		}
+		if len(cfg.adaptiveSet) > 0 {
+			enc.AdaptiveSet = cfg.adaptiveSet
+		}
+		analysis = encoding.Analyze(g, enc)
 	}
 
 	t := &Trainer{g: g, pool: cfg.pool}
