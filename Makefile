@@ -24,7 +24,7 @@ race:
 # execute every time. The job server rides along via soak-short (its own
 # race pass, sized for CI).
 race-hot: soak-short
-	$(GO) test -race -count=1 ./internal/encoding/ ./internal/train/ ./internal/reduce/ ./internal/parallel/ ./internal/telemetry/ ./internal/bitpack/ ./internal/floatenc/ ./internal/sparse/ ./internal/entropy/
+	$(GO) test -race -count=1 ./internal/encoding/ ./internal/train/ ./internal/reduce/ ./internal/parallel/ ./internal/telemetry/ ./internal/bitpack/ ./internal/floatenc/ ./internal/sparse/ ./internal/entropy/ ./internal/stashstore/
 
 # Full soak/chaos run over the job server: 32 concurrent jobs with fault
 # injection and a seeded cancel/pause/resume chaos goroutine, under the
@@ -36,10 +36,10 @@ soak:
 soak-short:
 	$(GO) test -race -count=1 -short ./internal/server/
 
-# Short fuzz passes over the checkpoint parser, the gradient reduce, and
-# the codec kernels (format round-trip fixed point; mask word kernels vs
+# Short fuzz passes over the checkpoint parser, the gradient reduce, the
+# codec kernels (format round-trip fixed point; mask word kernels vs
 # their scalar references; the ZVC pipeline and the entropy coder's
-# round-trip).
+# round-trip), and the GSTP spill-page parser.
 fuzz:
 	$(GO) test ./internal/train/ -run FuzzReadCheckpoint -fuzz FuzzReadCheckpoint -fuzztime 20s
 	$(GO) test ./internal/reduce/ -run FuzzReduceGrads -fuzz FuzzReduceGrads -fuzztime 20s
@@ -47,6 +47,7 @@ fuzz:
 	$(GO) test ./internal/bitpack/ -run FuzzMaskWords -fuzz FuzzMaskWords -fuzztime 20s
 	$(GO) test ./internal/entropy/ -run FuzzEntropyRoundTrip -fuzz FuzzEntropyRoundTrip -fuzztime 20s
 	$(GO) test ./internal/encoding/ -run FuzzZVCRoundTrip -fuzz FuzzZVCRoundTrip -fuzztime 20s
+	$(GO) test ./internal/stashstore/ -run FuzzReadSpillPage -fuzz FuzzReadSpillPage -fuzztime 20s
 
 # Short fuzz pass over the serialized-stash decode path.
 fuzz-stash:
@@ -108,10 +109,11 @@ COVER_FLOOR_ENCODING ?= 80
 COVER_FLOOR_REDUCE ?= 90
 COVER_FLOOR_SERVER ?= 75
 COVER_FLOOR_ENTROPY ?= 85
+COVER_FLOOR_STASHSTORE ?= 80
 cover:
-	@out=$$($(GO) test -cover -short ./internal/train/ ./internal/encoding/ ./internal/reduce/ ./internal/server/ ./internal/entropy/ | tee /dev/stderr); \
+	@out=$$($(GO) test -cover -short ./internal/train/ ./internal/encoding/ ./internal/reduce/ ./internal/server/ ./internal/entropy/ ./internal/stashstore/ | tee /dev/stderr); \
 	fail=0; \
-	for spec in "train $(COVER_FLOOR_TRAIN)" "encoding $(COVER_FLOOR_ENCODING)" "reduce $(COVER_FLOOR_REDUCE)" "server $(COVER_FLOOR_SERVER)" "entropy $(COVER_FLOOR_ENTROPY)"; do \
+	for spec in "train $(COVER_FLOOR_TRAIN)" "encoding $(COVER_FLOOR_ENCODING)" "reduce $(COVER_FLOOR_REDUCE)" "server $(COVER_FLOOR_SERVER)" "entropy $(COVER_FLOOR_ENTROPY)" "stashstore $(COVER_FLOOR_STASHSTORE)"; do \
 		pkg=$${spec% *}; floor=$${spec#* }; \
 		pct=$$(printf '%s\n' "$$out" | awk -v p="internal/$$pkg" '$$0 ~ p {for (i=1; i<=NF; i++) if ($$i ~ /^[0-9.]+%$$/) {sub(/%/, "", $$i); print int($$i)}}'); \
 		if [ -z "$$pct" ]; then echo "cover: no coverage output for internal/$$pkg"; fail=1; \

@@ -35,6 +35,8 @@ func main() {
 	technique := flag.String("technique", "", "narrow the training-based experiments' stash encoding to one technique (binarize|ssdc|dpr|zvc|entropy), or \"adaptive\" for per-layer minimum-bytes selection; empty = experiment defaults")
 	replicas := flag.Int("replicas", 0, "run the training-based experiments on this many data-parallel executor replicas (0/1 = single executor)")
 	nshards := flag.Int("shards", 0, "micro-shards per step for the replica engine (0 = one per replica; pin this when comparing replica counts)")
+	stashBudget := flag.Int64("stash-budget", 0, "cap the training-based experiments' in-RAM stash bytes, spilling the excess to encoded pages on disk (0 = all in RAM; results are bit-identical at every budget)")
+	spillDir := flag.String("spill-dir", "", "directory for the stash store's spill file (default: the OS temp dir; only meaningful with -stash-budget)")
 	traceOut := flag.String("trace-out", "", "write Chrome trace_event JSON here at exit (codec + worker-pool activity of the training-based experiments)")
 	metricsOut := flag.String("metrics-out", "", "write a text telemetry snapshot here at exit")
 	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
@@ -56,6 +58,7 @@ func main() {
 		experiments.SetTrainingPool(bufpool.Shared())
 	}
 	experiments.SetTrainingReplicas(*replicas, *nshards)
+	experiments.SetTrainingStash(*stashBudget, *spillDir)
 	if err := experiments.SetTrainingTechnique(*technique); err != nil {
 		fmt.Fprintln(os.Stderr, "gistbench:", err)
 		os.Exit(1)

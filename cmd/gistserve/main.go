@@ -45,6 +45,8 @@ func main() {
 		stall     = flag.Duration("stall-timeout", 30*time.Second, "watchdog: quarantine a job with no step progress for this long")
 		ckptDir   = flag.String("ckpt-dir", "", "checkpoint directory (default: a fresh temp dir)")
 		ckptEvery = flag.Int("ckpt-every", 25, "default periodic checkpoint interval in steps")
+		spillDir  = flag.String("spill-dir", "", "stash-store spill directory for jobs with a stash_budget (default: the checkpoint dir)")
+		stashCap  = flag.Int64("stash-budget", 0, "default per-job in-RAM stash byte cap for jobs that set none (0 = all in RAM)")
 		metrics   = flag.Int("metrics-every", 25, "write per-job telemetry snapshots to stdout every N steps (0 disables)")
 		workers   = flag.Int("workers", 0, "codec worker pool shared by all jobs (0 = inline)")
 		drain     = flag.Duration("drain", 30*time.Second, "shutdown drain timeout")
@@ -69,6 +71,8 @@ func main() {
 		StallTimeout:    *stall,
 		CheckpointDir:   *ckptDir,
 		CheckpointEvery: *ckptEvery,
+		SpillDir:        *spillDir,
+		StashBudget:     *stashCap,
 		MetricsEvery:    *metrics,
 		MetricsOut:      os.Stdout,
 		Workers:         *workers,

@@ -35,6 +35,8 @@ func main() {
 	nshards := flag.Int("shards", 0, "micro-shards per step for the replica engine (0 = one per replica; pin this when comparing replica counts)")
 	usePool := flag.Bool("pool", false, "recycle per-step tensors through the shared buffer pool (byte-identical results, near-zero steady-state allocation)")
 	technique := flag.String("technique", "", "narrow the training experiments' stash encoding to one technique (binarize|ssdc|dpr|zvc|entropy), or \"adaptive\" for per-layer minimum-bytes selection; empty = experiment defaults")
+	stashBudget := flag.Int64("stash-budget", 0, "cap the in-RAM stash bytes, spilling the excess to encoded pages on disk (0 = all in RAM; results are bit-identical at every budget)")
+	spillDir := flag.String("spill-dir", "", "directory for the stash store's spill file (default: the OS temp dir; only meaningful with -stash-budget)")
 
 	// Fault-injection flags (robust experiment).
 	bitflip := flag.Float64("bitflip", -1, "per-stash bit-flip probability (robust; <0 = default)")
@@ -76,6 +78,7 @@ func main() {
 	// so weights are bit-identical at every -replicas and -parallel value
 	// once -shards is pinned.
 	experiments.SetTrainingReplicas(*replicas, *nshards)
+	experiments.SetTrainingStash(*stashBudget, *spillDir)
 	if err := experiments.SetTrainingTechnique(*technique); err != nil {
 		fmt.Fprintln(os.Stderr, "gisttrain:", err)
 		os.Exit(1)

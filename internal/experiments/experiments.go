@@ -179,6 +179,10 @@ func Lookup(id string) func() *Result {
 		return func() *Result { return ExtAlgoSelect(DefaultMinibatch) }
 	case "ratio":
 		return func() *Result { return ExtRatio(DefaultRatioScale()) }
+	case "spill":
+		// Real training at shrinking stash budgets, so it runs at training
+		// scale like fig12/fig14.
+		return func() *Result { return ExtSpill(DefaultSpillScale()) }
 	case "distributed":
 		// Real replica training, so it runs at training scale (shard batch
 		// mb/4), not the planning suite's 64-row minibatch.
@@ -195,5 +199,5 @@ func IDs() []string {
 	return []string{"fig1", "fig3", "table1", "fig8", "fig9", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 		"recompute", "workspace", "cdma", "energy", "mbsweep",
-		"sparsitysweep", "algoselect", "ratio", "distributed", "summary"}
+		"sparsitysweep", "algoselect", "ratio", "spill", "distributed", "summary"}
 }

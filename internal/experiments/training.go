@@ -60,6 +60,22 @@ func SetTrainingTechnique(name string) error {
 	return nil
 }
 
+// trainingStashBudget/trainingSpillDir, when set, run the training-based
+// experiments through the tiered stash store: hot stash bytes are capped
+// at the budget and the excess spills to encoded pages on disk. The CLIs'
+// -stash-budget and -spill-dir flags set them; results are bit-identical
+// at every budget.
+var (
+	trainingStashBudget int64
+	trainingSpillDir    string
+)
+
+// SetTrainingStash caps the training-based experiments' in-RAM stash
+// bytes, spilling the excess under dir (0 restores all-in-RAM).
+func SetTrainingStash(budget int64, dir string) {
+	trainingStashBudget, trainingSpillDir = budget, dir
+}
+
 // trainingConfig applies the technique knob to a base configuration.
 func trainingConfig(cfg encoding.Config) encoding.Config {
 	if trainingTechnique == "" {
@@ -80,8 +96,15 @@ func trainingConfig(cfg encoding.Config) encoding.Config {
 // drive it with, and a release function for the group's workers.
 func newTrainEngine(build func(mb, classes int) *graph.Graph, mb, classes int,
 	opts train.Options, replicas, shards int) (train.Stepper, int, func()) {
+	if trainingStashBudget > 0 && opts.StashBudget == 0 {
+		opts.StashBudget = trainingStashBudget
+		opts.SpillDir = trainingSpillDir
+	}
 	if replicas <= 1 && shards <= 0 {
-		return train.NewExecutor(build(mb, classes), opts), mb, func() {}
+		e := train.NewExecutor(build(mb, classes), opts)
+		// ReleaseBuffers also closes the stash store (removing its spill
+		// file) when a budget is set.
+		return e, mb, e.ReleaseBuffers
 	}
 	if shards <= 0 {
 		shards = replicas

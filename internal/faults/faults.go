@@ -34,6 +34,9 @@ var (
 	ErrInjectedEncode = fmt.Errorf("%w: encode", ErrInjected)
 	ErrInjectedDecode = fmt.Errorf("%w: decode", ErrInjected)
 	ErrInjectedAlloc  = fmt.Errorf("%w: stash allocation (memory budget exceeded)", ErrInjected)
+	// ErrInjectedSpillWrite simulates an ENOSPC-style failure writing a
+	// spill page to the stash store's cold tier.
+	ErrInjectedSpillWrite = fmt.Errorf("%w: spill write (no space left on device)", ErrInjected)
 )
 
 // Kind classifies an injected fault.
@@ -47,6 +50,9 @@ const (
 	AllocFail
 	CheckpointTruncate
 	CheckpointCorrupt
+	SpillWriteFail
+	SpillReadCorrupt
+	SpillShortRead
 )
 
 // String names the kind.
@@ -64,6 +70,12 @@ func (k Kind) String() string {
 		return "checkpoint-truncate"
 	case CheckpointCorrupt:
 		return "checkpoint-corrupt"
+	case SpillWriteFail:
+		return "spill-write-fail"
+	case SpillReadCorrupt:
+		return "spill-read-corrupt"
+	case SpillShortRead:
+		return "spill-short-read"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
@@ -110,6 +122,17 @@ type Config struct {
 	// stream byte at this offset (0 disables; the first bytes are the magic,
 	// so every interesting offset is positive).
 	CheckpointFlipByte int64
+	// SpillWriteFailRate is the per-page probability of failing a spill
+	// write with ErrInjectedSpillWrite — an ENOSPC-style transient.
+	SpillWriteFailRate float64
+	// SpillReadCorruptRate is the per-page probability of XORing 0xFF into
+	// one uniformly chosen byte of a spill page as it is read back; the
+	// page CRC must detect every hit.
+	SpillReadCorruptRate float64
+	// SpillShortReadRate is the per-page probability of truncating a spill
+	// page read at a uniformly chosen length — a torn page; the bounded
+	// parser must reject every hit.
+	SpillShortReadRate float64
 }
 
 // Injector injects the configured faults. Methods are safe on a nil
@@ -158,7 +181,8 @@ func (in *Injector) Enabled() bool {
 	}
 	c := in.cfg
 	return c.BitFlipRate > 0 || c.EncodeFailRate > 0 || c.DecodeFailRate > 0 ||
-		c.AllocBudgetBytes > 0 || c.CheckpointTruncateAt > 0 || c.CheckpointFlipByte > 0
+		c.AllocBudgetBytes > 0 || c.CheckpointTruncateAt > 0 || c.CheckpointFlipByte > 0 ||
+		c.SpillWriteFailRate > 0 || c.SpillReadCorruptRate > 0 || c.SpillShortReadRate > 0
 }
 
 // BeginStep marks the start of a training step: per-step allocation
@@ -255,6 +279,51 @@ func (in *Injector) CorruptStash(node string, e *encoding.EncodedStash) bool {
 	e.FlipBit(bit)
 	in.record(BitFlip, node, fmt.Sprintf("payload bit %d of %d", bit, bits))
 	return true
+}
+
+// FailSpillWrite rolls the spill-write-failure die for one page, returning
+// ErrInjectedSpillWrite (and logging the event) on a hit — the disk-full
+// transient the stash store's recovery path must absorb.
+func (in *Injector) FailSpillWrite(node string) error {
+	if in == nil || in.cfg.SpillWriteFailRate <= 0 {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.rng.Float64() >= in.cfg.SpillWriteFailRate {
+		return nil
+	}
+	in.record(SpillWriteFail, node, "")
+	return fmt.Errorf("%w (stash %q)", ErrInjectedSpillWrite, node)
+}
+
+// TamperSpillPage applies the configured read-side page faults to one spill
+// page as it comes off disk: a single corrupted byte (SpillReadCorrupt), or
+// a truncation to a shorter prefix (SpillShortRead). At most one fault
+// fires per page so each logged event maps to exactly one detected read
+// failure, which the recovery cross-check relies on. Returns the page,
+// possibly modified in place or shortened. The caller must parse the
+// returned bytes immediately so every logged tamper is either detected by
+// the page CRC/bounded parser or proves a verification gap.
+func (in *Injector) TamperSpillPage(node string, page []byte) []byte {
+	if in == nil || len(page) == 0 ||
+		(in.cfg.SpillReadCorruptRate <= 0 && in.cfg.SpillShortReadRate <= 0) {
+		return page
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.cfg.SpillReadCorruptRate > 0 && in.rng.Float64() < in.cfg.SpillReadCorruptRate {
+		off := in.rng.Intn(len(page))
+		page[off] ^= 0xff
+		in.record(SpillReadCorrupt, node, fmt.Sprintf("flipped byte at page offset %d", off))
+		return page
+	}
+	if in.cfg.SpillShortReadRate > 0 && in.rng.Float64() < in.cfg.SpillShortReadRate {
+		n := in.rng.Intn(len(page))
+		in.record(SpillShortRead, node, fmt.Sprintf("truncated page to %d of %d bytes", n, len(page)))
+		page = page[:n]
+	}
+	return page
 }
 
 // Events returns a copy of the fault log in firing order.

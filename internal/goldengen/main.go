@@ -12,6 +12,7 @@ import (
 
 	"gist/internal/encoding"
 	"gist/internal/floatenc"
+	"gist/internal/stashstore"
 	"gist/internal/tensor"
 )
 
@@ -135,6 +136,49 @@ func main() {
 	fmt.Printf("entropy blob: %x\n", eblob)
 
 	tailFixtures()
+	spillPages()
+}
+
+// spillPages prints the sealed "GSTP" spill-page fixtures that seed
+// internal/stashstore's golden test and FuzzReadSpillPage corpus: one page
+// per technique family, wrapping the stash blobs printed above.
+func spillPages() {
+	fmt.Println("\n// --- GSTP spill-page fixtures ---")
+	t := tensor.New(2, 3, 4, 4)
+	rng := tensor.NewRNG(12345)
+	for i := range t.Data {
+		v := rng.Float32()*2 - 1
+		if v < 0 {
+			v = 0
+		}
+		t.Data[i] = v
+	}
+	cases := []struct {
+		name string
+		as   *encoding.Assignment
+	}{
+		{"ssdc-fp16", &encoding.Assignment{Tech: encoding.SSDC, Format: floatenc.FP16, NeedsDecode: true}},
+		{"zvc-fp32", &encoding.Assignment{Tech: encoding.ZVC, Format: floatenc.FP32}},
+	}
+	for i, c := range cases {
+		e, err := encoding.EncodeStash(c.as, t)
+		if err != nil {
+			panic(err)
+		}
+		e.Seal()
+		page, err := stashstore.AppendPage(nil, uint32(i+1), e)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s page len %d: %x\n", c.name, len(page), page)
+	}
+	d := encoding.EncodeDense(floatenc.FP32, t)
+	d.Seal()
+	page, err := stashstore.AppendPage(nil, 7, d)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("dense-fp32 page len %d: %x\n", len(page), page)
 }
 
 // tailFixtures prints the chunk-tail golden fixtures embedded in

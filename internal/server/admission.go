@@ -112,6 +112,13 @@ func inputGeom(spec JobSpec) (channels, size int) {
 // planner's shared-activation/stash total plus parameters and momenta,
 // scaled by the replica count, plus the shard-gradient flats the
 // all-reduce holds simultaneously.
+//
+// A StashBudget moves the stash population (encoded pages and dense-packed
+// plain stashes alike) into the tiered store, whose hot tier is capped at
+// the budget: everything past the cap lives on disk, not in RAM. Admission
+// therefore subtracts the over-budget stash excess from the prediction,
+// floored at the non-spillable residue (weights, momenta and the hot tier
+// itself) — a spilling job admits smaller, which is the whole point.
 func footprint(spec JobSpec, encName string) (int64, error) {
 	cfg, err := jobConfig(spec, encName)
 	if err != nil {
@@ -126,6 +133,23 @@ func footprint(spec JobSpec, encName string) (int64, error) {
 		return 0, err
 	}
 	per := plan.TotalBytes + 2*g.WeightBytes()
+	if spec.StashBudget > 0 {
+		perBudget := spec.StashBudget
+		if spec.Shards > 1 {
+			// The replica group splits the job budget evenly per store.
+			perBudget /= int64(spec.Shards)
+			if perBudget < 1 {
+				perBudget = 1
+			}
+		}
+		spillable := plan.RawByClass[graph.ClassEncoded] + plan.RawByClass[graph.ClassStashedFmap]
+		if excess := spillable - perBudget; excess > 0 {
+			per -= excess
+			if floor := 2*g.WeightBytes() + perBudget; per < floor {
+				per = floor
+			}
+		}
+	}
 	fp := per * int64(spec.Shards)
 	if spec.Shards > 1 {
 		// The merge holds every shard's flat gradient at once.

@@ -106,6 +106,12 @@ type JobSpec struct {
 	// fault-retry budget.
 	CheckpointEvery int `json:"checkpoint_every"`
 	MaxRetries      int `json:"max_retries"`
+	// StashBudget, when positive, caps the bytes of stashed feature maps
+	// the job holds in RAM; the rest spill to sealed encoded pages in the
+	// server's spill directory. Admission counts only the capped hot tier
+	// against the memory budget, so a spilling job admits smaller. The
+	// budget is per job (split across replicas when Shards > 1).
+	StashBudget int64 `json:"stash_budget,omitempty"`
 	// Faults, when non-nil, attaches a deterministic fault injector to
 	// the job's stash pipeline (soak/chaos testing).
 	Faults *faults.Config `json:"faults,omitempty"`

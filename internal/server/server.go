@@ -70,6 +70,12 @@ type Config struct {
 	// in steps (default 25).
 	CheckpointDir   string
 	CheckpointEvery int
+	// SpillDir holds the stash stores' spill files for jobs that set a
+	// StashBudget (default: the checkpoint dir). StashBudget, when
+	// positive, is the default per-job hot-tier cap applied to specs that
+	// set none.
+	SpillDir    string
+	StashBudget int64
 	// MetricsEvery, when positive, writes each job's telemetry snapshot
 	// to MetricsOut every N steps (the daemon points this at stdout).
 	MetricsEvery int
@@ -167,6 +173,11 @@ func New(cfg Config) (*Server, error) {
 	} else if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
 		return nil, err
 	}
+	if cfg.SpillDir == "" {
+		cfg.SpillDir = cfg.CheckpointDir
+	} else if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+		return nil, err
+	}
 	if cfg.FlightRecDir != "" {
 		if err := os.MkdirAll(cfg.FlightRecDir, 0o755); err != nil {
 			return nil, err
@@ -206,6 +217,9 @@ func New(cfg Config) (*Server, error) {
 // only for malformed specs.
 func (s *Server) Submit(spec JobSpec) (*JobStatus, error) {
 	spec = spec.withDefaults()
+	if spec.StashBudget <= 0 {
+		spec.StashBudget = s.cfg.StashBudget
+	}
 	// Validate and plan against the whole budget before taking the lock:
 	// a job that cannot fit an empty server is rejected outright.
 	enc, fp, fits, err := planAdmission(spec, spec.Encoding, s.cfg.MemBudgetBytes)
@@ -445,6 +459,10 @@ func (s *Server) train(ctx context.Context, j *job) (State, string) {
 		Telemetry: j.tel,
 		Codec:     &encoding.Codec{Pool: s.workers, Tel: j.tel},
 		Pool:      s.pool,
+	}
+	if spec.StashBudget > 0 {
+		opts.StashBudget = spec.StashBudget
+		opts.SpillDir = s.cfg.SpillDir
 	}
 	if spec.Faults != nil {
 		opts.Faults = faults.New(*spec.Faults)

@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"testing"
@@ -48,6 +49,13 @@ func soakSpec(i int) JobSpec {
 	}
 	if i%7 == 3 {
 		spec.DeadlineMS = 300
+	}
+	if i%5 == 2 {
+		// Tiered stash store with a budget far below the stash working set:
+		// nearly every stash round-trips through a spill page. Training
+		// stays bit-identical; the invariants below check the cap held and
+		// no spill file outlives shutdown.
+		spec.StashBudget = 4096
 	}
 	if i%3 == 0 {
 		// Detected-fault injection on the stash pipeline; needs a non-"none"
@@ -342,6 +350,39 @@ func TestSoakChaos(t *testing.T) {
 	// Invariant 3: no pooled buffers leaked.
 	if inUse := s.PoolStats().InUseBytes; inUse != 0 {
 		t.Errorf("shared pool still holds %d bytes after shutdown", inUse)
+	}
+
+	// Invariant 5: spilling jobs kept their hot tier under the per-store
+	// cap (the gauge is a SetMax high-water mark), at least one actually
+	// exercised the cold tier, and no spill file survived shutdown.
+	spilled := 0
+	for i, id := range ids {
+		spec := soakSpec(i)
+		if spec.StashBudget <= 0 {
+			continue
+		}
+		tel, err := s.JobTelemetry(id)
+		if err != nil {
+			t.Errorf("telemetry for %s: %v", id, err)
+			continue
+		}
+		vals := tel.Values()
+		per := spec.StashBudget
+		if spec.Shards > 1 {
+			per /= int64(spec.Shards)
+		}
+		if peak := vals["stash.store.hot_peak_bytes"]; peak > per {
+			t.Errorf("%s: hot-tier peak %d exceeds per-store budget %d", id, peak, per)
+		}
+		if vals["stash.store.evictions"] > 0 {
+			spilled++
+		}
+	}
+	if spilled == 0 {
+		t.Error("soak is vacuous on spilling: no budgeted job ever evicted a stash")
+	}
+	if leaked, _ := filepath.Glob(filepath.Join(s.cfg.SpillDir, "gist-spill-*")); len(leaked) != 0 {
+		t.Errorf("spill files survived shutdown: %v", leaked)
 	}
 
 	// Invariant 4: no goroutines leaked (allow slack for the runtime's

@@ -1,0 +1,76 @@
+package stashstore
+
+import (
+	"errors"
+	"testing"
+
+	"gist/internal/encoding"
+	"gist/internal/floatenc"
+)
+
+// FuzzReadSpillPage throws arbitrary bytes at the GSTP parser. The
+// contract under test: ReadPage never panics, never allocates past the
+// payload cap, and either returns a page whose stash survives a re-append
+// round trip or an error wrapping ErrCorruptPage — nothing else.
+func FuzzReadSpillPage(f *testing.F) {
+	// Seed with real pages across the stash techniques (the same shapes
+	// internal/goldengen freezes), plus a few structured near-misses.
+	ten := testTensor(12345)
+	for _, as := range []*encoding.Assignment{
+		{Tech: encoding.SSDC, Format: floatenc.FP16, NeedsDecode: true},
+		{Tech: encoding.ZVC, Format: floatenc.FP32},
+		{Tech: encoding.Binarize},
+	} {
+		e, err := encoding.EncodeStash(as, ten)
+		if err != nil {
+			f.Fatal(err)
+		}
+		e.Seal()
+		page, err := AppendPage(nil, 3, e)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(page)
+		f.Add(page[:len(page)-1])    // torn trailer
+		f.Add(page[:pageHeader])     // header only
+		f.Add(append(page, page...)) // two concatenated pages
+	}
+	d := encoding.EncodeDense(floatenc.FP32, ten)
+	d.Seal()
+	densePage, err := AppendPage(nil, 7, d)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(densePage)
+	f.Add([]byte(pageMagic))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadPage(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptPage) {
+				t.Fatalf("non-ErrCorruptPage failure: %v", err)
+			}
+			return
+		}
+		if p.Stash == nil {
+			t.Fatal("accepted page with nil stash")
+		}
+		if p.Size < pageHeader+pageTrailer || p.Size > len(data) {
+			t.Fatalf("accepted page with impossible size %d (input %d)", p.Size, len(data))
+		}
+		// An accepted page round-trips: re-appending its stash yields a
+		// page the parser accepts again with the same node.
+		out, err := AppendPage(nil, uint32(p.Node), p.Stash)
+		if err != nil {
+			t.Fatalf("re-append accepted stash: %v", err)
+		}
+		p2, err := ReadPage(out)
+		if err != nil {
+			t.Fatalf("re-read re-appended page: %v", err)
+		}
+		if p2.Node != p.Node {
+			t.Fatalf("node changed across round trip: %d -> %d", p.Node, p2.Node)
+		}
+	})
+}

@@ -1,0 +1,473 @@
+package stashstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"gist/internal/encoding"
+	"gist/internal/faults"
+	"gist/internal/floatenc"
+	"gist/internal/telemetry"
+	"gist/internal/tensor"
+)
+
+// testStash builds a deterministic sealed SSDC/FP16 stash from a seeded
+// ReLU-like feature map (~50% sparsity).
+func testStash(t *testing.T, seed uint64) *encoding.EncodedStash {
+	t.Helper()
+	ten := testTensor(seed)
+	e, err := encoding.EncodeStash(&encoding.Assignment{
+		Tech: encoding.SSDC, Format: floatenc.FP16, NeedsDecode: true,
+	}, ten)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	e.Seal()
+	return e
+}
+
+func testTensor(seed uint64) *tensor.Tensor {
+	ten := tensor.New(2, 3, 4, 4)
+	rng := tensor.NewRNG(seed)
+	for i := range ten.Data {
+		v := rng.Float32()*2 - 1
+		if v < 0 {
+			v = 0
+		}
+		ten.Data[i] = v
+	}
+	return ten
+}
+
+func TestPageRoundTrip(t *testing.T) {
+	ten := testTensor(12345)
+	cases := []struct {
+		name string
+		enc  func() *encoding.EncodedStash
+	}{
+		{"ssdc-fp16", func() *encoding.EncodedStash { return testStash(t, 12345) }},
+		{"dense-fp32", func() *encoding.EncodedStash {
+			e := encoding.EncodeDense(floatenc.FP32, ten)
+			e.Seal()
+			return e
+		}},
+		{"zvc-unsealed", func() *encoding.EncodedStash {
+			e, err := encoding.EncodeStash(&encoding.Assignment{
+				Tech: encoding.ZVC, Format: floatenc.FP32,
+			}, ten)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			return e
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			enc := c.enc()
+			page, err := AppendPage(nil, 42, enc)
+			if err != nil {
+				t.Fatalf("AppendPage: %v", err)
+			}
+			// Trailing bytes are allowed; Size reports the page's extent.
+			p, err := ReadPage(append(page, 0xde, 0xad))
+			if err != nil {
+				t.Fatalf("ReadPage: %v", err)
+			}
+			if p.Node != 42 || p.Size != len(page) {
+				t.Fatalf("node %d size %d, want 42 %d", p.Node, p.Size, len(page))
+			}
+			dec, err := p.Stash.Decode()
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			ref, err := enc.Decode()
+			if err != nil {
+				t.Fatalf("decode ref: %v", err)
+			}
+			for i := range ref.Data {
+				if dec.Data[i] != ref.Data[i] {
+					t.Fatalf("element %d differs after round trip", i)
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenPage freezes the GSTP byte layout: the fixture was printed by
+// internal/goldengen and must only change with an intentional, versioned
+// format break.
+func TestGoldenPage(t *testing.T) {
+	const golden = "4753545001000000010000003401000047535453020000000100000000800100040000000200000003000000040000000400000060000000000100003000000000000000300000000001030607080a11121415161718191a1d2324262728292c2d2e3132333536383a3c464a4c4d4f5051535456575a5c5d00c0423e00a0013f00c0f13e00e07f3f0000823d00c0003f0040083f00e0403f0040373e00e0263f00c0013f0080bd3e0080ce3e00c02d3f0000d73e00c04b3f0000903e00e07d3f0040c73e0000623f0040723f0040493f0040f73e0080613f00c0973e00c00a3f0080483f0080c23d00004b3d00801f3f00a06f3e00c09c3e00404e3e0040623f0060073f00c02e3f0020023e0060483f00200e3f00200e3f0000143e00c0083f00a0e63c0060db3e00c05a3f00a07f3f0040783f0000173f161dd42b010000000f8b1f1f6e64460d"
+	raw := make([]byte, len(golden)/2)
+	if _, err := fmt.Sscanf(golden, "%x", &raw); err != nil {
+		t.Fatalf("decode fixture: %v", err)
+	}
+	// The writer reproduces the frozen bytes...
+	page, err := AppendPage(nil, 1, testStash(t, 12345))
+	if err != nil {
+		t.Fatalf("AppendPage: %v", err)
+	}
+	if string(page) != string(raw) {
+		t.Fatalf("AppendPage no longer reproduces the golden page (len %d vs %d); regenerate with internal/goldengen only on an intentional format break", len(page), len(raw))
+	}
+	// ...and the parser accepts them and recovers the exact feature map.
+	p, err := ReadPage(raw)
+	if err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if p.Node != 1 || p.Size != len(raw) {
+		t.Fatalf("node %d size %d, want 1 %d", p.Node, p.Size, len(raw))
+	}
+	dec, err := p.Stash.Decode()
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	want := testTensor(12345)
+	half := floatenc.EncodeSlice(floatenc.FP16, want.Data).DecodeSlice(make([]float32, len(want.Data)))
+	for i := range half {
+		if dec.Data[i] != half[i] {
+			t.Fatalf("element %d: got %v want %v", i, dec.Data[i], half[i])
+		}
+	}
+}
+
+func TestReadPageRejectsCorruption(t *testing.T) {
+	page, err := AppendPage(nil, 9, testStash(t, 7))
+	if err != nil {
+		t.Fatalf("AppendPage: %v", err)
+	}
+	// Every truncation fails cleanly.
+	for n := 0; n < len(page); n++ {
+		if _, err := ReadPage(page[:n]); !errors.Is(err, ErrCorruptPage) {
+			t.Fatalf("truncation to %d bytes: err = %v, want ErrCorruptPage", n, err)
+		}
+	}
+	// Any single flipped bit fails cleanly (the CRC covers every byte; the
+	// trailer bytes are the CRC itself).
+	for i := 0; i < len(page); i++ {
+		bad := append([]byte(nil), page...)
+		bad[i] ^= 0x01
+		if _, err := ReadPage(bad); !errors.Is(err, ErrCorruptPage) {
+			t.Fatalf("flip at byte %d: err = %v, want ErrCorruptPage", i, err)
+		}
+	}
+	// A huge declared payload is rejected before any allocation.
+	bad := append([]byte(nil), page...)
+	bad[12], bad[13], bad[14], bad[15] = 0xff, 0xff, 0xff, 0x7f
+	if _, err := ReadPage(bad); !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("huge payload: err = %v, want ErrCorruptPage", err)
+	}
+}
+
+// storeWith builds a store in a test temp dir and registers cleanup.
+func storeWith(t *testing.T, budget int64, pri []int) *Store {
+	t.Helper()
+	s := New(Config{Budget: budget, Dir: t.TempDir(), Priority: pri})
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func TestHitPath(t *testing.T) {
+	s := storeWith(t, 1<<20, []int{5})
+	enc := testStash(t, 1)
+	if err := s.Put(0, enc); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Fetch(0)
+	if err != nil {
+		t.Fatalf("Fetch: %v", err)
+	}
+	if got != enc {
+		t.Fatal("hot-tier hit should hand back the same stash pointer")
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.Hits != 1 || st.Misses != 0 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v, want 1 put, 1 hit", st)
+	}
+	if st.HotBytes != 0 {
+		t.Fatalf("HotBytes = %d after fetch, want 0", st.HotBytes)
+	}
+	if _, err := s.Fetch(0); err == nil {
+		t.Fatal("second fetch of the same node should fail")
+	}
+}
+
+// TestEvictionOrder pins the placement policy: the resident whose backward
+// use is furthest away (largest FirstBackwardUse step) spills first, a
+// stash with no backward use spills before everything, and ties break
+// toward the larger node ID — all independent of map iteration order.
+func TestEvictionOrder(t *testing.T) {
+	one := testStash(t, 1).Bytes()
+	// Room for exactly two residents.
+	s := storeWith(t, 2*one, []int{10, 5, -1, 20})
+	for id := 0; id < 4; id++ {
+		if err := s.Put(id, testStash(t, uint64(id+1))); err != nil {
+			t.Fatalf("Put %d: %v", id, err)
+		}
+	}
+	// Put 2 overflowed → node 2 (no backward use) spilled; put 3
+	// overflowed → node 3 (furthest backward use, step 20) spilled.
+	// Nodes 0 and 1 (steps 10, 5 — needed soonest) stayed hot.
+	for id, wantHot := range map[int]bool{0: true, 1: true, 2: false, 3: false} {
+		before := s.Stats()
+		if _, err := s.Fetch(id); err != nil {
+			t.Fatalf("Fetch %d: %v", id, err)
+		}
+		after := s.Stats()
+		gotHot := after.Hits == before.Hits+1
+		if gotHot != wantHot {
+			t.Errorf("node %d: hot=%v, want %v", id, gotHot, wantHot)
+		}
+	}
+	st := s.Stats()
+	if st.Evictions != 2 || st.Misses != 2 || st.Hits != 2 {
+		t.Fatalf("stats = %+v, want 2 evictions, 2 misses, 2 hits", st)
+	}
+	if st.HotPeakBytes > 2*one {
+		t.Fatalf("HotPeakBytes %d exceeded budget %d", st.HotPeakBytes, 2*one)
+	}
+
+	// Tie break: equal priorities spill the larger node ID first.
+	s2 := storeWith(t, 2*one, []int{7, 7, 7})
+	for id := 0; id < 3; id++ {
+		if err := s2.Put(id, testStash(t, uint64(id+1))); err != nil {
+			t.Fatalf("Put %d: %v", id, err)
+		}
+	}
+	before := s2.Stats()
+	if _, err := s2.Fetch(2); err != nil {
+		t.Fatalf("Fetch 2: %v", err)
+	}
+	if s2.Stats().Misses != before.Misses+1 {
+		t.Fatal("tie at equal priority should have spilled node 2 (largest ID)")
+	}
+}
+
+// TestBeginStepReusesFile pins the bounded-file property: the write offset
+// rewinds every step, so the scratch file never grows past one step's
+// spill footprint.
+func TestBeginStepReusesFile(t *testing.T) {
+	one := testStash(t, 1).Bytes()
+	s := storeWith(t, one, []int{1, 2, 3, 4})
+	var size int64
+	for step := 0; step < 5; step++ {
+		s.BeginStep()
+		for id := 0; id < 4; id++ {
+			if err := s.Put(id, testStash(t, uint64(id+1))); err != nil {
+				t.Fatalf("step %d put %d: %v", step, id, err)
+			}
+		}
+		fi, err := os.Stat(s.SpillPath())
+		if err != nil {
+			t.Fatalf("stat spill file: %v", err)
+		}
+		if step == 0 {
+			size = fi.Size()
+		} else if fi.Size() != size {
+			t.Fatalf("step %d: spill file grew to %d (step 0: %d)", step, fi.Size(), size)
+		}
+	}
+	if st := s.Stats(); st.Evictions != 15 {
+		// 3 spills per step × 5 steps (budget holds exactly one stash).
+		t.Fatalf("evictions = %d, want 15", st.Evictions)
+	}
+}
+
+func TestCloseRemovesSpillFile(t *testing.T) {
+	one := testStash(t, 1).Bytes()
+	s := storeWith(t, one, []int{1, 2})
+	if err := s.Put(0, testStash(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, testStash(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	path := s.SpillPath()
+	if path == "" {
+		t.Fatal("expected a spill file after eviction")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("spill file %s survived Close (err=%v)", path, err)
+	}
+	if s.SpillPath() != "" {
+		t.Fatal("SpillPath should be empty after Close")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// The store stays usable: a later spill recreates the file.
+	if err := s.Put(0, testStash(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, testStash(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if s.SpillPath() == "" {
+		t.Fatal("expected a recreated spill file after Close+Put")
+	}
+}
+
+func TestSpillWriteFaultSurfaces(t *testing.T) {
+	one := testStash(t, 1).Bytes()
+	inj := faults.New(faults.Config{Seed: 3, SpillWriteFailRate: 1})
+	s := New(Config{Budget: one, Dir: t.TempDir(), Priority: []int{1, 2}, Faults: inj})
+	t.Cleanup(func() { _ = s.Close() })
+	if err := s.Put(0, testStash(t, 1)); err != nil {
+		t.Fatalf("within-budget put should not spill: %v", err)
+	}
+	err := s.Put(1, testStash(t, 2))
+	if !errors.Is(err, faults.ErrInjected) || !errors.Is(err, faults.ErrInjectedSpillWrite) {
+		t.Fatalf("err = %v, want injected spill-write failure", err)
+	}
+}
+
+func TestSpillReadCorruptionDetected(t *testing.T) {
+	one := testStash(t, 1).Bytes()
+	inj := faults.New(faults.Config{Seed: 4, SpillReadCorruptRate: 1})
+	s := New(Config{Budget: one, Dir: t.TempDir(), Priority: []int{1, 2}, Faults: inj})
+	t.Cleanup(func() { _ = s.Close() })
+	if err := s.Put(0, testStash(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, testStash(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 spilled (priority 2 > 1); its read-back is tampered.
+	if _, err := s.Fetch(1); !errors.Is(err, ErrCorruptPage) {
+		t.Fatalf("err = %v, want ErrCorruptPage", err)
+	}
+	if got := inj.Counts()[faults.SpillReadCorrupt]; got != 1 {
+		t.Fatalf("injector recorded %d corruptions, want 1", got)
+	}
+}
+
+// TestConcurrentFetchHammer drives the store the way the executor's decode
+// futures do — serial puts, then a burst of concurrent fetches — across
+// many steps. Run under -race via make race-hot.
+func TestConcurrentFetchHammer(t *testing.T) {
+	const nodes = 16
+	pri := make([]int, nodes)
+	stashes := make([]*encoding.EncodedStash, nodes)
+	refs := make([]*tensor.Tensor, nodes)
+	var bytes int64
+	for i := range pri {
+		pri[i] = nodes - i // node 0's backward use is furthest: spills first
+		stashes[i] = testStash(t, uint64(i+1))
+		bytes += stashes[i].Bytes()
+		ref, err := stashes[i].Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs[i] = ref
+	}
+	s := storeWith(t, bytes/10, pri)
+	steps := 20
+	if testing.Short() {
+		steps = 5
+	}
+	for step := 0; step < steps; step++ {
+		s.BeginStep()
+		for id := 0; id < nodes; id++ {
+			if err := s.Put(id, stashes[id]); err != nil {
+				t.Fatalf("put %d: %v", id, err)
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, nodes)
+		for id := 0; id < nodes; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				enc, err := s.Fetch(id)
+				if err != nil {
+					errs[id] = err
+					return
+				}
+				dec, err := enc.Decode()
+				if err != nil {
+					errs[id] = err
+					return
+				}
+				for k := range dec.Data {
+					if dec.Data[k] != refs[id].Data[k] {
+						errs[id] = fmt.Errorf("node %d: element %d differs", id, k)
+						return
+					}
+				}
+			}(id)
+		}
+		wg.Wait()
+		for id, err := range errs {
+			if err != nil {
+				t.Fatalf("step %d node %d: %v", step, id, err)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Evictions == 0 || st.Misses == 0 {
+		t.Fatalf("hammer never spilled (stats %+v) — budget too generous", st)
+	}
+	if st.HotPeakBytes > bytes/10 {
+		t.Fatalf("hot peak %d exceeded budget %d", st.HotPeakBytes, bytes/10)
+	}
+}
+
+// TestNilSafety: a store with no telemetry, faults, names or priorities
+// works (nil sink instruments are no-ops; unknown nodes evict first).
+func TestNilSafety(t *testing.T) {
+	s := New(Config{Budget: 1, Dir: t.TempDir()})
+	t.Cleanup(func() { _ = s.Close() })
+	if err := s.Put(3, testStash(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := s.Fetch(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.Decode(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fetch(99); err == nil {
+		t.Fatal("fetch of never-stored node should fail")
+	}
+}
+
+// TestTelemetryInstruments: the gauges and counters land in the sink under
+// the documented names.
+func TestTelemetryInstruments(t *testing.T) {
+	tel := telemetry.New()
+	one := testStash(t, 1).Bytes()
+	s := New(Config{Budget: one, Dir: t.TempDir(), Priority: []int{1, 2}, Tel: tel})
+	t.Cleanup(func() { _ = s.Close() })
+	if err := s.Put(0, testStash(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, testStash(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fetch(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Fetch(0); err != nil {
+		t.Fatal(err)
+	}
+	vals := tel.Values()
+	for _, name := range []string{
+		"stash.store.hot_peak_bytes", "stash.store.evictions",
+		"stash.store.hits", "stash.store.misses",
+		"stash.store.spill.write_bytes", "stash.store.spill.read_bytes",
+	} {
+		if vals[name] == 0 {
+			t.Errorf("instrument %q missing or zero (values: %v)", name, vals)
+		}
+	}
+	if vals["stash.store.hot_peak_bytes"] > one {
+		t.Errorf("hot peak gauge %d exceeds budget %d", vals["stash.store.hot_peak_bytes"], one)
+	}
+}

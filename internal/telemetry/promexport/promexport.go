@@ -271,6 +271,11 @@ func escapeLabel(v string) string {
 func promName(name, typ string) (string, []Label) {
 	var labels []Label
 	switch {
+	case strings.HasPrefix(name, "stash.store."):
+		// The tiered stash store's own instruments (stash.store.evictions,
+		// stash.store.spill.write_bytes, ...): "store" is not a technique,
+		// so keep these out of the {technique} families and sanitize
+		// verbatim → gist_stash_store_*.
 	case strings.HasPrefix(name, "stash."):
 		rest := strings.TrimPrefix(name, "stash.")
 		if i := strings.IndexByte(rest, '.'); i > 0 {

@@ -66,6 +66,8 @@ func TestLabelExtractionPatterns(t *testing.T) {
 	s.Counter("stash.DPR.raw_bytes").Add(1000)
 	s.Counter("stash.DPR.held_bytes").Add(250)
 	s.Counter("stash.samples").Add(4) // no technique segment: stays plain
+	s.Counter("stash.store.evictions").Add(7)
+	s.Counter("stash.store.spill.write_bytes").Add(4096)
 	s.Counter("codec.encode.DPR.bytes").Add(512)
 	s.Counter("codec.encode.fallbacks").Add(2) // one segment: stays plain
 	s.Counter("faults.injected.bit-flip").Inc()
@@ -83,6 +85,21 @@ func TestLabelExtractionPatterns(t *testing.T) {
 	}
 	if f := Find(fams, "gist_stash_samples_total"); f == nil {
 		t.Fatalf("stash.samples must stay unlabeled:\n%s", text)
+	}
+	// The stash store's own instruments are not a technique: they must
+	// render verbatim, never as gist_stash_*{technique="store"}.
+	ev := Find(fams, "gist_stash_store_evictions_total")
+	if ev == nil {
+		t.Fatalf("no stash store evictions family:\n%s", text)
+	}
+	if got, ok := ev.Get("job_id", "j1"); !ok || got.Value != 7 {
+		t.Fatalf("stash store evictions{j1} = %+v ok=%v", got, ok)
+	}
+	if f := Find(fams, "gist_stash_store_spill_write_bytes_total"); f == nil {
+		t.Fatalf("no stash store spill write family:\n%s", text)
+	}
+	if strings.Contains(text, `technique="store"`) {
+		t.Fatalf("stash.store.* leaked into the technique namespace:\n%s", text)
 	}
 	enc := Find(fams, "gist_codec_encode_bytes_total")
 	if enc == nil {

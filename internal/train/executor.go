@@ -26,6 +26,7 @@ import (
 	"gist/internal/graph"
 	"gist/internal/layers"
 	"gist/internal/parallel"
+	"gist/internal/stashstore"
 	"gist/internal/telemetry"
 	"gist/internal/tensor"
 )
@@ -101,6 +102,18 @@ type Options struct {
 	// are byte-identical to the unpooled path. Under pooling, Output()
 	// and live ReLU sparsity probing are unavailable (see those methods).
 	Pool *bufpool.Pool
+	// StashBudget, when positive, caps the bytes of encoded stashes held in
+	// RAM across the forward→backward gap: stashes live in a tiered
+	// stashstore.Store and the ones whose backward use is furthest away
+	// spill to disk as sealed GSTP pages, to be fetched (and decoded) back
+	// just before their backward reader needs them. Placement is a pure
+	// function of the liveness analysis and the spill round-trip is
+	// bit-exact, so results are identical to the unlimited-RAM run at any
+	// budget. Zero (the default) keeps every stash in RAM.
+	StashBudget int64
+	// SpillDir is where the stash store's spill file lives; "" means the
+	// OS temp dir. Only consulted when StashBudget is positive.
+	SpillDir string
 }
 
 // execMetrics caches the executor's instruments so the step path never does
@@ -128,6 +141,8 @@ type execMetrics struct {
 	injEncode     *telemetry.Counter
 	injDecode     *telemetry.Counter
 	injAlloc      *telemetry.Counter
+	spillWriteErr *telemetry.Counter // failed spill-page writes (injected ENOSPC)
+	spillReadErr  *telemetry.Counter // corrupt/torn spill pages caught at fetch
 }
 
 func newExecMetrics(s *telemetry.Sink) execMetrics {
@@ -149,6 +164,8 @@ func newExecMetrics(s *telemetry.Sink) execMetrics {
 		injEncode:     s.Counter("train.injected.encode_failures"),
 		injDecode:     s.Counter("train.injected.decode_failures"),
 		injAlloc:      s.Counter("train.injected.alloc_failures"),
+		spillWriteErr: s.Counter("train.spill.write_failures"),
+		spillReadErr:  s.Counter("train.spill.read_failures"),
 	}
 }
 
@@ -166,6 +183,12 @@ type RobustnessStats struct {
 	EncodeFailures int64
 	DecodeFailures int64
 	AllocFailures  int64
+	// SpillWriteFailures counts failed spill-page writes (the injector's
+	// ENOSPC transient); SpillReadFailures counts spill pages whose
+	// corruption or truncation the page CRC / bounded parser caught at
+	// fetch time.
+	SpillWriteFailures int64
+	SpillReadFailures  int64
 }
 
 // Executor owns the parameters and scratch state for training one graph.
@@ -240,6 +263,10 @@ type Executor struct {
 	// executor's lifetime.
 	Robust RobustnessStats
 
+	// store is the tiered stash home, built only when Options.StashBudget
+	// is positive; nil keeps the historical all-in-RAM path byte-for-byte.
+	store *stashstore.Store
+
 	tel       *telemetry.Sink
 	met       execMetrics
 	stepCount int             // steps attempted, numbers spans and memory samples
@@ -274,6 +301,27 @@ func NewExecutor(g *graph.Graph, opts Options) *Executor {
 		met:    newExecMetrics(opts.Telemetry),
 	}
 	opts.Faults.SetTelemetry(opts.Telemetry)
+
+	if opts.StashBudget > 0 {
+		// Eviction priorities are a pure function of the liveness analysis:
+		// the stash whose first backward use lies furthest in the future
+		// spills first, so placement never depends on timing.
+		tl := graph.BuildTimeline(g)
+		pri := make([]int, len(g.Nodes))
+		names := make([]string, len(g.Nodes))
+		for _, n := range g.Nodes {
+			pri[n.ID] = graph.FirstBackwardUse(tl, n)
+			names[n.ID] = n.Name
+		}
+		e.store = stashstore.New(stashstore.Config{
+			Budget:   opts.StashBudget,
+			Dir:      opts.SpillDir,
+			Priority: pri,
+			Names:    names,
+			Tel:      opts.Telemetry,
+			Faults:   opts.Faults,
+		})
+	}
 
 	nn := len(g.Nodes)
 	e.outs = make([]*tensor.Tensor, nn)
@@ -437,7 +485,18 @@ func (e *Executor) ReleaseBuffers() {
 	clear(e.gradOf)
 	e.insBuf = e.insBuf[:0]
 	e.dInsBuf = e.dInsBuf[:0]
+	if e.store != nil {
+		// Drop both tiers and delete the spill file. The store stays usable
+		// (a later step lazily recreates the file), preserving this method's
+		// safe-to-call-repeatedly contract.
+		_ = e.store.Close()
+	}
 }
+
+// StashStore returns the executor's tiered stash store, or nil when no
+// stash budget is configured. Tests and the trainer's stats accessor read
+// residency counters through it.
+func (e *Executor) StashStore() *stashstore.Store { return e.store }
 
 // Params returns the parameter tensors of a node (nil if none).
 func (e *Executor) Params(n *graph.Node) []*tensor.Tensor { return e.params[n.ID] }
@@ -502,11 +561,14 @@ func (e *Executor) integrity() bool {
 	return e.opts.Integrity || e.opts.Faults.Enabled()
 }
 
-// stashFuture is an in-flight asynchronous decode of one encoded stash.
-// The backward pass starts a future one layer ahead of its consumer, so
-// layer l-1's decode overlaps layer l's backward kernels on the shared
+// stashFuture is an in-flight asynchronous decode of one encoded stash —
+// generalized, when a stash store is active, to a fetch-then-decode future
+// that first pulls the stash back from the tiered store (a pointer hand-off
+// on a hot hit, a page read + CRC-verified parse on a spilled miss). The
+// backward pass starts a future one layer ahead of its consumer, so layer
+// l-1's fetch+decode overlaps layer l's backward kernels on the shared
 // worker pool. Start is lazy and idempotent: a consumer that arrives before
-// its prefetch simply starts the decode itself and waits.
+// its prefetch simply starts the work itself and waits.
 //
 // Slots are persistent (one per node) and re-armed each step. Ownership of
 // the pooled decode target dst transfers explicitly: the executor allocates
@@ -515,6 +577,8 @@ func (e *Executor) integrity() bool {
 // off the executor's goroutine.
 type stashFuture struct {
 	enc     *encoding.EncodedStash
+	store   *stashstore.Store // when set, decode fetches sid from here first
+	sid     int               // node ID keying the store entry
 	node    string
 	tel     *telemetry.Sink
 	cdc     encoding.Codec
@@ -531,8 +595,9 @@ type stashFuture struct {
 // here, on the executor's goroutine, before the future is visible to any
 // concurrent start — drainFutures balances it even if the decode never
 // launches.
-func (f *stashFuture) arm(enc *encoding.EncodedStash, node string, tel *telemetry.Sink, cdc encoding.Codec, dst *tensor.Tensor) {
-	f.enc, f.node, f.tel, f.cdc, f.dst = enc, node, tel, cdc, dst
+func (f *stashFuture) arm(enc *encoding.EncodedStash, store *stashstore.Store, sid int, node string, tel *telemetry.Sink, cdc encoding.Codec, dst *tensor.Tensor) {
+	f.enc, f.store, f.sid = enc, store, sid
+	f.node, f.tel, f.cdc, f.dst = node, tel, cdc, dst
 	f.out, f.err = nil, nil
 	f.started.Store(false)
 	f.settled.Store(false)
@@ -562,12 +627,18 @@ func (f *stashFuture) decode() {
 	// separate tracks, so the trace shows the decode overlap.
 	sp := f.tel.Begin("train", "async-decode", telemetry.Str("stash", f.node))
 	defer sp.End()
+	enc := f.enc
+	if f.store != nil {
+		if enc, f.err = f.store.Fetch(f.sid); f.err != nil {
+			return
+		}
+	}
 	if f.dst != nil {
-		if f.err = f.cdc.DecodeInto(f.dst, f.enc); f.err == nil {
+		if f.err = f.cdc.DecodeInto(f.dst, enc); f.err == nil {
 			f.out = f.dst
 		}
 	} else {
-		f.out, f.err = f.cdc.Decode(f.enc)
+		f.out, f.err = f.cdc.Decode(enc)
 	}
 }
 
@@ -578,12 +649,21 @@ func (f *stashFuture) wait(p *parallel.Pool) (*tensor.Tensor, error) {
 	return f.out, f.err
 }
 
-// asyncDecode reports whether encoded stashes decode asynchronously on the
-// worker pool. Fault-injected runs keep the synchronous path: the injector's
-// corrupt-then-decode sequencing attributes each detection to its injection
-// site, which deferred decode would smear across layers.
+// asyncDecode reports whether stashes resolve asynchronously on the worker
+// pool. Fault-injected runs keep the synchronous path: the injector's
+// corrupt-then-decode and spill-tamper sequencing attributes each detection
+// to its injection site, which deferred work would smear across layers.
+// With a stash store active, futures run at every worker count (even a
+// 1-worker pool spawns the fetch goroutine) so spilled-page reads overlap
+// backward compute.
 func (e *Executor) asyncDecode() bool {
-	return e.opts.Encodings != nil && !e.opts.Faults.Enabled() && e.codec().WorkerPool().Workers() > 1
+	if e.opts.Faults.Enabled() {
+		return false
+	}
+	if e.store != nil {
+		return true
+	}
+	return e.opts.Encodings != nil && e.codec().WorkerPool().Workers() > 1
 }
 
 // prepareStashes builds the backward-pass view of every feature map after
@@ -605,6 +685,10 @@ func (e *Executor) prepareStashes() error {
 	e.StashBytes = 0
 	inj := e.opts.Faults
 	cdc := e.codec()
+	if e.store != nil {
+		// Every page from the previous step is dead: rewind the spill file.
+		e.store.BeginStep()
+	}
 	async := e.asyncDecode()
 	pooled := e.pool != nil
 	probe := pooled && e.probeSparsity
@@ -668,9 +752,14 @@ func (e *Executor) prepareStashes() error {
 				// The encoded form now carries the forward→backward gap;
 				// the raw output is dead.
 				e.recycle(out)
+				if e.store != nil {
+					if err := e.storePut(n.ID, n.Name, enc); err != nil {
+						return err
+					}
+				}
 				if async {
-					// Defer the decode: the backward pass starts it one
-					// layer before the consumer needs it. Under pooling
+					// Defer the (fetch-then-)decode: the backward pass starts
+					// it one layer before the consumer needs it. Under pooling
 					// the decode target is allocated here, serially, and
 					// ownership transfers to the future until wait().
 					var dst *tensor.Tensor
@@ -678,10 +767,19 @@ func (e *Executor) prepareStashes() error {
 						dst = e.alloc(enc.Shape)
 					}
 					f := &e.futSlots[n.ID]
-					f.arm(enc, n.Name, e.tel, cdc, dst)
+					f.arm(enc, e.store, n.ID, n.Name, e.tel, cdc, dst)
 					e.futures[n.ID] = f
 					e.nFutures++
 					continue
+				}
+				if e.store != nil {
+					// Synchronous (fault-injected) path: fetch straight back
+					// so read-side spill faults surface here, attributed to
+					// this node, before the decode that would detect in-RAM
+					// corruption.
+					if enc, err = e.storeFetch(n.ID, n.Name); err != nil {
+						return err
+					}
 				}
 				var dec *tensor.Tensor
 				if pooled {
@@ -691,10 +789,7 @@ func (e *Executor) prepareStashes() error {
 					dec, err = cdc.Decode(enc)
 				}
 				if err != nil {
-					if errors.Is(err, encoding.ErrCorruptStash) {
-						e.Robust.CRCFailures++
-						e.noteCorrupt(err)
-					}
+					e.noteStashErr(err)
 					return fmt.Errorf("train: stash %q: %w", n.Name, err)
 				}
 				e.stash[n.ID] = dec
@@ -711,6 +806,62 @@ func (e *Executor) prepareStashes() error {
 			e.stash[n.ID] = q
 			// Backward reads the quantized copy; the exact output is dead.
 			e.recycle(out)
+			continue
+		}
+		if e.store != nil && stashedForBackward(e, n) {
+			// A stash with no encoding assignment (plain-FP32 run, or an
+			// analysis gap) still lives in the tiered store when a budget is
+			// set: dense-pack it at FP32 — an exact container — so it can
+			// spill as a GSTP page like any encoded stash and the budget
+			// covers every byte held across the forward→backward gap.
+			var enc *encoding.EncodedStash
+			if pooled {
+				enc = e.encSlots[n.ID]
+				if enc == nil {
+					enc = &encoding.EncodedStash{}
+					e.encSlots[n.ID] = enc
+				}
+				cdc.EncodeDenseInto(enc, floatenc.FP32, out)
+			} else {
+				enc = cdc.EncodeDense(floatenc.FP32, out)
+			}
+			if e.integrity() {
+				enc.Seal()
+			}
+			inj.CorruptStash(n.Name, enc)
+			e.StashBytes += enc.Bytes()
+			mem.add("FP32", out.Bytes(), enc.Bytes())
+			e.recycle(out)
+			if err := e.storePut(n.ID, n.Name, enc); err != nil {
+				return err
+			}
+			if async {
+				var dst *tensor.Tensor
+				if pooled {
+					dst = e.alloc(enc.Shape)
+				}
+				f := &e.futSlots[n.ID]
+				f.arm(enc, e.store, n.ID, n.Name, e.tel, cdc, dst)
+				e.futures[n.ID] = f
+				e.nFutures++
+				continue
+			}
+			enc, err := e.storeFetch(n.ID, n.Name)
+			if err != nil {
+				return err
+			}
+			var dec *tensor.Tensor
+			if pooled {
+				dec = e.alloc(enc.Shape)
+				err = cdc.DecodeInto(dec, enc)
+			} else {
+				dec, err = cdc.Decode(enc)
+			}
+			if err != nil {
+				e.noteStashErr(err)
+				return fmt.Errorf("train: stash %q: %w", n.Name, err)
+			}
+			e.stash[n.ID] = dec
 			continue
 		}
 		if stashedForBackward(e, n) {
@@ -761,6 +912,45 @@ func (m *memAccum) sample(step int) telemetry.MemSample {
 		sm.ByTech = append(sm.ByTech, *m.byTech[t])
 	}
 	return sm
+}
+
+// storePut hands one encoded stash to the tiered store, folding injected
+// spill-write failures (the ENOSPC transient) into the robustness counters.
+func (e *Executor) storePut(id int, name string, enc *encoding.EncodedStash) error {
+	err := e.store.Put(id, enc)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, faults.ErrInjected) {
+		e.Robust.SpillWriteFailures++
+		e.met.spillWriteErr.Inc()
+	}
+	return fmt.Errorf("train: stash %q: %w", name, err)
+}
+
+// storeFetch pulls one stash back from the tiered store on the synchronous
+// (fault-injected) path, classifying detected page corruption.
+func (e *Executor) storeFetch(id int, name string) (*encoding.EncodedStash, error) {
+	enc, err := e.store.Fetch(id)
+	if err != nil {
+		e.noteStashErr(err)
+		return nil, fmt.Errorf("train: stash %q: %w", name, err)
+	}
+	return enc, nil
+}
+
+// noteStashErr folds a stash-pipeline failure into the robustness counters:
+// CRC-detected in-RAM corruption, or a corrupt/torn spill page caught by
+// the GSTP page CRC and bounded parser.
+func (e *Executor) noteStashErr(err error) {
+	switch {
+	case errors.Is(err, encoding.ErrCorruptStash):
+		e.Robust.CRCFailures++
+		e.noteCorrupt(err)
+	case errors.Is(err, stashstore.ErrCorruptPage):
+		e.Robust.SpillReadFailures++
+		e.met.spillReadErr.Inc()
+	}
 }
 
 // noteCorrupt mirrors one CRC detection into the sink, recording whether
@@ -958,10 +1148,7 @@ func (e *Executor) stashOf(p *parallel.Pool, id int) (*tensor.Tensor, error) {
 // directly, so every gradient is zeroed before the error propagates.
 // Pooled tensors stranded by the abort are swept at the next Forward.
 func (e *Executor) failBackward(err error) error {
-	if errors.Is(err, encoding.ErrCorruptStash) {
-		e.Robust.CRCFailures++
-		e.noteCorrupt(err)
-	}
+	e.noteStashErr(err)
 	e.met.gradZero.Inc()
 	e.tel.Instant("train", "grad-zeroing", telemetry.Str("cause", err.Error()))
 	for _, gs := range e.grads {

@@ -179,6 +179,10 @@ func (r *RecoveryReport) String() string {
 	s += fmt.Sprintf("stash: crc-detected %d, ssdc->dense fallbacks %d, injected encode/decode/alloc %d/%d/%d\n",
 		r.Robust.CRCFailures, r.Robust.SSDCFallbacks,
 		r.Robust.EncodeFailures, r.Robust.DecodeFailures, r.Robust.AllocFailures)
+	if r.Robust.SpillWriteFailures > 0 || r.Robust.SpillReadFailures > 0 {
+		s += fmt.Sprintf("spill: write failures %d, corrupt pages detected %d\n",
+			r.Robust.SpillWriteFailures, r.Robust.SpillReadFailures)
+	}
 	s += fmt.Sprintf("checkpoints: %d saved, %d failed", r.CheckpointSaves, r.CheckpointFailures)
 	if r.GaveUpStep > 0 {
 		s += fmt.Sprintf("\nGAVE UP at step %d", r.GaveUpStep)

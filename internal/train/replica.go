@@ -140,6 +140,16 @@ func NewReplicaGroup(g *graph.Graph, opts Options, cfg ReplicaConfig) *ReplicaGr
 		inj:  opts.Faults,
 		tel:  opts.Telemetry,
 	}
+	if opts.StashBudget > 0 && cfg.Replicas > 1 {
+		// Split the group's stash budget statically across the replicas'
+		// stores: a fixed per-replica share keeps eviction a pure function
+		// of each replica's own liveness (a dynamically shared pot would
+		// make placement depend on cross-replica timing). The shares sum to
+		// at most the configured budget.
+		if opts.StashBudget /= int64(cfg.Replicas); opts.StashBudget < 1 {
+			opts.StashBudget = 1
+		}
+	}
 	rg.execs = make([]*Executor, cfg.Replicas)
 	rg.execs[0] = NewExecutor(g, opts)
 	for r := 1; r < cfg.Replicas; r++ {

@@ -25,6 +25,7 @@ import (
 	"gist/internal/liveness"
 	"gist/internal/memplan"
 	"gist/internal/parallel"
+	"gist/internal/stashstore"
 	"gist/internal/telemetry"
 	"gist/internal/tensor"
 	"gist/internal/train"
@@ -89,6 +90,8 @@ type trainerConfig struct {
 	replicas    int
 	shards      int
 	maxRetries  int
+	stashBudget int64
+	spillDir    string
 }
 
 // TrainerOption configures a Trainer at construction.
@@ -192,6 +195,25 @@ func WithShardRetries(n int) TrainerOption {
 	return func(c *trainerConfig) { c.maxRetries = n }
 }
 
+// WithStashBudget caps the bytes of stashed feature maps held in RAM
+// across the forward→backward gap. Stashes then live in a tiered store:
+// the ones whose backward use is furthest away spill to disk as sealed
+// encoded pages and are prefetched (fetch-then-decode futures) just before
+// their backward reader needs them. Placement is a pure function of the
+// liveness analysis and the spill round-trip is bit-exact, so trained
+// weights are identical to the unlimited-RAM run at any budget. Under
+// WithReplicas the budget is split evenly across the replicas' stores.
+// bytes <= 0 (the default) keeps every stash in RAM.
+func WithStashBudget(bytes int64) TrainerOption {
+	return func(c *trainerConfig) { c.stashBudget = bytes }
+}
+
+// WithSpillDir sets the directory for the stash store's spill file (the
+// default is the OS temp dir). Only meaningful with WithStashBudget.
+func WithSpillDir(dir string) TrainerOption {
+	return func(c *trainerConfig) { c.spillDir = dir }
+}
+
 // WithFaults enables deterministic fault injection (bit flips, encode/
 // decode/alloc failures) on the stash pipeline, for testing recovery
 // behavior. Integrity sealing is forced on so every injected flip is
@@ -268,13 +290,15 @@ func NewTrainer(g *Graph, options ...TrainerOption) *Trainer {
 		cfg.pool.Prewarm(warm)
 	}
 	opts := train.Options{
-		Seed:      cfg.seed,
-		Encodings: analysis,
-		Integrity: cfg.integrity,
-		Faults:    cfg.faults,
-		Telemetry: cfg.tel,
-		Codec:     t.codec,
-		Pool:      cfg.pool,
+		Seed:        cfg.seed,
+		Encodings:   analysis,
+		Integrity:   cfg.integrity,
+		Faults:      cfg.faults,
+		Telemetry:   cfg.tel,
+		Codec:       t.codec,
+		Pool:        cfg.pool,
+		StashBudget: cfg.stashBudget,
+		SpillDir:    cfg.spillDir,
 	}
 	if cfg.replicas > 1 || cfg.shards > 0 {
 		t.group = train.NewReplicaGroup(g, opts, train.ReplicaConfig{
@@ -369,4 +393,27 @@ func (t *Trainer) PoolStats() PoolStats {
 		return PoolStats{}
 	}
 	return t.pool.Stats()
+}
+
+// StashStoreStats is a snapshot of a tiered stash store's residency and
+// spill counters.
+type StashStoreStats = stashstore.Stats
+
+// StashStats returns the trainer's stash-store counters, summed across
+// replicas under WithReplicas; the zero Stats when no WithStashBudget is
+// set. Summed peaks are an upper bound on simultaneous hot-tier residency,
+// so HotPeakBytes <= the configured budget certifies the cap held.
+func (t *Trainer) StashStats() StashStoreStats {
+	var sum StashStoreStats
+	execs := []*train.Executor{t.exec}
+	if t.group != nil {
+		execs = t.group.Executors()
+	}
+	for _, e := range execs {
+		if st := e.StashStore(); st != nil {
+			s := st.Stats()
+			sum.Accumulate(s)
+		}
+	}
+	return sum
 }
